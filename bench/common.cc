@@ -1,0 +1,55 @@
+#include "common.hh"
+
+#include <iostream>
+
+#include "util/timer.hh"
+#include "workloads/register.hh"
+
+namespace nsbench::bench
+{
+
+ProfiledRun
+profileWorkload(const std::string &name, uint64_t seed)
+{
+    workloads::registerAllWorkloads();
+    auto workload = core::WorkloadRegistry::global().create(name);
+    return profileWorkload(*workload, seed);
+}
+
+ProfiledRun
+profileWorkload(core::Workload &workload, uint64_t seed)
+{
+    workload.setUp(seed);
+
+    auto &prof = core::globalProfiler();
+    prof.reset();
+    util::WallTimer timer;
+    double score = workload.run();
+    double wall = timer.elapsed();
+
+    ProfiledRun run;
+    run.name = workload.name();
+    run.score = score;
+    run.wallSeconds = wall;
+    run.storageBytes = workload.storageBytes();
+    run.profile = prof;
+    prof.reset();
+    return run;
+}
+
+const std::vector<std::string> &
+paperOrder()
+{
+    static const std::vector<std::string> order = {
+        "LNN", "LTN", "NVSA", "NLM", "VSAIT", "ZeroC", "PrAE"};
+    return order;
+}
+
+void
+printHeader(const std::string &title, const std::string &paper_ref)
+{
+    std::cout << "\n=== " << title << " ===\n"
+              << "reproduces: " << paper_ref << "\n\n";
+}
+
+} // namespace nsbench::bench

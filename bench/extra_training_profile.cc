@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Extra (beyond the paper's tables): characterization of a *training*
+ * step.
+ *
+ * The paper profiles inference; its Tab. III nonetheless lists the
+ * training approaches of every workload, and the outlook asks for
+ * differentiable-logic frameworks. This bench profiles one LTN
+ * training epoch — forward grounding (neural), fuzzy axiom evaluation
+ * (symbolic) and the reverse-mode gradient sweep — through the same
+ * instrumented kernels, showing that the symbolic share of
+ * neuro-symbolic *training* behaves like the inference splits of
+ * Fig. 2a.
+ */
+
+#include <iostream>
+
+#include "common.hh"
+#include "core/profiler.hh"
+#include "core/report.hh"
+#include "data/tabular.hh"
+#include "nn/autograd.hh"
+#include "sim/device.hh"
+#include "sim/projection.hh"
+#include "tensor/ops.hh"
+#include "util/format.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace nsbench;
+using nn::Variable;
+using tensor::Tensor;
+
+Variable
+forAll(const Variable &truths, float p = 2.0f)
+{
+    Variable complement = subV(
+        Variable(Tensor::ones(truths.value().shape())), truths);
+    return subV(Variable(Tensor::ones({1})),
+                powV(meanAllV(powV(complement, p)), 1.0f / p));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "LTN training-step characterization (extra)",
+        "Tab. III training approaches / outlook on differentiable "
+        "frameworks");
+
+    util::Rng rng(99);
+    auto data = data::makeRelationalDataset(120, 16, 8, rng);
+
+    const int64_t hidden = 32;
+    Variable w1(Tensor::randn({hidden, data.featureDim}, rng, 0.0f,
+                              0.4f),
+                true);
+    Variable b1(Tensor::zeros({hidden}), true);
+    Variable w2(Tensor::randn({1, hidden}, rng, 0.0f, 0.4f), true);
+    Variable b2(Tensor::zeros({1}), true);
+    nn::SgdOptimizer opt(0.3f);
+    for (Variable *p : {&w1, &b1, &w2, &b2})
+        opt.addParameter(*p);
+
+    auto &prof = core::globalProfiler();
+    prof.reset();
+
+    double sat_first = 0.0, sat_last = 0.0;
+    const int epochs = 20;
+    for (int epoch = 0; epoch < epochs; epoch++) {
+        Variable smokes, loss;
+        {
+            core::PhaseScope neural(core::Phase::Neural,
+                                    "ltn_train/grounding");
+            Variable h = tanhV(
+                linearV(Variable(data.features.clone()), w1, b1));
+            smokes = sigmoidV(linearV(h, w2, b2));
+        }
+        {
+            core::PhaseScope symbolic(core::Phase::Symbolic,
+                                      "ltn_train/axioms");
+            // forall x: Smokes(x) -> (cluster-mean features > 0),
+            // grounded as agreement with the latent trait labels for
+            // a supervised satisfaction signal.
+            Tensor truth({data.people, 1});
+            for (int i = 0; i < data.people; i++) {
+                truth(i, 0) =
+                    data.smokes[static_cast<size_t>(i)] ? 1.0f : 0.0f;
+            }
+            Variable t(truth);
+            Variable ones(Tensor::ones(truth.shape()));
+            Variable agreement =
+                addV(mulV(smokes, t),
+                     mulV(subV(ones, smokes), subV(ones, t)));
+            Variable sat = forAll(agreement);
+            loss = subV(Variable(Tensor::ones({1})), sat);
+            if (epoch == 0)
+                sat_first = sat.value().flat(0);
+            sat_last = sat.value().flat(0);
+        }
+        {
+            // The gradient sweep re-runs the same instrumented tensor
+            // kernels; attribute it as the training backend.
+            core::PhaseScope neural(core::Phase::Neural,
+                                    "ltn_train/backward");
+            loss.backward();
+            opt.step();
+        }
+    }
+
+    std::cout << "satisfaction: " << util::fixedStr(sat_first, 3)
+              << " -> " << util::fixedStr(sat_last, 3) << " over "
+              << epochs << " epochs\n\n";
+
+    core::phaseBreakdownTable(prof).print(std::cout);
+    std::cout << "\n";
+    core::regionTable(prof).print(std::cout);
+
+    auto proj = sim::projectProfile(sim::rtx2080ti(), prof);
+    std::cout << "\nRTX 2080 Ti projection of the training stream: "
+              << util::humanSeconds(proj.totalSeconds) << " (neural "
+              << util::percentStr(proj.neuralFraction())
+              << ", symbolic "
+              << util::percentStr(proj.symbolicFraction())
+              << ") — the fuzzy-logic axiom machinery keeps a "
+                 "substantial symbolic share even inside the "
+                 "training loop.\n";
+    prof.reset();
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Tab. I/II: the neuro-symbolic algorithm census and operation
+ * exemplars, plus which entries this suite implements.
+ */
+
+#include <iostream>
+
+#include "core/paradigms.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace nsbench;
+
+    std::cout << "\n=== Neuro-symbolic algorithm taxonomy ===\n"
+                 "reproduces: Tab. I (Kautz categories) and Tab. II\n\n";
+
+    util::Table census({"algorithm", "paradigm",
+                        "underlying operations", "vector",
+                        "implemented"});
+    for (const auto &entry : core::algorithmCensus()) {
+        census.addRow({std::string(entry.name),
+                       std::string(core::paradigmName(entry.paradigm)),
+                       std::string(entry.operations),
+                       entry.vectorFormat ? "vector" : "non-vector",
+                       entry.implementedHere ? "yes" : "-"});
+    }
+    census.print(std::cout);
+
+    std::cout << "\nOperation exemplars (Tab. II):\n";
+    util::Table examples({"operation", "example"});
+    for (const auto &ex : core::operationExamples()) {
+        examples.addRow({std::string(ex.operation),
+                         std::string(ex.example)});
+    }
+    examples.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tab. IV: hardware-inefficiency counters for representative neural
+ * and symbolic kernels.
+ *
+ * The four NVSA-representative kernels replay their coalesced access
+ * traces through the simulated two-level cache hierarchy; the derived
+ * utilizations are printed next to the Nsight Compute numbers the
+ * paper reports. The reproduced shape: neural kernels keep the ALUs
+ * busy with modest DRAM pressure, symbolic kernels idle the ALUs and
+ * saturate DRAM bandwidth.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "sim/kernels.hh"
+#include "util/format.hh"
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace nsbench;
+
+sim::KernelCounters
+runKernel(const std::string &name)
+{
+    auto machine = sim::MachineModel::gpuLike();
+    if (name == "sgemm_nn")
+        return sim::runSgemmKernel(machine, 256, 256, 256, 32);
+    if (name == "relu_nn")
+        return sim::runReluKernel(machine, 512 * 1024);
+    if (name == "vectorized_elem")
+        return sim::runVsaBundleKernel(machine, 16, 1 << 20);
+    return sim::runGatherKernel(machine, 20000, 100000, 32);
+}
+
+/** Times the cache-simulation itself under google-benchmark. */
+void
+BM_KernelTrace(benchmark::State &state,
+               const std::string &kernel_name)
+{
+    for (auto _ : state) {
+        auto counters = runKernel(kernel_name);
+        benchmark::DoNotOptimize(counters.cycles);
+    }
+}
+
+/** Paper Tab. IV reference values per kernel. */
+struct PaperRow
+{
+    const char *kernel;
+    double compute, alu, l1thr, l2thr, l1hit, l2hit, dram;
+};
+
+constexpr PaperRow paperRows[] = {
+    {"sgemm_nn", 95.1, 90.1, 79.7, 19.2, 1.6, 86.8, 14.9},
+    {"relu_nn", 92.9, 48.3, 82.6, 17.5, 51.6, 65.5, 24.2},
+    {"vectorized_elem", 3.0, 5.9, 28.4, 29.8, 29.5, 48.6, 90.9},
+    {"elementwise", 2.3, 4.5, 10.8, 22.8, 33.3, 34.3, 78.4},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::cout << "\n=== Hardware-inefficiency analysis (simulated "
+                 "cache hierarchy) ===\nreproduces: Tab. IV\n\n";
+
+    util::Table table({"kernel", "who", "compute-thr%", "ALU%",
+                       "L1-thr%", "L2-thr%", "L1-hit%", "L2-hit%",
+                       "DRAM-BW%"});
+    for (const auto &paper : paperRows) {
+        auto k = runKernel(paper.kernel);
+        table.addRow({k.name, "ours",
+                      util::fixedStr(k.computeThroughputPct, 1),
+                      util::fixedStr(k.aluUtilPct, 1),
+                      util::fixedStr(k.l1ThroughputPct, 1),
+                      util::fixedStr(k.l2ThroughputPct, 1),
+                      util::fixedStr(k.l1HitRatePct, 1),
+                      util::fixedStr(k.l2HitRatePct, 1),
+                      util::fixedStr(k.dramBwUtilPct, 1)});
+        table.addRow({paper.kernel, "paper",
+                      util::fixedStr(paper.compute, 1),
+                      util::fixedStr(paper.alu, 1),
+                      util::fixedStr(paper.l1thr, 1),
+                      util::fixedStr(paper.l2thr, 1),
+                      util::fixedStr(paper.l1hit, 1),
+                      util::fixedStr(paper.l2hit, 1),
+                      util::fixedStr(paper.dram, 1)});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\nTakeaway 6 check: the symbolic kernels (vectorized_elem,"
+           " elementwise) show single-digit ALU utilization with "
+           "DRAM bandwidth saturated; the neural kernels invert "
+           "both. Absolute hit rates differ from Nsight's (we model "
+           "a classic cache, not Turing's sector/shared-memory "
+           "hierarchy); the contrast is the reproduced result.\n\n";
+
+    benchmark::RegisterBenchmark("BM_trace/sgemm_nn", BM_KernelTrace,
+                                 std::string("sgemm_nn"));
+    benchmark::RegisterBenchmark("BM_trace/vectorized_elem",
+                                 BM_KernelTrace,
+                                 std::string("vectorized_elem"));
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

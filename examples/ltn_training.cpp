@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Training a Logic Tensor Network with the autograd engine.
+ *
+ * The inference workloads use constructed weights; this example shows
+ * the real LTN learning loop: predicate MLPs start from random
+ * initialization and are trained by gradient ascent on the fuzzy
+ * satisfaction of the theory
+ *
+ *   (supervision)  Smokes(x) = s_x  for a few labelled individuals
+ *   (axiom)        forall x: Smokes(x) -> Cancer(x)
+ *   (axiom)        forall x,y: Friends(x,y) ^ Smokes(x) -> Smokes(y)
+ *
+ * under product real logic, with the differentiable p-mean-error
+ * quantifier. Satisfaction rises during training and the learned
+ * Smokes predicate generalizes to the unlabelled population.
+ */
+
+#include <iostream>
+
+#include "data/tabular.hh"
+#include "nn/autograd.hh"
+#include "tensor/ops.hh"
+#include "util/format.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace nsbench;
+using nn::Variable;
+using tensor::Tensor;
+
+/** Differentiable forall: 1 - mean((1-x)^p)^(1/p). */
+Variable
+forAll(const Variable &truths, float p = 2.0f)
+{
+    Variable complement = subV(
+        Variable(Tensor::ones(truths.value().shape())), truths);
+    Variable mean_pow = meanAllV(powV(complement, p));
+    return subV(Variable(Tensor::ones({1})),
+                powV(mean_pow, 1.0f / p));
+}
+
+/** Reichenbach implication a -> b as 1 - a + a*b. */
+Variable
+implies(const Variable &a, const Variable &b)
+{
+    Variable ones(Tensor::ones(a.value().shape()));
+    return addV(subV(ones, a), mulV(a, b));
+}
+
+} // namespace
+
+int
+main()
+{
+    util::Rng rng(123);
+    auto data = data::makeRelationalDataset(60, 8, 6, rng);
+    int64_t n = data.people;
+
+    // Supervision on 20% of individuals only.
+    std::vector<int64_t> labelled;
+    for (int64_t i = 0; i < n; i += 5)
+        labelled.push_back(i);
+    Tensor labels({static_cast<int64_t>(labelled.size()), 1});
+    for (size_t k = 0; k < labelled.size(); k++) {
+        labels(static_cast<int64_t>(k), 0) =
+            data.smokes[static_cast<size_t>(labelled[k])] ? 1.0f
+                                                          : 0.0f;
+    }
+
+    // Friendship pairs as index lists for the relational axiom.
+    std::vector<int64_t> friend_a, friend_b;
+    for (const auto &[a, b] : data.friendships) {
+        friend_a.push_back(a);
+        friend_b.push_back(b);
+        friend_a.push_back(b);
+        friend_b.push_back(a);
+    }
+
+    // Random-init predicate MLPs (1 hidden layer each).
+    const int64_t hidden = 16;
+    Variable sw1(Tensor::randn({hidden, data.featureDim}, rng, 0.0f,
+                               0.5f),
+                 true);
+    Variable sb1(Tensor::zeros({hidden}), true);
+    Variable sw2(Tensor::randn({1, hidden}, rng, 0.0f, 0.5f), true);
+    Variable sb2(Tensor::zeros({1}), true);
+    Variable cw1(Tensor::randn({hidden, data.featureDim}, rng, 0.0f,
+                               0.5f),
+                 true);
+    Variable cb1(Tensor::zeros({hidden}), true);
+    Variable cw2(Tensor::randn({1, hidden}, rng, 0.0f, 0.5f), true);
+    Variable cb2(Tensor::zeros({1}), true);
+
+    nn::SgdOptimizer opt(0.5f);
+    for (Variable *p :
+         {&sw1, &sb1, &sw2, &sb2, &cw1, &cb1, &cw2, &cb2})
+        opt.addParameter(*p);
+
+    auto smokes_of = [&](const Tensor &features) {
+        Variable h = tanhV(
+            linearV(Variable(features.clone()), sw1, sb1));
+        return sigmoidV(linearV(h, sw2, sb2));
+    };
+    auto cancer_of = [&](const Tensor &features) {
+        Variable h = tanhV(
+            linearV(Variable(features.clone()), cw1, cb1));
+        return sigmoidV(linearV(h, cw2, cb2));
+    };
+
+    Tensor labelled_features = tensor::gatherRows(
+        data.features, labelled);
+    Tensor friends_a_features = tensor::gatherRows(data.features,
+                                                   friend_a);
+    Tensor friends_b_features = tensor::gatherRows(data.features,
+                                                   friend_b);
+
+    std::cout << "epoch  satisfaction  smokes-accuracy\n";
+    for (int epoch = 0; epoch <= 120; epoch++) {
+        // Grounding over the whole population and the pair lists.
+        Variable smokes_all = smokes_of(data.features);
+        Variable cancer_all = cancer_of(data.features);
+        Variable smokes_lab = smokes_of(labelled_features);
+        Variable smokes_fa = smokes_of(friends_a_features);
+        Variable smokes_fb = smokes_of(friends_b_features);
+
+        // Supervision axiom: labelled Smokes values match.
+        Variable lab(labels.clone());
+        Variable agreement = addV(
+            mulV(smokes_lab, lab),
+            mulV(subV(Variable(Tensor::ones(lab.value().shape())),
+                      smokes_lab),
+                 subV(Variable(Tensor::ones(lab.value().shape())),
+                      lab)));
+        Variable sup_sat = forAll(agreement);
+
+        // forall x: Smokes -> Cancer.
+        Variable ax1 = forAll(implies(smokes_all, cancer_all));
+        // forall friendship (a,b): Smokes(a) -> Smokes(b).
+        Variable ax2 = forAll(implies(smokes_fa, smokes_fb));
+
+        Variable sat = mulScalarV(
+            addV(addV(mulScalarV(sup_sat, 2.0f), ax1), ax2),
+            1.0f / 4.0f);
+        Variable loss = subV(Variable(Tensor::ones({1})), sat);
+        loss.backward();
+        opt.step();
+
+        if (epoch % 20 == 0) {
+            // Accuracy of the learned Smokes predicate vs the latent
+            // trait, over everyone (including unlabelled).
+            int correct = 0;
+            for (int64_t i = 0; i < n; i++) {
+                bool pred = smokes_all.value()(i, 0) > 0.5f;
+                if (pred == data.smokes[static_cast<size_t>(i)])
+                    correct++;
+            }
+            std::cout << util::fixedStr(epoch, 0) << "      "
+                      << util::fixedStr(sat.value().flat(0), 3)
+                      << "         "
+                      << util::percentStr(
+                             static_cast<double>(correct) /
+                             static_cast<double>(n))
+                      << "\n";
+        }
+    }
+    std::cout << "\nThe theory's satisfaction and the predicate's "
+                 "generalization rise together: knowledge (axioms) "
+                 "substitutes for labels — the LTN data-efficiency "
+                 "claim in the paper's Tab. III.\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Quickstart: profile one neuro-symbolic workload end-to-end.
+ *
+ * Demonstrates the core public API: the workload registry, the
+ * instrumenting profiler, the report builders, and the analytical
+ * device projection.
+ *
+ * Usage: quickstart [workload-name]   (default: NVSA)
+ */
+
+#include <iostream>
+
+#include "core/profiler.hh"
+#include "core/report.hh"
+#include "core/workload.hh"
+#include "sim/device.hh"
+#include "sim/projection.hh"
+#include "util/format.hh"
+#include "workloads/register.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace nsbench;
+
+    // 1. Pick a workload from the registry.
+    workloads::registerAllWorkloads();
+    auto &registry = core::WorkloadRegistry::global();
+    std::string name = argc > 1 ? argv[1] : "NVSA";
+    if (!registry.contains(name)) {
+        std::cerr << "unknown workload '" << name << "'; choose from:";
+        for (const auto &n : registry.names())
+            std::cerr << " " << n;
+        std::cerr << "\n";
+        return 1;
+    }
+    auto workload = registry.create(name);
+
+    // 2. Build its model + synthetic dataset, then run one profiled
+    //    inference episode. Every tensor / VSA / logic operation
+    //    reports to the global profiler.
+    workload->setUp(/*seed=*/42);
+    auto &prof = core::globalProfiler();
+    prof.reset();
+    double score = workload->run();
+
+    // 3. Inspect the characterization.
+    std::cout << "workload:  " << workload->name() << " ("
+              << core::paradigmName(workload->paradigm()) << ")\n"
+              << "task:      " << workload->taskDescription() << "\n"
+              << "score:     " << util::fixedStr(score, 3) << "\n"
+              << "storage:   "
+              << util::humanBytes(workload->storageBytes()) << "\n\n";
+
+    std::cout << "--- phase breakdown (Fig. 2a view) ---\n";
+    core::phaseBreakdownTable(prof).print(std::cout);
+
+    std::cout << "\n--- top operators ---\n";
+    core::topOpsTable(prof, 8).print(std::cout);
+
+    std::cout << "\n--- per-category split of the symbolic phase "
+                 "(Fig. 3a view) ---\n";
+    core::categoryBreakdownTable(prof, core::Phase::Symbolic)
+        .print(std::cout);
+
+    // 4. Project the measured op stream onto modeled hardware.
+    std::cout << "\n--- projected runtime across devices (Fig. 2b "
+                 "view) ---\n";
+    for (const auto &device : sim::allDevices()) {
+        auto proj = sim::projectProfile(device, prof);
+        std::cout << device.name << ": "
+                  << util::humanSeconds(proj.totalSeconds)
+                  << "  (symbolic "
+                  << util::percentStr(proj.symbolicFraction()) << ")\n";
+    }
+    return 0;
+}

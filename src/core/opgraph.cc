@@ -1,0 +1,200 @@
+#include "core/opgraph.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace nsbench::core
+{
+
+NodeId
+OpGraph::addNode(std::string name, Phase phase, double seconds)
+{
+    nodes_.push_back({std::move(name), phase, seconds});
+    succ_.emplace_back();
+    pred_.emplace_back();
+    return nodes_.size() - 1;
+}
+
+void
+OpGraph::addEdge(NodeId from, NodeId to)
+{
+    util::panicIf(from >= size() || to >= size(),
+                  "OpGraph::addEdge: node id out of range");
+    util::panicIf(from == to, "OpGraph::addEdge: self loop");
+    succ_[from].push_back(to);
+    pred_[to].push_back(from);
+}
+
+NodeId
+OpGraph::findNode(const std::string &name) const
+{
+    for (NodeId id = 0; id < nodes_.size(); id++) {
+        if (nodes_[id].name == name)
+            return id;
+    }
+    return nodes_.size();
+}
+
+const std::vector<NodeId> &
+OpGraph::successors(NodeId id) const
+{
+    return succ_.at(id);
+}
+
+const std::vector<NodeId> &
+OpGraph::predecessors(NodeId id) const
+{
+    return pred_.at(id);
+}
+
+std::vector<NodeId>
+OpGraph::topoOrder() const
+{
+    std::vector<size_t> indegree(size());
+    for (NodeId id = 0; id < size(); id++)
+        indegree[id] = pred_[id].size();
+
+    std::vector<NodeId> ready;
+    for (NodeId id = 0; id < size(); id++) {
+        if (indegree[id] == 0)
+            ready.push_back(id);
+    }
+
+    std::vector<NodeId> order;
+    order.reserve(size());
+    while (!ready.empty()) {
+        NodeId id = ready.back();
+        ready.pop_back();
+        order.push_back(id);
+        for (NodeId next : succ_[id]) {
+            if (--indegree[next] == 0)
+                ready.push_back(next);
+        }
+    }
+    util::panicIf(order.size() != size(),
+                  "OpGraph::topoOrder: graph contains a cycle");
+    return order;
+}
+
+bool
+OpGraph::isAcyclic() const
+{
+    std::vector<size_t> indegree(size());
+    for (NodeId id = 0; id < size(); id++)
+        indegree[id] = pred_[id].size();
+
+    std::vector<NodeId> ready;
+    for (NodeId id = 0; id < size(); id++) {
+        if (indegree[id] == 0)
+            ready.push_back(id);
+    }
+
+    size_t visited = 0;
+    while (!ready.empty()) {
+        NodeId id = ready.back();
+        ready.pop_back();
+        visited++;
+        for (NodeId next : succ_[id]) {
+            if (--indegree[next] == 0)
+                ready.push_back(next);
+        }
+    }
+    return visited == size();
+}
+
+std::vector<NodeId>
+OpGraph::criticalPath() const
+{
+    if (size() == 0)
+        return {};
+
+    auto order = topoOrder();
+    // dist[v]: longest path duration ending at (and including) v.
+    std::vector<double> dist(size());
+    std::vector<NodeId> best_pred(size(), size());
+
+    for (NodeId id : order) {
+        dist[id] = nodes_[id].seconds;
+        for (NodeId p : pred_[id]) {
+            double through = dist[p] + nodes_[id].seconds;
+            if (through > dist[id]) {
+                dist[id] = through;
+                best_pred[id] = p;
+            }
+        }
+    }
+
+    NodeId end = 0;
+    for (NodeId id = 1; id < size(); id++) {
+        if (dist[id] > dist[end])
+            end = id;
+    }
+
+    std::vector<NodeId> path;
+    for (NodeId id = end; id != size(); id = best_pred[id])
+        path.push_back(id);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+double
+OpGraph::criticalPathSeconds() const
+{
+    double total = 0.0;
+    for (NodeId id : criticalPath())
+        total += nodes_[id].seconds;
+    return total;
+}
+
+double
+OpGraph::symbolicCriticalFraction() const
+{
+    double total = 0.0;
+    double symbolic = 0.0;
+    for (NodeId id : criticalPath()) {
+        total += nodes_[id].seconds;
+        if (nodes_[id].phase == Phase::Symbolic)
+            symbolic += nodes_[id].seconds;
+    }
+    return total > 0.0 ? symbolic / total : 0.0;
+}
+
+double
+OpGraph::totalSeconds() const
+{
+    double total = 0.0;
+    for (const auto &node : nodes_)
+        total += node.seconds;
+    return total;
+}
+
+double
+OpGraph::parallelSpeedupBound() const
+{
+    double cp = criticalPathSeconds();
+    return cp > 0.0 ? totalSeconds() / cp : 1.0;
+}
+
+std::string
+OpGraph::toDot(const std::string &graph_name) const
+{
+    std::ostringstream os;
+    os << "digraph \"" << graph_name << "\" {\n";
+    os << "  rankdir=LR;\n";
+    for (NodeId id = 0; id < size(); id++) {
+        const auto &n = nodes_[id];
+        os << "  n" << id << " [label=\"" << n.name << "\\n"
+           << phaseName(n.phase) << "\" shape="
+           << (n.phase == Phase::Symbolic ? "box" : "ellipse") << "];\n";
+    }
+    for (NodeId id = 0; id < size(); id++) {
+        for (NodeId next : succ_[id])
+            os << "  n" << id << " -> n" << next << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace nsbench::core

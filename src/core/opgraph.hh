@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Operation-dependency graphs (Fig. 4 of the paper).
+ *
+ * Each workload declares the coarse dataflow between its neural and
+ * symbolic stages as a DAG. Combined with measured per-stage runtimes,
+ * the suite computes the critical path and the fraction of it spent in
+ * symbolic stages — the paper's observation that symbolic work either
+ * depends on neural results or compiles into the neural structure, and
+ * therefore sits on the end-to-end critical path.
+ */
+
+#ifndef NSBENCH_CORE_OPGRAPH_HH
+#define NSBENCH_CORE_OPGRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/taxonomy.hh"
+
+namespace nsbench::core
+{
+
+/** Integer handle of a graph node. */
+using NodeId = size_t;
+
+/** One coarse dataflow stage of a workload. */
+struct OpNode
+{
+    std::string name;       ///< Stage label, e.g. "rule_detection".
+    Phase phase;            ///< Neural or symbolic.
+    double seconds = 0.0;   ///< Measured or assigned stage runtime.
+};
+
+/**
+ * A DAG of workload stages with edge-based dependencies.
+ */
+class OpGraph
+{
+  public:
+    /** Adds a stage node; returns its handle. */
+    NodeId addNode(std::string name, Phase phase, double seconds = 0.0);
+
+    /** Adds a dependency: @p to consumes the output of @p from. */
+    void addEdge(NodeId from, NodeId to);
+
+    /** Number of nodes. */
+    size_t size() const { return nodes_.size(); }
+
+    /** Node accessor. */
+    const OpNode &node(NodeId id) const { return nodes_.at(id); }
+
+    /** Mutable node accessor, for filling in measured runtimes. */
+    OpNode &node(NodeId id) { return nodes_.at(id); }
+
+    /** Looks up a node by name; returns size() when absent. */
+    NodeId findNode(const std::string &name) const;
+
+    /** Direct successors of a node. */
+    const std::vector<NodeId> &successors(NodeId id) const;
+
+    /** Direct predecessors of a node. */
+    const std::vector<NodeId> &predecessors(NodeId id) const;
+
+    /** True when the graph has no cycle (always expected). */
+    bool isAcyclic() const;
+
+    /**
+     * The longest-duration root-to-sink path. Panics on a cyclic graph.
+     */
+    std::vector<NodeId> criticalPath() const;
+
+    /** Sum of node durations along the critical path. */
+    double criticalPathSeconds() const;
+
+    /**
+     * Fraction of critical-path time spent in symbolic nodes; the
+     * quantity behind the paper's Takeaway 5.
+     */
+    double symbolicCriticalFraction() const;
+
+    /** Sum of all node durations (sequential-execution lower bound). */
+    double totalSeconds() const;
+
+    /**
+     * Ideal parallel speedup: total work divided by critical-path
+     * length, the upper bound any scheduling (Recommendation 5) can
+     * reach.
+     */
+    double parallelSpeedupBound() const;
+
+    /** Topological order of all nodes. Panics on a cyclic graph. */
+    std::vector<NodeId> topoOrder() const;
+
+    /** Graphviz DOT rendering, symbolic nodes drawn as boxes. */
+    std::string toDot(const std::string &graph_name) const;
+
+  private:
+    std::vector<OpNode> nodes_;
+    std::vector<std::vector<NodeId>> succ_;
+    std::vector<std::vector<NodeId>> pred_;
+};
+
+} // namespace nsbench::core
+
+#endif // NSBENCH_CORE_OPGRAPH_HH

@@ -1,0 +1,71 @@
+#include "core/paradigms.hh"
+
+#include <array>
+
+namespace nsbench::core
+{
+
+namespace
+{
+
+constexpr std::array<AlgorithmEntry, 16> census = {{
+    {"AlphaGo", Paradigm::SymbolicNeuro, "NN, MCTS", true, false},
+    {"NVSA", Paradigm::NeuroPipeSymbolic,
+     "NN, mul, add, circular conv.", true, true},
+    {"NeuPSL", Paradigm::NeuroPipeSymbolic, "NN, fuzzy logic", true,
+     false},
+    {"NSCL", Paradigm::NeuroPipeSymbolic, "NN, add, mul, div, log",
+     true, false},
+    {"NeurASP", Paradigm::NeuroPipeSymbolic, "NN, logic rules", false,
+     false},
+    {"ABL", Paradigm::NeuroPipeSymbolic, "NN, logic rules", false,
+     false},
+    {"NSVQA", Paradigm::NeuroPipeSymbolic, "NN, pre-defined objects",
+     false, false},
+    {"VSAIT", Paradigm::NeuroPipeSymbolic, "NN, binding/unbinding",
+     true, true},
+    {"PrAE", Paradigm::NeuroPipeSymbolic,
+     "NN, logic rules, prob. abduction", true, true},
+    {"LNN", Paradigm::NeuroSymbolicToNeuro, "NN, fuzzy logic", true,
+     true},
+    {"Symbolic Math", Paradigm::NeuroSymbolicToNeuro, "NN", true,
+     false},
+    {"Differentiable ILP", Paradigm::NeuroSymbolicToNeuro,
+     "NN, fuzzy logic", true, false},
+    {"LTN", Paradigm::NeuroUnderSymbolic, "NN, fuzzy logic", true,
+     true},
+    {"DON", Paradigm::NeuroUnderSymbolic, "NN", true, false},
+    {"ZeroC", Paradigm::NeuroBracketSymbolic,
+     "NN (energy-based model, graph)", true, true},
+    {"NLM", Paradigm::NeuroBracketSymbolic, "NN, permutation", true,
+     true},
+}};
+
+constexpr std::array<OperationExample, 5> examples = {{
+    {"Fuzzy logic (LTN)",
+     "F = forall x: isCarnivore(x) -> isMammal(x); truth in [0,1]"},
+    {"Mul, add, circular conv. (NVSA)",
+     "X_i in {+1,-1}^d; bind = X_i * X_j; bundle = X_i + X_j"},
+    {"Logic rules (ABL)",
+     "hypos(x) :- animal(x), mammal(x), carnivore(x)"},
+    {"Pre-defined objects (NSVQA)",
+     "equal_color: (entry, entry) -> Boolean"},
+    {"Permutation + reduction (NLM)",
+     "expand/reduce predicates across arity groups"},
+}};
+
+} // namespace
+
+std::span<const AlgorithmEntry>
+algorithmCensus()
+{
+    return census;
+}
+
+std::span<const OperationExample>
+operationExamples()
+{
+    return examples;
+}
+
+} // namespace nsbench::core

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Static census of neuro-symbolic algorithms (the paper's Tab. I/II).
+ */
+
+#ifndef NSBENCH_CORE_PARADIGMS_HH
+#define NSBENCH_CORE_PARADIGMS_HH
+
+#include <span>
+#include <string_view>
+
+#include "core/taxonomy.hh"
+
+namespace nsbench::core
+{
+
+/** One row of the paper's Tab. I. */
+struct AlgorithmEntry
+{
+    std::string_view name;          ///< Algorithm, e.g. "NVSA".
+    Paradigm paradigm;              ///< Integration paradigm.
+    std::string_view operations;    ///< Underlying operations.
+    bool vectorFormat;              ///< "If Vector" column.
+    bool implementedHere;           ///< Part of our seven workloads.
+};
+
+/** All Tab. I rows. */
+std::span<const AlgorithmEntry> algorithmCensus();
+
+/** One row of the paper's Tab. II (operation exemplars). */
+struct OperationExample
+{
+    std::string_view operation;     ///< e.g. "Fuzzy logic (LTN)".
+    std::string_view example;       ///< Concrete usage sketch.
+};
+
+/** All Tab. II rows. */
+std::span<const OperationExample> operationExamples();
+
+} // namespace nsbench::core
+
+#endif // NSBENCH_CORE_PARADIGMS_HH

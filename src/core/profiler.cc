@@ -1,0 +1,258 @@
+#include "core/profiler.hh"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/logging.hh"
+
+namespace nsbench::core
+{
+
+namespace
+{
+
+size_t
+phaseIndex(Phase phase)
+{
+    return static_cast<size_t>(phase);
+}
+
+size_t
+categoryIndex(OpCategory category)
+{
+    return static_cast<size_t>(category);
+}
+
+} // namespace
+
+void
+Profiler::reset()
+{
+    phaseStack_.clear();
+    ops_.clear();
+    for (auto &t : phaseTotals_)
+        t = OpStats{};
+    for (auto &row : categoryTotals_)
+        for (auto &t : row)
+            t = OpStats{};
+    currentBytes_ = 0;
+    peakBytes_ = 0;
+    for (auto &b : phasePeakBytes_)
+        b = 0;
+    for (auto &b : phaseAllocBytes_)
+        b = 0;
+    sparsity_.clear();
+    sparsityOrder_.clear();
+    regionOrder_.clear();
+}
+
+void
+Profiler::pushPhase(Phase phase, std::string region)
+{
+    if (std::find(regionOrder_.begin(), regionOrder_.end(), region) ==
+        regionOrder_.end()) {
+        regionOrder_.push_back(region);
+    }
+    phaseStack_.push_back({phase, std::move(region)});
+}
+
+void
+Profiler::popPhase()
+{
+    util::panicIf(phaseStack_.empty(),
+                  "Profiler::popPhase: phase stack underflow");
+    phaseStack_.pop_back();
+}
+
+Phase
+Profiler::currentPhase() const
+{
+    return phaseStack_.empty() ? Phase::Untagged
+                               : phaseStack_.back().phase;
+}
+
+const std::string &
+Profiler::currentRegion() const
+{
+    static const std::string empty;
+    return phaseStack_.empty() ? empty : phaseStack_.back().region;
+}
+
+void
+Profiler::recordOp(std::string_view name, OpCategory category,
+                   double seconds, double flops, double bytes_read,
+                   double bytes_written)
+{
+    if (!enabled_)
+        return;
+
+    Phase phase = currentPhase();
+    OpStats delta;
+    delta.seconds = seconds;
+    delta.invocations = 1;
+    delta.flops = flops;
+    delta.bytesRead = bytes_read;
+    delta.bytesWritten = bytes_written;
+
+    Key key{phase, category, currentRegion(), std::string(name)};
+    ops_[key].merge(delta);
+    phaseTotals_[phaseIndex(phase)].merge(delta);
+    categoryTotals_[phaseIndex(phase)][categoryIndex(category)]
+        .merge(delta);
+}
+
+void
+Profiler::recordAlloc(uint64_t bytes)
+{
+    if (!enabled_)
+        return;
+    currentBytes_ += bytes;
+    peakBytes_ = std::max(peakBytes_, currentBytes_);
+    size_t p = phaseIndex(currentPhase());
+    phasePeakBytes_[p] = std::max(phasePeakBytes_[p], currentBytes_);
+    phaseAllocBytes_[p] += bytes;
+}
+
+void
+Profiler::recordFree(uint64_t bytes)
+{
+    if (!enabled_)
+        return;
+    // Frees of tensors allocated while the profiler was disabled (or
+    // before a reset) can exceed the tracked balance; clamp rather than
+    // wrap.
+    currentBytes_ = bytes > currentBytes_ ? 0 : currentBytes_ - bytes;
+}
+
+uint64_t
+Profiler::peakBytesIn(Phase phase) const
+{
+    return phasePeakBytes_[phaseIndex(phase)];
+}
+
+uint64_t
+Profiler::allocatedBytesIn(Phase phase) const
+{
+    return phaseAllocBytes_[phaseIndex(phase)];
+}
+
+void
+Profiler::recordSparsity(std::string_view stage, uint64_t zeros,
+                         uint64_t total)
+{
+    if (!enabled_)
+        return;
+    util::panicIf(zeros > total,
+                  "Profiler::recordSparsity: zeros exceed total");
+    std::string key(stage);
+    auto it = sparsity_.find(key);
+    if (it == sparsity_.end()) {
+        SparsityRecord rec;
+        rec.stage = key;
+        rec.phase = currentPhase();
+        rec.zeros = zeros;
+        rec.total = total;
+        sparsity_.emplace(key, rec);
+        sparsityOrder_.push_back(key);
+    } else {
+        it->second.zeros += zeros;
+        it->second.total += total;
+    }
+}
+
+OpStats
+Profiler::totals() const
+{
+    OpStats out;
+    for (const auto &t : phaseTotals_)
+        out.merge(t);
+    return out;
+}
+
+OpStats
+Profiler::phaseTotals(Phase phase) const
+{
+    return phaseTotals_[phaseIndex(phase)];
+}
+
+OpStats
+Profiler::categoryTotals(Phase phase, OpCategory category) const
+{
+    return categoryTotals_[phaseIndex(phase)][categoryIndex(category)];
+}
+
+std::vector<NamedOpStats>
+Profiler::opsByTime() const
+{
+    // Merge region-distinct entries that share (phase, category, name).
+    std::map<std::tuple<Phase, OpCategory, std::string>, OpStats> merged;
+    for (const auto &[key, stats] : ops_)
+        merged[{key.phase, key.category, key.name}].merge(stats);
+
+    std::vector<NamedOpStats> out;
+    out.reserve(merged.size());
+    for (const auto &[key, stats] : merged) {
+        out.push_back({std::get<2>(key), std::get<0>(key),
+                       std::get<1>(key), stats});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const NamedOpStats &a, const NamedOpStats &b) {
+                  return a.stats.seconds > b.stats.seconds;
+              });
+    return out;
+}
+
+std::vector<NamedOpStats>
+Profiler::opsByTime(Phase phase) const
+{
+    auto all = opsByTime();
+    std::erase_if(all, [phase](const NamedOpStats &s) {
+        return s.phase != phase;
+    });
+    return all;
+}
+
+std::vector<NamedOpStats>
+Profiler::opsInRegion(const std::string &region) const
+{
+    std::vector<NamedOpStats> out;
+    for (const auto &[key, stats] : ops_) {
+        if (key.region == region)
+            out.push_back({key.name, key.phase, key.category, stats});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const NamedOpStats &a, const NamedOpStats &b) {
+                  return a.stats.seconds > b.stats.seconds;
+              });
+    return out;
+}
+
+OpStats
+Profiler::regionTotals(const std::string &region) const
+{
+    OpStats out;
+    for (const auto &[key, stats] : ops_) {
+        if (key.region == region)
+            out.merge(stats);
+    }
+    return out;
+}
+
+std::vector<SparsityRecord>
+Profiler::sparsityRecords() const
+{
+    std::vector<SparsityRecord> out;
+    out.reserve(sparsityOrder_.size());
+    for (const auto &stage : sparsityOrder_)
+        out.push_back(sparsity_.at(stage));
+    return out;
+}
+
+Profiler &
+Profiler::global()
+{
+    static Profiler instance;
+    return instance;
+}
+
+} // namespace nsbench::core

@@ -1,0 +1,58 @@
+#include "core/taxonomy.hh"
+
+namespace nsbench::core
+{
+
+std::string_view
+opCategoryName(OpCategory category)
+{
+    switch (category) {
+      case OpCategory::Convolution:
+        return "Convolution";
+      case OpCategory::MatMul:
+        return "MatMul";
+      case OpCategory::VectorElementwise:
+        return "Vector/Element-wise";
+      case OpCategory::DataTransform:
+        return "Data Transformation";
+      case OpCategory::DataMovement:
+        return "Data Movement";
+      case OpCategory::Other:
+        return "Others";
+    }
+    return "?";
+}
+
+std::string_view
+phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Neural:
+        return "neural";
+      case Phase::Symbolic:
+        return "symbolic";
+      case Phase::Untagged:
+        return "untagged";
+    }
+    return "?";
+}
+
+std::string_view
+paradigmName(Paradigm paradigm)
+{
+    switch (paradigm) {
+      case Paradigm::SymbolicNeuro:
+        return "Symbolic[Neuro]";
+      case Paradigm::NeuroPipeSymbolic:
+        return "Neuro|Symbolic";
+      case Paradigm::NeuroSymbolicToNeuro:
+        return "Neuro:Symbolic->Neuro";
+      case Paradigm::NeuroUnderSymbolic:
+        return "Neuro_{Symbolic}";
+      case Paradigm::NeuroBracketSymbolic:
+        return "Neuro[Symbolic]";
+    }
+    return "?";
+}
+
+} // namespace nsbench::core

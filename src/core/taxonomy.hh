@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The operator characterization taxonomy of Sec. IV-B of the paper.
+ *
+ * Every instrumented operation in the suite is classified into one of
+ * six categories (convolution, MatMul, vector/element-wise tensor op,
+ * data transformation, data movement, other) and attributed to either
+ * the neural or the symbolic phase of its workload.
+ */
+
+#ifndef NSBENCH_CORE_TAXONOMY_HH
+#define NSBENCH_CORE_TAXONOMY_HH
+
+#include <array>
+#include <string_view>
+
+namespace nsbench::core
+{
+
+/** The six operator categories of the paper's Sec. IV-B. */
+enum class OpCategory
+{
+    Convolution,
+    MatMul,
+    VectorElementwise,
+    DataTransform,
+    DataMovement,
+    Other,
+};
+
+/** Number of OpCategory values, for fixed-size per-category arrays. */
+inline constexpr size_t numOpCategories = 6;
+
+/** All categories in declaration order, for iteration. */
+inline constexpr std::array<OpCategory, numOpCategories> allOpCategories = {
+    OpCategory::Convolution,  OpCategory::MatMul,
+    OpCategory::VectorElementwise, OpCategory::DataTransform,
+    OpCategory::DataMovement, OpCategory::Other,
+};
+
+/** Human-readable category name as used in the paper's Fig. 3a legend. */
+std::string_view opCategoryName(OpCategory category);
+
+/** Which half of a neuro-symbolic workload an operation belongs to. */
+enum class Phase
+{
+    Neural,
+    Symbolic,
+    Untagged,
+};
+
+/** Number of Phase values. */
+inline constexpr size_t numPhases = 3;
+
+/** Human-readable phase name. */
+std::string_view phaseName(Phase phase);
+
+/**
+ * The five neuro-symbolic integration paradigms of Kautz's taxonomy as
+ * used in the paper's Tab. I.
+ */
+enum class Paradigm
+{
+    SymbolicNeuro,         ///< Symbolic[Neuro]
+    NeuroPipeSymbolic,     ///< Neuro|Symbolic
+    NeuroSymbolicToNeuro,  ///< Neuro:Symbolic->Neuro
+    NeuroUnderSymbolic,    ///< Neuro_{Symbolic}
+    NeuroBracketSymbolic,  ///< Neuro[Symbolic]
+};
+
+/** Paradigm name in the paper's notation. */
+std::string_view paradigmName(Paradigm paradigm);
+
+} // namespace nsbench::core
+
+#endif // NSBENCH_CORE_TAXONOMY_HH

@@ -1,0 +1,52 @@
+#include "core/workload.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace nsbench::core
+{
+
+void
+WorkloadRegistry::add(const std::string &name, WorkloadFactory factory)
+{
+    util::panicIf(contains(name),
+                  "WorkloadRegistry: duplicate workload " + name);
+    entries_.emplace_back(name, std::move(factory));
+}
+
+std::unique_ptr<Workload>
+WorkloadRegistry::create(const std::string &name) const
+{
+    for (const auto &[n, factory] : entries_) {
+        if (n == name)
+            return factory();
+    }
+    util::fatal("WorkloadRegistry: unknown workload " + name);
+}
+
+std::vector<std::string>
+WorkloadRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &[n, factory] : entries_)
+        out.push_back(n);
+    return out;
+}
+
+bool
+WorkloadRegistry::contains(const std::string &name) const
+{
+    return std::any_of(entries_.begin(), entries_.end(),
+                       [&](const auto &e) { return e.first == name; });
+}
+
+WorkloadRegistry &
+WorkloadRegistry::global()
+{
+    static WorkloadRegistry instance;
+    return instance;
+}
+
+} // namespace nsbench::core

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The workload interface and registry.
+ *
+ * Each of the paper's seven representative models implements Workload;
+ * the benches iterate the registry so every figure covers all of them
+ * uniformly.
+ */
+
+#ifndef NSBENCH_CORE_WORKLOAD_HH
+#define NSBENCH_CORE_WORKLOAD_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/opgraph.hh"
+#include "core/profiler.hh"
+#include "core/taxonomy.hh"
+
+namespace nsbench::core
+{
+
+/**
+ * A runnable, profiled neuro-symbolic workload.
+ *
+ * Implementations must tag their neural and symbolic sections with
+ * PhaseScope so the profiler can attribute every operation, and must
+ * report a deterministic result given the same seed.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short name, e.g. "NVSA". */
+    virtual std::string name() const = 0;
+
+    /** Paradigm per the paper's Tab. III. */
+    virtual Paradigm paradigm() const = 0;
+
+    /** One-line task description for reports. */
+    virtual std::string taskDescription() const = 0;
+
+    /**
+     * Builds the model and its synthetic dataset. Allocation done here
+     * counts toward the storage footprint, not the runtime working set.
+     */
+    virtual void setUp(uint64_t seed) = 0;
+
+    /**
+     * Runs one profiled end-to-end inference episode. All tensor and
+     * symbolic ops report to the global profiler.
+     *
+     * @return A task-quality score in [0, 1] (e.g. accuracy over the
+     *         episode) so integration tests can check the model works,
+     *         not just that it spends time.
+     */
+    virtual double run() = 0;
+
+    /**
+     * Coarse stage dataflow for Fig. 4. Stage durations are zero;
+     * benches fill them from region measurements.
+     */
+    virtual OpGraph opGraph() const = 0;
+
+    /** Bytes of persistent model state (weights, codebooks). */
+    virtual uint64_t storageBytes() const = 0;
+};
+
+/** Factory signature for registry entries. */
+using WorkloadFactory = std::function<std::unique_ptr<Workload>()>;
+
+/**
+ * Global name -> factory table for the seven workloads. The workloads
+ * library registers its models at static-init time through the
+ * RegisterWorkload helper.
+ */
+class WorkloadRegistry
+{
+  public:
+    /** Registers a factory under a unique name. */
+    void add(const std::string &name, WorkloadFactory factory);
+
+    /** Instantiates a workload by name; fatal() on unknown names. */
+    std::unique_ptr<Workload> create(const std::string &name) const;
+
+    /** Names of all registered workloads, in registration order. */
+    std::vector<std::string> names() const;
+
+    /** True when a factory exists under the given name. */
+    bool contains(const std::string &name) const;
+
+    /** The process-global registry. */
+    static WorkloadRegistry &global();
+
+  private:
+    std::vector<std::pair<std::string, WorkloadFactory>> entries_;
+};
+
+/**
+ * Static-init registration helper:
+ * @code
+ * static RegisterWorkload reg("NVSA", [] { return
+ *     std::make_unique<NvsaWorkload>(); });
+ * @endcode
+ */
+struct RegisterWorkload
+{
+    RegisterWorkload(const std::string &name, WorkloadFactory factory)
+    {
+        WorkloadRegistry::global().add(name, std::move(factory));
+    }
+};
+
+} // namespace nsbench::core
+
+#endif // NSBENCH_CORE_WORKLOAD_HH

@@ -1,0 +1,126 @@
+#include "data/familytree.hh"
+
+#include "util/logging.hh"
+
+namespace nsbench::data
+{
+
+using tensor::Tensor;
+
+Tensor
+FamilyGraph::unaryTensor() const
+{
+    return Tensor::ones({people, 1});
+}
+
+Tensor
+FamilyGraph::binaryTensor() const
+{
+    Tensor t({people, people, 1});
+    for (int i = 0; i < people; i++) {
+        for (int j = 0; j < people; j++) {
+            if (parent[static_cast<size_t>(i)][static_cast<size_t>(j)])
+                t(i, j, 0) = 1.0f;
+        }
+    }
+    return t;
+}
+
+Tensor
+FamilyGraph::targetTensor() const
+{
+    Tensor t({people, people, 3});
+    for (int i = 0; i < people; i++) {
+        for (int j = 0; j < people; j++) {
+            auto si = static_cast<size_t>(i);
+            auto sj = static_cast<size_t>(j);
+            if (grandparent[si][sj])
+                t(i, j, 0) = 1.0f;
+            if (sibling[si][sj])
+                t(i, j, 1) = 1.0f;
+            if (uncleAunt[si][sj])
+                t(i, j, 2) = 1.0f;
+        }
+    }
+    return t;
+}
+
+FamilyGraph
+makeFamilyGraph(int generations, int people_per_generation,
+                util::Rng &rng)
+{
+    util::panicIf(generations < 2 || people_per_generation < 2,
+                  "makeFamilyGraph: need >=2 generations of >=2");
+
+    FamilyGraph g;
+    g.people = generations * people_per_generation;
+    auto n = static_cast<size_t>(g.people);
+    g.parent.assign(n, std::vector<bool>(n, false));
+
+    auto person = [&](int gen, int idx) {
+        return gen * people_per_generation + idx;
+    };
+
+    // Everyone below generation 0 gets two distinct parents from the
+    // generation above.
+    for (int gen = 1; gen < generations; gen++) {
+        for (int idx = 0; idx < people_per_generation; idx++) {
+            int child = person(gen, idx);
+            int p1 = static_cast<int>(
+                rng.uniformInt(0, people_per_generation - 1));
+            int p2 = p1;
+            while (p2 == p1) {
+                p2 = static_cast<int>(
+                    rng.uniformInt(0, people_per_generation - 1));
+            }
+            g.parent[static_cast<size_t>(person(gen - 1, p1))]
+                    [static_cast<size_t>(child)] = true;
+            g.parent[static_cast<size_t>(person(gen - 1, p2))]
+                    [static_cast<size_t>(child)] = true;
+        }
+    }
+
+    // Derive ground-truth relations by composition.
+    g.grandparent.assign(n, std::vector<bool>(n, false));
+    g.sibling.assign(n, std::vector<bool>(n, false));
+    g.uncleAunt.assign(n, std::vector<bool>(n, false));
+
+    for (size_t a = 0; a < n; a++) {
+        for (size_t b = 0; b < n; b++) {
+            if (!g.parent[a][b])
+                continue;
+            for (size_t c = 0; c < n; c++) {
+                if (g.parent[b][c])
+                    g.grandparent[a][c] = true;
+            }
+        }
+    }
+    for (size_t a = 0; a < n; a++) {
+        for (size_t b = 0; b < n; b++) {
+            if (a == b)
+                continue;
+            // Siblings share at least one parent.
+            for (size_t p = 0; p < n; p++) {
+                if (g.parent[p][a] && g.parent[p][b]) {
+                    g.sibling[a][b] = true;
+                    break;
+                }
+            }
+        }
+    }
+    for (size_t u = 0; u < n; u++) {
+        for (size_t c = 0; c < n; c++) {
+            // u is uncle/aunt of c when u is a sibling of a parent
+            // of c.
+            for (size_t p = 0; p < n; p++) {
+                if (g.parent[p][c] && g.sibling[u][p]) {
+                    g.uncleAunt[u][c] = true;
+                    break;
+                }
+            }
+        }
+    }
+    return g;
+}
+
+} // namespace nsbench::data

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Random family-graph generator for the NLM relational-reasoning task.
+ *
+ * Substitutes for the family-tree benchmark of the NLM paper:
+ * generations of individuals with parent links, from which the target
+ * relations (grandparent, sibling, uncle/aunt) follow by composition.
+ * NLM consumes the base relations as predicate tensors and is scored
+ * on recovering the derived ones.
+ */
+
+#ifndef NSBENCH_DATA_FAMILYTREE_HH
+#define NSBENCH_DATA_FAMILYTREE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+
+namespace nsbench::data
+{
+
+/** A sampled family graph with base and derived relations. */
+struct FamilyGraph
+{
+    int people = 0;
+
+    /** parent[i][j]: person i is a parent of person j. */
+    std::vector<std::vector<bool>> parent;
+
+    /** Derived ground truth, filled by deriveRelations(). */
+    std::vector<std::vector<bool>> grandparent;
+    std::vector<std::vector<bool>> sibling;
+    std::vector<std::vector<bool>> uncleAunt;
+
+    /**
+     * Base unary predicate tensor [people, 1] (a constant "person"
+     * property, giving NLM a nullary-free arity-1 input group).
+     */
+    tensor::Tensor unaryTensor() const;
+
+    /** Base binary predicate tensor [people, people, 1] (parent). */
+    tensor::Tensor binaryTensor() const;
+
+    /** Target relation tensor [people, people, 3]. */
+    tensor::Tensor targetTensor() const;
+};
+
+/**
+ * Samples a family graph.
+ *
+ * @param generations Number of generations.
+ * @param people_per_generation Individuals per generation.
+ * @param rng Sampling source.
+ */
+FamilyGraph makeFamilyGraph(int generations, int people_per_generation,
+                            util::Rng &rng);
+
+} // namespace nsbench::data
+
+#endif // NSBENCH_DATA_FAMILYTREE_HH

@@ -1,0 +1,163 @@
+#include "data/images.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace nsbench::data
+{
+
+using tensor::Tensor;
+
+SemanticImage
+makeDomainImage(ImageDomain domain, int64_t size, util::Rng &rng)
+{
+    util::panicIf(size < 8, "makeDomainImage: size too small");
+    SemanticImage img;
+    img.size = size;
+    img.pixels = Tensor({1, size, size});
+    img.labels.assign(static_cast<size_t>(size * size), 0);
+
+    auto px = img.pixels.data();
+
+    // A horizontal "road" band plus one rectangular "object".
+    int64_t road_top = size / 2 + rng.uniformInt(-size / 8, size / 8);
+    int64_t road_height = size / 4;
+    int64_t obj_size = size / 4;
+    int64_t obj_r = rng.uniformInt(0, road_top - obj_size);
+    int64_t obj_c = rng.uniformInt(0, size - obj_size);
+
+    for (int64_t r = 0; r < size; r++) {
+        for (int64_t c = 0; c < size; c++) {
+            auto idx = static_cast<size_t>(r * size + c);
+            int label = 0;
+            if (r >= road_top && r < road_top + road_height)
+                label = 1;
+            if (r >= obj_r && r < obj_r + obj_size && c >= obj_c &&
+                c < obj_c + obj_size) {
+                label = 2;
+            }
+            img.labels[idx] = label;
+
+            // Domain texture: stripes for source, checker for target,
+            // modulated by semantic class so regions are separable.
+            float base = 0.15f + 0.3f * static_cast<float>(label);
+            float texture;
+            if (domain == ImageDomain::Source) {
+                texture = (c / 2) % 2 == 0 ? 0.15f : -0.05f;
+            } else {
+                texture =
+                    ((r / 2) + (c / 2)) % 2 == 0 ? 0.12f : -0.08f;
+            }
+            float noise = rng.uniform(-0.03f, 0.03f);
+            px[idx] = std::clamp(base + texture + noise, 0.0f, 1.0f);
+        }
+    }
+    return img;
+}
+
+std::string_view
+conceptShapeName(ConceptShape shape)
+{
+    switch (shape) {
+      case ConceptShape::VerticalLine:
+        return "vertical_line";
+      case ConceptShape::HorizontalLine:
+        return "horizontal_line";
+      case ConceptShape::Rectangle:
+        return "rectangle";
+      case ConceptShape::LShape:
+        return "l_shape";
+    }
+    return "?";
+}
+
+Tensor
+renderConcept(const PlacedConcept &placed, int64_t size)
+{
+    Tensor canvas({1, size, size});
+    auto px = canvas.data();
+    auto put = [&](int64_t r, int64_t c) {
+        if (r >= 0 && r < size && c >= 0 && c < size)
+            px[static_cast<size_t>(r * size + c)] = 1.0f;
+    };
+
+    int64_t e = placed.extent;
+    switch (placed.shape) {
+      case ConceptShape::VerticalLine:
+        for (int64_t r = 0; r < e; r++)
+            put(placed.row + r, placed.col);
+        break;
+      case ConceptShape::HorizontalLine:
+        for (int64_t c = 0; c < e; c++)
+            put(placed.row, placed.col + c);
+        break;
+      case ConceptShape::Rectangle:
+        for (int64_t r = 0; r < e; r++) {
+            for (int64_t c = 0; c < e; c++) {
+                bool border = r == 0 || c == 0 || r == e - 1 ||
+                              c == e - 1;
+                if (border)
+                    put(placed.row + r, placed.col + c);
+            }
+        }
+        break;
+      case ConceptShape::LShape:
+        for (int64_t r = 0; r < e; r++)
+            put(placed.row + r, placed.col);
+        for (int64_t c = 0; c < e; c++)
+            put(placed.row + e - 1, placed.col + c);
+        break;
+    }
+    return canvas;
+}
+
+ConceptScene
+makeConceptScene(const std::vector<ConceptShape> &shapes, int64_t size,
+                 util::Rng &rng)
+{
+    util::panicIf(size < 16, "makeConceptScene: size too small");
+    ConceptScene scene;
+    scene.size = size;
+    scene.pixels = Tensor({1, size, size});
+
+    auto overlaps = [&](const PlacedConcept &a,
+                        const PlacedConcept &b) {
+        int64_t pad = 1;
+        return !(a.row + a.extent + pad <= b.row ||
+                 b.row + b.extent + pad <= a.row ||
+                 a.col + a.extent + pad <= b.col ||
+                 b.col + b.extent + pad <= a.col);
+    };
+
+    for (ConceptShape shape : shapes) {
+        PlacedConcept placed;
+        placed.shape = shape;
+        placed.extent = rng.uniformInt(size / 6, size / 3);
+        for (int attempt = 0; attempt < 100; attempt++) {
+            placed.row =
+                rng.uniformInt(0, size - placed.extent - 1);
+            placed.col =
+                rng.uniformInt(0, size - placed.extent - 1);
+            bool clash = false;
+            for (const auto &other : scene.concepts) {
+                if (overlaps(placed, other)) {
+                    clash = true;
+                    break;
+                }
+            }
+            if (!clash)
+                break;
+        }
+        scene.concepts.push_back(placed);
+
+        Tensor stamp = renderConcept(placed, size);
+        auto src = stamp.data();
+        auto dst = scene.pixels.data();
+        for (size_t i = 0; i < src.size(); i++)
+            dst[i] = std::max(dst[i], src[i]);
+    }
+    return scene;
+}
+
+} // namespace nsbench::data

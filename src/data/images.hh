@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Procedural image domains.
+ *
+ * Substitutes for the GTA / Cityscapes pairs (VSAIT) and the
+ * hierarchical-concept corpus (ZeroC): two texture domains with a
+ * known semantic layout, and concept scenes composed of primitive
+ * shapes with spatial relations.
+ */
+
+#ifndef NSBENCH_DATA_IMAGES_HH
+#define NSBENCH_DATA_IMAGES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+
+namespace nsbench::data
+{
+
+/** The two unpaired translation domains. */
+enum class ImageDomain
+{
+    Source, ///< "GTA": stripe-textured regions.
+    Target, ///< "Cityscapes": checker-textured regions.
+};
+
+/**
+ * A semantic-region image: the pixel tensor plus its per-pixel
+ * semantic labels (0 = background, 1 = road, 2 = object), so semantic
+ * flipping is checkable after translation.
+ */
+struct SemanticImage
+{
+    tensor::Tensor pixels; ///< [1, size, size] grayscale.
+    std::vector<int> labels; ///< size*size semantic ids.
+    int64_t size = 0;
+};
+
+/**
+ * Samples a two-region scene in the given domain's texture style.
+ *
+ * @param domain Which texture style to render.
+ * @param size Edge length in pixels.
+ */
+SemanticImage makeDomainImage(ImageDomain domain, int64_t size,
+                              util::Rng &rng);
+
+/** Primitive concepts for the ZeroC scenes. */
+enum class ConceptShape
+{
+    VerticalLine,
+    HorizontalLine,
+    Rectangle,
+    LShape,
+};
+
+/** Number of primitive concept shapes. */
+inline constexpr int numConceptShapes = 4;
+
+/** Concept-shape name. */
+std::string_view conceptShapeName(ConceptShape shape);
+
+/** Spatial relations between concept instances. */
+enum class ConceptRelation
+{
+    Parallel,
+    Perpendicular,
+    Attached,
+};
+
+/** One placed concept instance. */
+struct PlacedConcept
+{
+    ConceptShape shape{};
+    int64_t row = 0;    ///< Top-left row.
+    int64_t col = 0;    ///< Top-left column.
+    int64_t extent = 0; ///< Characteristic length.
+};
+
+/** A rendered concept scene with ground truth. */
+struct ConceptScene
+{
+    tensor::Tensor pixels; ///< [1, size, size].
+    std::vector<PlacedConcept> concepts;
+    int64_t size = 0;
+};
+
+/**
+ * Renders a scene containing the given shapes at random
+ * non-overlapping positions.
+ */
+ConceptScene makeConceptScene(const std::vector<ConceptShape> &shapes,
+                              int64_t size, util::Rng &rng);
+
+/**
+ * Rasterizes one concept instance into a fresh [1, size, size] canvas
+ * (template images for the energy models).
+ */
+tensor::Tensor renderConcept(const PlacedConcept &placed,
+                             int64_t size);
+
+} // namespace nsbench::data
+
+#endif // NSBENCH_DATA_IMAGES_HH

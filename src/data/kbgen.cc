@@ -1,0 +1,125 @@
+#include "data/kbgen.hh"
+
+#include <set>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace nsbench::data
+{
+
+using logic::Rule;
+using logic::Term;
+
+UniversityKb
+makeUniversityKb(int departments, int professors_per_dept,
+                 int students_per_dept, int courses_per_prof,
+                 uint64_t seed)
+{
+    util::panicIf(departments < 1 || professors_per_dept < 1 ||
+                      students_per_dept < 1 || courses_per_prof < 1,
+                  "makeUniversityKb: non-positive sizes");
+
+    UniversityKb u;
+    util::Rng rng(seed);
+    auto &kb = u.kb;
+
+    u.professor = kb.addPredicate("professor", 1);
+    u.student = kb.addPredicate("student", 1);
+    u.course = kb.addPredicate("course", 1);
+    u.teaches = kb.addPredicate("teaches", 2);
+    u.takes = kb.addPredicate("takes", 2);
+    u.advisor = kb.addPredicate("advisor", 2);
+    u.memberOf = kb.addPredicate("memberOf", 2);
+    u.department = kb.addPredicate("department", 1);
+    u.taughtBy = kb.addPredicate("taughtBy", 2);
+    u.colleague = kb.addPredicate("colleague", 2);
+    u.seniorStudent = kb.addPredicate("seniorStudent", 1);
+
+    std::set<std::pair<int32_t, int32_t>> taught_by_truth;
+
+    for (int d = 0; d < departments; d++) {
+        std::string dept_name = "dept" + std::to_string(d);
+        logic::ConstId dept = kb.addConstant(dept_name);
+        kb.addFact({u.department, {dept}});
+
+        std::vector<logic::ConstId> profs;
+        std::vector<std::vector<logic::ConstId>> prof_courses;
+        for (int p = 0; p < professors_per_dept; p++) {
+            logic::ConstId prof = kb.addConstant(
+                dept_name + "_prof" + std::to_string(p));
+            profs.push_back(prof);
+            kb.addFact({u.professor, {prof}});
+            kb.addFact({u.memberOf, {prof, dept}});
+
+            std::vector<logic::ConstId> courses;
+            for (int c = 0; c < courses_per_prof; c++) {
+                logic::ConstId crs = kb.addConstant(
+                    dept_name + "_p" + std::to_string(p) + "_course" +
+                    std::to_string(c));
+                courses.push_back(crs);
+                kb.addFact({u.course, {crs}});
+                kb.addFact({u.teaches, {prof, crs}});
+            }
+            prof_courses.push_back(std::move(courses));
+        }
+
+        for (int s = 0; s < students_per_dept; s++) {
+            logic::ConstId stu = kb.addConstant(
+                dept_name + "_student" + std::to_string(s));
+            kb.addFact({u.student, {stu}});
+            kb.addFact({u.memberOf, {stu, dept}});
+
+            // Each student has an advisor and takes 2 courses.
+            auto adv_idx = static_cast<size_t>(rng.uniformInt(
+                0, static_cast<int64_t>(profs.size()) - 1));
+            kb.addFact({u.advisor, {profs[adv_idx], stu}});
+
+            for (int t = 0; t < 2; t++) {
+                auto p_idx = static_cast<size_t>(rng.uniformInt(
+                    0, static_cast<int64_t>(profs.size()) - 1));
+                const auto &courses = prof_courses[p_idx];
+                auto c_idx = static_cast<size_t>(rng.uniformInt(
+                    0, static_cast<int64_t>(courses.size()) - 1));
+                kb.addFact({u.takes, {stu, courses[c_idx]}});
+                taught_by_truth.insert({stu, profs[p_idx]});
+            }
+        }
+    }
+    u.expectedTaughtBy = taught_by_truth.size();
+
+    // taughtBy(S, P) :- takes(S, C), teaches(P, C).
+    {
+        Rule r;
+        r.name = "taughtBy";
+        r.head = {u.taughtBy, {Term::var(0), Term::var(1)}};
+        r.body = {{u.takes, {Term::var(0), Term::var(2)}},
+                  {u.teaches, {Term::var(1), Term::var(2)}}};
+        kb.addRule(std::move(r));
+    }
+    // colleague(P1, P2) :- professor(P1), professor(P2),
+    //                      memberOf(P1, D), memberOf(P2, D).
+    {
+        Rule r;
+        r.name = "colleague";
+        r.head = {u.colleague, {Term::var(0), Term::var(1)}};
+        r.body = {{u.professor, {Term::var(0)}},
+                  {u.professor, {Term::var(1)}},
+                  {u.memberOf, {Term::var(0), Term::var(2)}},
+                  {u.memberOf, {Term::var(1), Term::var(2)}}};
+        kb.addRule(std::move(r));
+    }
+    // seniorStudent(S) :- advisor(P, S), taughtBy(S, P).
+    {
+        Rule r;
+        r.name = "seniorStudent";
+        r.head = {u.seniorStudent, {Term::var(0)}};
+        r.body = {{u.advisor, {Term::var(1), Term::var(0)}},
+                  {u.taughtBy, {Term::var(0), Term::var(1)}}};
+        kb.addRule(std::move(r));
+    }
+
+    return u;
+}
+
+} // namespace nsbench::data

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * LUBM-style university knowledge-base generator for the LNN workload.
+ */
+
+#ifndef NSBENCH_DATA_KBGEN_HH
+#define NSBENCH_DATA_KBGEN_HH
+
+#include <cstdint>
+
+#include "logic/kb.hh"
+#include "util/rng.hh"
+
+namespace nsbench::data
+{
+
+/** Handles into the generated university ontology. */
+struct UniversityKb
+{
+    logic::KnowledgeBase kb;
+
+    logic::PredId professor{};      ///< professor(x)
+    logic::PredId student{};        ///< student(x)
+    logic::PredId course{};         ///< course(x)
+    logic::PredId teaches{};        ///< teaches(prof, course)
+    logic::PredId takes{};          ///< takes(student, course)
+    logic::PredId advisor{};        ///< advisor(prof, student)
+    logic::PredId memberOf{};       ///< memberOf(person, dept)
+    logic::PredId department{};     ///< department(d)
+    logic::PredId taughtBy{};       ///< derived: taughtBy(student, prof)
+    logic::PredId colleague{};      ///< derived: colleague(p1, p2)
+    logic::PredId seniorStudent{};  ///< derived: advised + takes course
+
+    size_t expectedTaughtBy = 0; ///< Ground-truth derived-fact count.
+};
+
+/**
+ * Generates the ontology, its individuals and its rules.
+ *
+ * @param departments Department count.
+ * @param professors_per_dept Professors per department.
+ * @param students_per_dept Students per department.
+ * @param courses_per_prof Courses each professor teaches.
+ * @param seed Deterministic seed.
+ */
+UniversityKb makeUniversityKb(int departments, int professors_per_dept,
+                              int students_per_dept,
+                              int courses_per_prof, uint64_t seed);
+
+} // namespace nsbench::data
+
+#endif // NSBENCH_DATA_KBGEN_HH

@@ -1,0 +1,407 @@
+#include "data/raven.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace nsbench::data
+{
+
+using tensor::Tensor;
+
+std::string_view
+attributeName(AttributeId attr)
+{
+    switch (attr) {
+      case AttributeId::Number:
+        return "number";
+      case AttributeId::Type:
+        return "type";
+      case AttributeId::Size:
+        return "size";
+      case AttributeId::Color:
+        return "color";
+    }
+    return "?";
+}
+
+int
+attributeDomain(AttributeId attr, int grid)
+{
+    switch (attr) {
+      case AttributeId::Number:
+        return grid * grid;
+      case AttributeId::Type:
+        return 5;
+      case AttributeId::Size:
+        return 6;
+      case AttributeId::Color:
+        return 10;
+    }
+    return 0;
+}
+
+std::string_view
+ruleTypeName(RuleType type)
+{
+    switch (type) {
+      case RuleType::Constant:
+        return "constant";
+      case RuleType::Progression:
+        return "progression";
+      case RuleType::Arithmetic:
+        return "arithmetic";
+      case RuleType::DistributeThree:
+        return "distribute_three";
+    }
+    return "?";
+}
+
+std::string
+AttributeRule::str() const
+{
+    std::ostringstream os;
+    os << ruleTypeName(type);
+    switch (type) {
+      case RuleType::Progression:
+        os << "(" << (delta > 0 ? "+" : "") << delta << ")";
+        break;
+      case RuleType::Arithmetic:
+        os << (delta > 0 ? "(plus)" : "(minus)");
+        break;
+      case RuleType::DistributeThree:
+        os << "{" << triple[0] << "," << triple[1] << ","
+           << triple[2] << "}";
+        break;
+      case RuleType::Constant:
+        break;
+    }
+    return os.str();
+}
+
+int
+applyRule(const AttributeRule &rule, int a1, int a2, int domain)
+{
+    auto in_domain = [domain](int v) { return v >= 0 && v < domain; };
+    if (!in_domain(a1) || !in_domain(a2))
+        return -1;
+
+    switch (rule.type) {
+      case RuleType::Constant:
+        return a1 == a2 ? a2 : -1;
+      case RuleType::Progression: {
+        if (a2 != a1 + rule.delta)
+            return -1;
+        int a3 = a2 + rule.delta;
+        return in_domain(a3) ? a3 : -1;
+      }
+      case RuleType::Arithmetic: {
+        int a3 = rule.delta > 0 ? a1 + a2 : a1 - a2;
+        return in_domain(a3) ? a3 : -1;
+      }
+      case RuleType::DistributeThree: {
+        if (a1 == a2)
+            return -1;
+        bool has1 = false, has2 = false;
+        int remaining = -1;
+        for (int v : rule.triple) {
+            if (v == a1 && !has1)
+                has1 = true;
+            else if (v == a2 && !has2)
+                has2 = true;
+            else
+                remaining = v;
+        }
+        return (has1 && has2) ? remaining : -1;
+      }
+    }
+    return -1;
+}
+
+bool
+ruleHolds(const AttributeRule &rule, int a1, int a2, int a3, int domain)
+{
+    int predicted = applyRule(rule, a1, a2, domain);
+    return predicted >= 0 && predicted == a3;
+}
+
+std::vector<AttributeRule>
+enumerateRules(int domain)
+{
+    std::vector<AttributeRule> rules;
+    rules.push_back({RuleType::Constant, 0, {}});
+    for (int d : {-2, -1, 1, 2}) {
+        if (domain > 2 * std::abs(d))
+            rules.push_back({RuleType::Progression, d, {}});
+    }
+    if (domain >= 2) {
+        rules.push_back({RuleType::Arithmetic, 1, {}});
+        rules.push_back({RuleType::Arithmetic, -1, {}});
+    }
+    for (int a = 0; a < domain; a++) {
+        for (int b = a + 1; b < domain; b++) {
+            for (int c = b + 1; c < domain; c++)
+                rules.push_back(
+                    {RuleType::DistributeThree, 0, {a, b, c}});
+        }
+    }
+    return rules;
+}
+
+RavenGenerator::RavenGenerator(int grid, uint64_t seed)
+    : grid_(grid), rng_(seed)
+{
+    util::panicIf(grid < 1 || grid > 4,
+                  "RavenGenerator: grid must be in [1, 4]");
+}
+
+AttributeRule
+RavenGenerator::sampleRule(int domain)
+{
+    std::vector<RuleType> viable{RuleType::Constant};
+    if (domain > 2)
+        viable.push_back(RuleType::Progression);
+    if (domain >= 3) {
+        viable.push_back(RuleType::Arithmetic);
+        viable.push_back(RuleType::DistributeThree);
+    }
+    RuleType type = rng_.choice(viable);
+
+    AttributeRule rule;
+    rule.type = type;
+    switch (type) {
+      case RuleType::Constant:
+        break;
+      case RuleType::Progression: {
+        std::vector<int> deltas;
+        for (int d : {-2, -1, 1, 2}) {
+            if (domain > 2 * std::abs(d))
+                deltas.push_back(d);
+        }
+        rule.delta = rng_.choice(deltas);
+        break;
+      }
+      case RuleType::Arithmetic:
+        rule.delta = rng_.bernoulli(0.5) ? 1 : -1;
+        break;
+      case RuleType::DistributeThree: {
+        std::set<int> values;
+        while (values.size() < 3)
+            values.insert(static_cast<int>(
+                rng_.uniformInt(0, domain - 1)));
+        int i = 0;
+        for (int v : values)
+            rule.triple[static_cast<size_t>(i++)] = v;
+        // Random rotation ordering of the base triple.
+        std::vector<int> order{rule.triple[0], rule.triple[1],
+                               rule.triple[2]};
+        rng_.shuffle(order);
+        rule.triple = {order[0], order[1], order[2]};
+        break;
+      }
+    }
+    return rule;
+}
+
+std::array<int, 3>
+RavenGenerator::sampleRow(const AttributeRule &rule, int domain)
+{
+    switch (rule.type) {
+      case RuleType::Constant: {
+        int v = static_cast<int>(rng_.uniformInt(0, domain - 1));
+        return {v, v, v};
+      }
+      case RuleType::Progression: {
+        int d = rule.delta;
+        int lo = std::max(0, -2 * d);
+        int hi = domain - 1 - std::max(0, 2 * d);
+        util::panicIf(lo > hi, "sampleRow: progression out of room");
+        int a1 = static_cast<int>(rng_.uniformInt(lo, hi));
+        return {a1, a1 + d, a1 + 2 * d};
+      }
+      case RuleType::Arithmetic: {
+        if (rule.delta > 0) {
+            int a1 = static_cast<int>(rng_.uniformInt(0, domain - 1));
+            int a2 =
+                static_cast<int>(rng_.uniformInt(0, domain - 1 - a1));
+            return {a1, a2, a1 + a2};
+        }
+        int a1 = static_cast<int>(rng_.uniformInt(0, domain - 1));
+        int a2 = static_cast<int>(rng_.uniformInt(0, a1));
+        return {a1, a2, a1 - a2};
+      }
+      case RuleType::DistributeThree:
+        // Rotation applied by the caller per row.
+        return {rule.triple[0], rule.triple[1], rule.triple[2]};
+    }
+    util::panic("sampleRow: unknown rule type");
+}
+
+void
+RavenGenerator::assignSlots(PanelSpec &panel)
+{
+    int slots = grid_ * grid_;
+    int count = panel.value(AttributeId::Number) + 1;
+    util::panicIf(count < 1 || count > slots,
+                  "assignSlots: object count out of range");
+    std::vector<int> all(static_cast<size_t>(slots));
+    for (int i = 0; i < slots; i++)
+        all[static_cast<size_t>(i)] = i;
+    rng_.shuffle(all);
+    panel.slots.assign(all.begin(), all.begin() + count);
+    std::sort(panel.slots.begin(), panel.slots.end());
+}
+
+RpmPuzzle
+RavenGenerator::generate()
+{
+    RpmPuzzle puzzle;
+    puzzle.grid = grid_;
+
+    // Values per attribute per cell of the 3x3 matrix.
+    std::array<std::array<int, 9>, numAttributes> values{};
+    for (size_t a = 0; a < numAttributes; a++) {
+        int domain = attributeDomain(allAttributes[a], grid_);
+        AttributeRule rule = sampleRule(domain);
+        puzzle.rules[a] = rule;
+        for (int row = 0; row < 3; row++) {
+            std::array<int, 3> row_vals = sampleRow(rule, domain);
+            if (rule.type == RuleType::DistributeThree) {
+                // Rotate the triple by the row index.
+                std::array<int, 3> rotated;
+                for (int c = 0; c < 3; c++) {
+                    rotated[static_cast<size_t>(c)] =
+                        row_vals[static_cast<size_t>((c + row) % 3)];
+                }
+                row_vals = rotated;
+            }
+            for (int col = 0; col < 3; col++) {
+                values[a][static_cast<size_t>(row * 3 + col)] =
+                    row_vals[static_cast<size_t>(col)];
+            }
+        }
+    }
+
+    auto make_panel = [&](int cell) {
+        PanelSpec panel;
+        panel.grid = grid_;
+        for (size_t a = 0; a < numAttributes; a++) {
+            panel.values[a] =
+                values[a][static_cast<size_t>(cell)];
+        }
+        assignSlots(panel);
+        return panel;
+    };
+
+    for (int cell = 0; cell < 8; cell++)
+        puzzle.context[static_cast<size_t>(cell)] = make_panel(cell);
+    PanelSpec answer = make_panel(8);
+
+    // Build 7 distractors by perturbing one or two attributes.
+    puzzle.candidates.push_back(answer);
+    std::set<std::array<int, numAttributes>> seen;
+    seen.insert(answer.values);
+    while (puzzle.candidates.size() < 8) {
+        PanelSpec distractor = answer;
+        int flips = rng_.bernoulli(0.5) ? 1 : 2;
+        for (int f = 0; f < flips; f++) {
+            auto a = static_cast<size_t>(rng_.uniformInt(
+                0, static_cast<int64_t>(numAttributes) - 1));
+            int domain = attributeDomain(allAttributes[a], grid_);
+            if (domain < 2)
+                continue;
+            int old = distractor.values[a];
+            int now = old;
+            while (now == old)
+                now = static_cast<int>(rng_.uniformInt(0, domain - 1));
+            distractor.values[a] = now;
+        }
+        if (seen.count(distractor.values))
+            continue;
+        seen.insert(distractor.values);
+        assignSlots(distractor);
+        puzzle.candidates.push_back(std::move(distractor));
+    }
+
+    // Shuffle candidates, tracking the answer.
+    std::vector<int> order{0, 1, 2, 3, 4, 5, 6, 7};
+    rng_.shuffle(order);
+    std::vector<PanelSpec> shuffled(8);
+    for (int i = 0; i < 8; i++) {
+        shuffled[static_cast<size_t>(i)] =
+            puzzle.candidates[static_cast<size_t>(
+                order[static_cast<size_t>(i)])];
+        if (order[static_cast<size_t>(i)] == 0)
+            puzzle.answerIndex = i;
+    }
+    puzzle.candidates = std::move(shuffled);
+    return puzzle;
+}
+
+Tensor
+RavenGenerator::render(const PanelSpec &panel) const
+{
+    Tensor image({1, imageSize, imageSize});
+    auto px = image.data();
+    int64_t cell = imageSize / panel.grid;
+
+    float intensity =
+        0.3f + 0.07f * static_cast<float>(panel.value(
+                           AttributeId::Color));
+    int type = panel.value(AttributeId::Type);
+    // Radius fraction of a half-cell, by size level 0..5.
+    float radius_frac =
+        0.35f + 0.1f * static_cast<float>(panel.value(
+                           AttributeId::Size));
+
+    for (int slot : panel.slots) {
+        int64_t cy0 = (slot / panel.grid) * cell;
+        int64_t cx0 = (slot % panel.grid) * cell;
+        auto half = static_cast<float>(cell) / 2.0f;
+        float cy = static_cast<float>(cy0) + half;
+        float cx = static_cast<float>(cx0) + half;
+        float r = radius_frac * half;
+
+        for (int64_t y = cy0; y < cy0 + cell && y < imageSize; y++) {
+            for (int64_t x = cx0; x < cx0 + cell && x < imageSize;
+                 x++) {
+                float dy = static_cast<float>(y) + 0.5f - cy;
+                float dx = static_cast<float>(x) + 0.5f - cx;
+                bool inside = false;
+                switch (type) {
+                  case 0: // square
+                    inside = std::abs(dx) <= r && std::abs(dy) <= r;
+                    break;
+                  case 1: // disk
+                    inside = dx * dx + dy * dy <= r * r;
+                    break;
+                  case 2: // triangle (upward)
+                    inside = dy <= r && dy >= -r &&
+                             std::abs(dx) <= (r - dy) * 0.5f;
+                    break;
+                  case 3: // diamond
+                    inside = std::abs(dx) + std::abs(dy) <= r;
+                    break;
+                  case 4: // cross
+                    inside = (std::abs(dx) <= r * 0.33f &&
+                              std::abs(dy) <= r) ||
+                             (std::abs(dy) <= r * 0.33f &&
+                              std::abs(dx) <= r);
+                    break;
+                  default:
+                    break;
+                }
+                if (inside) {
+                    px[static_cast<size_t>(y * imageSize + x)] =
+                        intensity;
+                }
+            }
+        }
+    }
+    return image;
+}
+
+} // namespace nsbench::data

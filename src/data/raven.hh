@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Procedural Raven's-Progressive-Matrices generator.
+ *
+ * Substitutes for the RAVEN / I-RAVEN datasets: 3x3 matrices of panels
+ * whose objects live on a g x g grid, with row-wise rules (constant,
+ * progression, arithmetic, distribute-three) governing the number,
+ * type, size and color attributes — the same rule/attribute space the
+ * paper's NVSA and PrAE workloads reason over. Panels render to
+ * grayscale images for the neural frontends, and the ground-truth
+ * rules are recoverable, so the abduction engines can be validated
+ * end-to-end.
+ */
+
+#ifndef NSBENCH_DATA_RAVEN_HH
+#define NSBENCH_DATA_RAVEN_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+
+namespace nsbench::data
+{
+
+/** The ruled panel attributes. */
+enum class AttributeId
+{
+    Number, ///< Object count, domain [1, g*g] stored as 0-based count-1.
+    Type,   ///< Shape class, 5 values.
+    Size,   ///< Object scale, 6 values.
+    Color,  ///< Fill intensity, 10 values.
+};
+
+/** Number of ruled attributes. */
+inline constexpr size_t numAttributes = 4;
+
+/** All attributes in order. */
+inline constexpr std::array<AttributeId, numAttributes> allAttributes =
+    {AttributeId::Number, AttributeId::Type, AttributeId::Size,
+     AttributeId::Color};
+
+/** Attribute name for reports. */
+std::string_view attributeName(AttributeId attr);
+
+/** Domain size of an attribute for a given panel grid size. */
+int attributeDomain(AttributeId attr, int grid);
+
+/** Row-wise rule families (the RAVEN rule set). */
+enum class RuleType
+{
+    Constant,        ///< a1 = a2 = a3.
+    Progression,     ///< a_{i+1} = a_i + delta.
+    Arithmetic,      ///< a3 = a1 + a2 (+1 correction for Number) or
+                     ///< a3 = a1 - a2, by sign of delta.
+    DistributeThree, ///< {a1,a2,a3} is a fixed 3-set, rotated per row.
+};
+
+/** Rule-type name for reports. */
+std::string_view ruleTypeName(RuleType type);
+
+/** One attribute's governing rule. */
+struct AttributeRule
+{
+    RuleType type = RuleType::Constant;
+    /** Progression step, or +1/-1 selecting arithmetic plus/minus. */
+    int delta = 0;
+    /** The value triple for DistributeThree (row-rotated). */
+    std::array<int, 3> triple{};
+
+    bool
+    operator==(const AttributeRule &other) const
+    {
+        if (type != other.type)
+            return false;
+        switch (type) {
+          case RuleType::Constant:
+            return true;
+          case RuleType::Progression:
+          case RuleType::Arithmetic:
+            return delta == other.delta;
+          case RuleType::DistributeThree:
+            // Rotations of the same triple are the same rule.
+            for (int r = 0; r < 3; r++) {
+                if (triple[0] == other.triple[static_cast<size_t>(r)] &&
+                    triple[1] ==
+                        other.triple[static_cast<size_t>((r + 1) % 3)] &&
+                    triple[2] ==
+                        other.triple[static_cast<size_t>((r + 2) % 3)]) {
+                    return true;
+                }
+            }
+            return false;
+        }
+        return false;
+    }
+
+    /** Short rendering like "progression(+1)". */
+    std::string str() const;
+};
+
+/**
+ * Predicted third value of a row under a rule, or -1 when the rule
+ * cannot produce an in-domain value.
+ *
+ * @param domain Attribute domain size (values are 0..domain-1).
+ */
+int applyRule(const AttributeRule &rule, int a1, int a2, int domain);
+
+/** Whether a complete row is consistent with a rule. */
+bool ruleHolds(const AttributeRule &rule, int a1, int a2, int a3,
+               int domain);
+
+/**
+ * Every candidate rule for a domain: constant, progressions with
+ * |delta| in {1, 2}, arithmetic plus/minus, and all unordered value
+ * triples for distribute-three. This is the search space the PrAE
+ * backend enumerates exhaustively.
+ */
+std::vector<AttributeRule> enumerateRules(int domain);
+
+/** One panel's symbolic description. */
+struct PanelSpec
+{
+    int grid = 1;                ///< Objects live on a grid x grid.
+    std::array<int, numAttributes> values{}; ///< 0-based values.
+    std::vector<int> slots;      ///< Occupied cell indices.
+
+    /** Value accessor by attribute. */
+    int
+    value(AttributeId attr) const
+    {
+        return values[static_cast<size_t>(attr)];
+    }
+};
+
+/** A complete RPM puzzle instance. */
+struct RpmPuzzle
+{
+    int grid = 1;
+    std::array<AttributeRule, numAttributes> rules;
+    /** Context panels in row-major order (positions 0..7 of the 3x3). */
+    std::array<PanelSpec, 8> context;
+    /** Candidate answers (8 panels). */
+    std::vector<PanelSpec> candidates;
+    /** Index of the correct candidate. */
+    int answerIndex = 0;
+};
+
+/**
+ * Puzzle generator and panel rasterizer.
+ */
+class RavenGenerator
+{
+  public:
+    /** Rendered panel edge length in pixels. */
+    static constexpr int64_t imageSize = 48;
+
+    /**
+     * @param grid Panel grid size g (1, 2 or 3): the paper's Fig. 2c
+     *        task-size axis.
+     * @param seed Generator seed.
+     */
+    RavenGenerator(int grid, uint64_t seed);
+
+    /** Generates the next puzzle. */
+    RpmPuzzle generate();
+
+    /** Rasterizes a panel to a [1, imageSize, imageSize] tensor. */
+    tensor::Tensor render(const PanelSpec &panel) const;
+
+    /** The panel grid size. */
+    int grid() const { return grid_; }
+
+  private:
+    int grid_;
+    util::Rng rng_;
+
+    /** Samples a rule valid for the attribute's domain. */
+    AttributeRule sampleRule(int domain);
+
+    /** Samples row-start values so the whole row stays in domain. */
+    std::array<int, 3> sampleRow(const AttributeRule &rule, int domain);
+
+    /** Fills slots for a panel given its Number value. */
+    void assignSlots(PanelSpec &panel);
+};
+
+} // namespace nsbench::data
+
+#endif // NSBENCH_DATA_RAVEN_HH

@@ -1,0 +1,74 @@
+#include "data/tabular.hh"
+
+#include <set>
+
+#include "util/logging.hh"
+
+namespace nsbench::data
+{
+
+using tensor::Tensor;
+
+Tensor
+RelationalDataset::friendMatrix() const
+{
+    Tensor m({people, people});
+    for (const auto &[a, b] : friendships) {
+        m(a, b) = 1.0f;
+        m(b, a) = 1.0f;
+    }
+    return m;
+}
+
+RelationalDataset
+makeRelationalDataset(int people, int feature_dim,
+                      int friends_per_person, util::Rng &rng)
+{
+    util::panicIf(people < 4 || feature_dim < 1,
+                  "makeRelationalDataset: population too small");
+
+    RelationalDataset d;
+    d.people = people;
+    d.featureDim = feature_dim;
+    d.features = Tensor({people, feature_dim});
+    d.smokes.resize(static_cast<size_t>(people));
+    d.cancer.resize(static_cast<size_t>(people));
+
+    for (int i = 0; i < people; i++) {
+        bool smoker = rng.bernoulli(0.5);
+        d.smokes[static_cast<size_t>(i)] = smoker;
+        // Two well-separated Gaussian clusters in feature space.
+        float mean = smoker ? 1.0f : -1.0f;
+        for (int f = 0; f < feature_dim; f++)
+            d.features(i, f) = rng.normal(mean, 0.5f);
+        // Cancer is strongly trait-correlated but noisy.
+        d.cancer[static_cast<size_t>(i)] =
+            rng.bernoulli(smoker ? 0.8 : 0.1);
+    }
+
+    // Friendship graph with homophily: same-trait pairs are more
+    // likely, which makes the LTN axiom "friends of smokers smoke"
+    // approximately satisfiable.
+    std::set<std::pair<int, int>> edges;
+    int target_edges = people * friends_per_person / 2;
+    int attempts = 0;
+    while (static_cast<int>(edges.size()) < target_edges &&
+           attempts < target_edges * 50) {
+        attempts++;
+        int a = static_cast<int>(rng.uniformInt(0, people - 1));
+        int b = static_cast<int>(rng.uniformInt(0, people - 1));
+        if (a == b)
+            continue;
+        if (a > b)
+            std::swap(a, b);
+        bool same = d.smokes[static_cast<size_t>(a)] ==
+                    d.smokes[static_cast<size_t>(b)];
+        if (!rng.bernoulli(same ? 0.9 : 0.15))
+            continue;
+        edges.insert({a, b});
+    }
+    d.friendships.assign(edges.begin(), edges.end());
+    return d;
+}
+
+} // namespace nsbench::data

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Relational tabular data for the LTN workload.
+ *
+ * Substitutes for the UCI-style datasets: a population of individuals
+ * with feature vectors drawn from two Gaussian clusters (the latent
+ * "smoker" trait), a random friendship graph biased toward same-trait
+ * pairs, and trait-correlated "cancer" labels — the classic
+ * smokers-friends-cancer LTN benchmark structure.
+ */
+
+#ifndef NSBENCH_DATA_TABULAR_HH
+#define NSBENCH_DATA_TABULAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+
+namespace nsbench::data
+{
+
+/** The generated relational population. */
+struct RelationalDataset
+{
+    int people = 0;
+    int featureDim = 0;
+
+    tensor::Tensor features;        ///< [people, featureDim].
+    std::vector<bool> smokes;       ///< Latent trait per person.
+    std::vector<bool> cancer;       ///< Correlated label per person.
+    std::vector<std::pair<int, int>> friendships; ///< Undirected pairs.
+
+    /** Friendship indicator matrix [people, people]. */
+    tensor::Tensor friendMatrix() const;
+};
+
+/**
+ * Samples the dataset.
+ *
+ * @param people Population size.
+ * @param feature_dim Feature dimensionality.
+ * @param friends_per_person Average friendship degree.
+ */
+RelationalDataset makeRelationalDataset(int people, int feature_dim,
+                                        int friends_per_person,
+                                        util::Rng &rng);
+
+} // namespace nsbench::data
+
+#endif // NSBENCH_DATA_TABULAR_HH

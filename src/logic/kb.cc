@@ -1,0 +1,277 @@
+#include "logic/kb.hh"
+
+#include <functional>
+#include <set>
+
+#include "core/profiler.hh"
+#include "util/logging.hh"
+
+namespace nsbench::logic
+{
+
+PredId
+KnowledgeBase::addPredicate(const std::string &name, int arity)
+{
+    util::panicIf(arity < 0, "addPredicate: negative arity");
+    util::panicIf(predicateIds_.count(name),
+                  "addPredicate: duplicate predicate " + name);
+    auto id = static_cast<PredId>(predicates_.size());
+    predicates_.push_back({name, arity});
+    predicateIds_[name] = id;
+    factsByPred_.emplace_back();
+    return id;
+}
+
+ConstId
+KnowledgeBase::addConstant(const std::string &name)
+{
+    auto it = constantIds_.find(name);
+    if (it != constantIds_.end())
+        return it->second;
+    auto id = static_cast<ConstId>(constants_.size());
+    constants_.push_back(name);
+    constantIds_[name] = id;
+    return id;
+}
+
+int
+KnowledgeBase::arity(PredId pred) const
+{
+    return predicates_.at(static_cast<size_t>(pred)).arity;
+}
+
+const std::string &
+KnowledgeBase::predicateName(PredId pred) const
+{
+    return predicates_.at(static_cast<size_t>(pred)).name;
+}
+
+const std::string &
+KnowledgeBase::constantName(ConstId c) const
+{
+    return constants_.at(static_cast<size_t>(c));
+}
+
+bool
+KnowledgeBase::addFact(GroundAtom fact)
+{
+    util::panicIf(
+        static_cast<size_t>(fact.predicate) >= predicates_.size(),
+        "addFact: unknown predicate");
+    util::panicIf(static_cast<int>(fact.args.size()) !=
+                      arity(fact.predicate),
+                  "addFact: arity mismatch for " +
+                      predicateName(fact.predicate));
+    if (factIndex_.count(fact))
+        return false;
+    factIndex_[fact] = true;
+    factsByPred_[static_cast<size_t>(fact.predicate)].push_back(fact);
+    factCount_++;
+    return true;
+}
+
+bool
+KnowledgeBase::hasFact(const GroundAtom &fact) const
+{
+    return factIndex_.count(fact) > 0;
+}
+
+const std::vector<GroundAtom> &
+KnowledgeBase::facts(PredId pred) const
+{
+    return factsByPred_.at(static_cast<size_t>(pred));
+}
+
+void
+KnowledgeBase::addRule(Rule rule)
+{
+    util::panicIf(rule.body.empty(), "addRule: empty body");
+    std::set<VarId> body_vars;
+    for (const auto &atom : rule.body) {
+        util::panicIf(static_cast<int>(atom.args.size()) !=
+                          arity(atom.predicate),
+                      "addRule: body arity mismatch");
+        for (const auto &t : atom.args) {
+            if (t.isVariable)
+                body_vars.insert(t.id);
+        }
+    }
+    util::panicIf(static_cast<int>(rule.head.args.size()) !=
+                      arity(rule.head.predicate),
+                  "addRule: head arity mismatch");
+    for (const auto &t : rule.head.args) {
+        util::panicIf(t.isVariable && !body_vars.count(t.id),
+                      "addRule: unsafe head variable in rule " +
+                          rule.name);
+    }
+    rules_.push_back(std::move(rule));
+}
+
+size_t
+KnowledgeBase::forwardChain(size_t max_rounds)
+{
+    size_t total_derived = 0;
+    for (size_t round = 0; round < max_rounds; round++) {
+        size_t round_derived = 0;
+        for (const auto &rule : rules_) {
+            core::ScopedOp op("rule_ground",
+                              core::OpCategory::Other);
+            std::vector<GroundAtom> derived;
+            std::map<VarId, ConstId> binding;
+            size_t attempts = matchBody(rule, 0, binding, derived);
+
+            double scanned = 0.0;
+            for (const auto &atom : rule.body) {
+                scanned += static_cast<double>(
+                    facts(atom.predicate).size() *
+                    (atom.args.size() + 1) * 4);
+            }
+            op.setFlops(static_cast<double>(attempts));
+            op.setBytesRead(scanned);
+            op.setBytesWritten(static_cast<double>(
+                derived.size() * (rule.head.args.size() + 1) * 4));
+
+            for (auto &fact : derived) {
+                if (addFact(std::move(fact)))
+                    round_derived++;
+            }
+        }
+        total_derived += round_derived;
+        if (round_derived == 0)
+            return total_derived;
+    }
+    util::warn("forwardChain: round cap reached before fixpoint");
+    return total_derived;
+}
+
+std::vector<RuleInstance>
+KnowledgeBase::enumerateGroundings(const Rule &rule) const
+{
+    std::vector<RuleInstance> out;
+    // Depth-first match over body atoms, capturing full instances.
+    std::vector<GroundAtom> body_sofar;
+    std::map<VarId, ConstId> binding;
+
+    std::function<void(size_t)> descend = [&](size_t next) {
+        if (next == rule.body.size()) {
+            auto head = groundAtom(rule.head, binding);
+            util::panicIf(!head,
+                          "enumerateGroundings: unbound head var");
+            out.push_back({body_sofar, std::move(*head)});
+            return;
+        }
+        const Atom &atom = rule.body[next];
+        for (const auto &fact : facts(atom.predicate)) {
+            std::vector<std::pair<VarId, ConstId>> added;
+            bool ok = true;
+            for (size_t i = 0; i < atom.args.size(); i++) {
+                const Term &t = atom.args[i];
+                ConstId c = fact.args[i];
+                if (!t.isVariable) {
+                    if (t.id != c) {
+                        ok = false;
+                        break;
+                    }
+                } else {
+                    auto it = binding.find(t.id);
+                    if (it == binding.end()) {
+                        binding[t.id] = c;
+                        added.emplace_back(t.id, c);
+                    } else if (it->second != c) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if (ok) {
+                body_sofar.push_back(fact);
+                descend(next + 1);
+                body_sofar.pop_back();
+            }
+            for (const auto &[v, c] : added)
+                binding.erase(v);
+        }
+    };
+    descend(0);
+    return out;
+}
+
+uint64_t
+KnowledgeBase::factBytes() const
+{
+    uint64_t bytes = 0;
+    for (const auto &bucket : factsByPred_) {
+        for (const auto &fact : bucket)
+            bytes += (fact.args.size() + 1) * sizeof(int32_t);
+    }
+    return bytes;
+}
+
+size_t
+KnowledgeBase::matchBody(const Rule &rule, size_t next,
+                         std::map<VarId, ConstId> &binding,
+                         std::vector<GroundAtom> &derived) const
+{
+    if (next == rule.body.size()) {
+        auto fact = groundAtom(rule.head, binding);
+        util::panicIf(!fact, "matchBody: unbound head variable");
+        if (!hasFact(*fact))
+            derived.push_back(std::move(*fact));
+        return 0;
+    }
+
+    const Atom &atom = rule.body[next];
+    size_t attempts = 0;
+    for (const auto &fact : facts(atom.predicate)) {
+        attempts++;
+        // Try to unify atom against fact under the current binding.
+        std::vector<std::pair<VarId, ConstId>> added;
+        bool ok = true;
+        for (size_t i = 0; i < atom.args.size(); i++) {
+            const Term &t = atom.args[i];
+            ConstId c = fact.args[i];
+            if (!t.isVariable) {
+                if (t.id != c) {
+                    ok = false;
+                    break;
+                }
+            } else {
+                auto it = binding.find(t.id);
+                if (it == binding.end()) {
+                    binding[t.id] = c;
+                    added.emplace_back(t.id, c);
+                } else if (it->second != c) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if (ok)
+            attempts += matchBody(rule, next + 1, binding, derived);
+        for (const auto &[v, c] : added)
+            binding.erase(v);
+    }
+    return attempts;
+}
+
+std::optional<GroundAtom>
+KnowledgeBase::groundAtom(const Atom &atom,
+                          const std::map<VarId, ConstId> &binding) const
+{
+    GroundAtom out;
+    out.predicate = atom.predicate;
+    out.args.reserve(atom.args.size());
+    for (const auto &t : atom.args) {
+        if (!t.isVariable) {
+            out.args.push_back(t.id);
+        } else {
+            auto it = binding.find(t.id);
+            if (it == binding.end())
+                return std::nullopt;
+            out.args.push_back(it->second);
+        }
+    }
+    return out;
+}
+
+} // namespace nsbench::logic

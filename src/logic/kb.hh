@@ -1,0 +1,196 @@
+/**
+ * @file
+ * First-order knowledge base with Horn rules and forward chaining.
+ *
+ * Plays the role of the LUBM/TPTP-style benchmark substrate behind the
+ * LNN workload: facts are ground atoms over named predicates and
+ * constants, rules are Horn clauses with variables, and saturation is
+ * bottom-up forward chaining. Rule grounding is instrumented as an
+ * "Others"-category symbolic operator, which is exactly where the
+ * paper's logic workloads spend their symbolic time.
+ */
+
+#ifndef NSBENCH_LOGIC_KB_HH
+#define NSBENCH_LOGIC_KB_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nsbench::logic
+{
+
+/** Predicate handle. */
+using PredId = int32_t;
+/** Constant handle. */
+using ConstId = int32_t;
+/** Rule-local variable handle. */
+using VarId = int32_t;
+
+/** A term in a rule atom: either a variable or a constant. */
+struct Term
+{
+    bool isVariable = false;
+    int32_t id = 0;
+
+    /** Makes a variable term. */
+    static Term var(VarId v) { return {true, v}; }
+
+    /** Makes a constant term. */
+    static Term constant(ConstId c) { return {false, c}; }
+};
+
+/** An atom that may contain variables (rule component). */
+struct Atom
+{
+    PredId predicate = 0;
+    std::vector<Term> args;
+};
+
+/** A fully ground atom (fact). */
+struct GroundAtom
+{
+    PredId predicate = 0;
+    std::vector<ConstId> args;
+
+    bool
+    operator<(const GroundAtom &other) const
+    {
+        if (predicate != other.predicate)
+            return predicate < other.predicate;
+        return args < other.args;
+    }
+
+    bool
+    operator==(const GroundAtom &other) const
+    {
+        return predicate == other.predicate && args == other.args;
+    }
+};
+
+/** A Horn rule: head :- body_1, ..., body_n. */
+struct Rule
+{
+    Atom head;
+    std::vector<Atom> body;
+    std::string name; ///< Optional label for reports.
+};
+
+/** One fully ground instantiation of a rule. */
+struct RuleInstance
+{
+    std::vector<GroundAtom> body;
+    GroundAtom head;
+};
+
+/**
+ * The knowledge base: symbol tables, fact store, rules, and the
+ * forward-chaining engine.
+ */
+class KnowledgeBase
+{
+  public:
+    /** Interns a predicate; re-registering the same name is an error. */
+    PredId addPredicate(const std::string &name, int arity);
+
+    /** Interns a constant. */
+    ConstId addConstant(const std::string &name);
+
+    /** Number of registered predicates. */
+    size_t numPredicates() const { return predicates_.size(); }
+
+    /** Number of registered constants. */
+    size_t numConstants() const { return constants_.size(); }
+
+    /** Declared arity of a predicate. */
+    int arity(PredId pred) const;
+
+    /** Predicate name lookup. */
+    const std::string &predicateName(PredId pred) const;
+
+    /** Constant name lookup. */
+    const std::string &constantName(ConstId c) const;
+
+    /**
+     * Asserts a fact. Returns true when the fact is new. The arity
+     * must match the predicate declaration.
+     */
+    bool addFact(GroundAtom fact);
+
+    /** True when the fact is currently known. */
+    bool hasFact(const GroundAtom &fact) const;
+
+    /** All known facts of one predicate. */
+    const std::vector<GroundAtom> &facts(PredId pred) const;
+
+    /** Total known facts. */
+    size_t numFacts() const { return factCount_; }
+
+    /** Adds a Horn rule. Head variables must appear in the body. */
+    void addRule(Rule rule);
+
+    /** Number of rules. */
+    size_t numRules() const { return rules_.size(); }
+
+    /**
+     * Saturates the fact store under the rules (bottom-up, semi-naive
+     * is not required at our scales). Instrumented per rule per round.
+     *
+     * @param max_rounds Safety cap on fixpoint iterations.
+     * @return Number of newly derived facts.
+     */
+    size_t forwardChain(size_t max_rounds = 64);
+
+    /**
+     * Enumerates every ground instantiation of one rule whose body
+     * atoms are all currently known facts. Used by LNN to build its
+     * grounded formula graph after saturation.
+     */
+    std::vector<RuleInstance> enumerateGroundings(const Rule &rule)
+        const;
+
+    /** The rule set, in addition order. */
+    const std::vector<Rule> &rules() const { return rules_; }
+
+    /** Approximate memory footprint of the fact store, in bytes. */
+    uint64_t factBytes() const;
+
+  private:
+    struct PredicateInfo
+    {
+        std::string name;
+        int arity;
+    };
+
+    std::vector<PredicateInfo> predicates_;
+    std::map<std::string, PredId> predicateIds_;
+    std::vector<std::string> constants_;
+    std::map<std::string, ConstId> constantIds_;
+
+    /** Facts bucketed by predicate, plus a membership index. */
+    std::vector<std::vector<GroundAtom>> factsByPred_;
+    std::map<GroundAtom, bool> factIndex_;
+    size_t factCount_ = 0;
+
+    std::vector<Rule> rules_;
+
+    /**
+     * Matches rule body atoms from @p next on, extending the variable
+     * binding; emits every ground head into @p derived. Returns the
+     * number of unification attempts made (for instrumentation).
+     */
+    size_t matchBody(const Rule &rule, size_t next,
+                     std::map<VarId, ConstId> &binding,
+                     std::vector<GroundAtom> &derived) const;
+
+    /** Grounds an atom under a complete binding. */
+    std::optional<GroundAtom>
+    groundAtom(const Atom &atom,
+               const std::map<VarId, ConstId> &binding) const;
+};
+
+} // namespace nsbench::logic
+
+#endif // NSBENCH_LOGIC_KB_HH

@@ -1,0 +1,242 @@
+#include "nn/layers.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace nsbench::nn
+{
+
+using tensor::Shape;
+using tensor::Tensor;
+
+LinearLayer::LinearLayer(int64_t in, int64_t out, util::Rng &rng,
+                         bool bias)
+{
+    util::panicIf(in < 1 || out < 1,
+                  "LinearLayer: non-positive dimensions");
+    float bound = std::sqrt(6.0f / static_cast<float>(in + out));
+    weight_ = Tensor::rand({out, in}, rng, -bound, bound);
+    if (bias)
+        bias_ = Tensor::zeros({out});
+}
+
+Tensor
+LinearLayer::forward(const Tensor &x)
+{
+    return tensor::linear(x, weight_, bias_);
+}
+
+uint64_t
+LinearLayer::paramBytes() const
+{
+    return weight_.bytes() + (bias_.empty() ? 0 : bias_.bytes());
+}
+
+std::string
+LinearLayer::describe() const
+{
+    std::ostringstream os;
+    os << "linear(" << weight_.size(1) << "->" << weight_.size(0)
+       << ")";
+    return os.str();
+}
+
+Conv2dLayer::Conv2dLayer(int64_t in_channels, int64_t out_channels,
+                         int64_t kernel, util::Rng &rng, int64_t stride,
+                         int64_t padding, bool bias)
+    : stride_(stride), padding_(padding)
+{
+    util::panicIf(in_channels < 1 || out_channels < 1 || kernel < 1,
+                  "Conv2dLayer: non-positive dimensions");
+    auto fan_in = static_cast<float>(in_channels * kernel * kernel);
+    float bound = std::sqrt(2.0f / fan_in); // He init for ReLU nets
+    weight_ = Tensor::randn({out_channels, in_channels, kernel, kernel},
+                            rng, 0.0f, bound);
+    if (bias)
+        bias_ = Tensor::zeros({out_channels});
+}
+
+Tensor
+Conv2dLayer::forward(const Tensor &x)
+{
+    return tensor::conv2d(x, weight_, bias_, stride_, padding_);
+}
+
+uint64_t
+Conv2dLayer::paramBytes() const
+{
+    return weight_.bytes() + (bias_.empty() ? 0 : bias_.bytes());
+}
+
+std::string
+Conv2dLayer::describe() const
+{
+    std::ostringstream os;
+    os << "conv2d(" << weight_.size(1) << "->" << weight_.size(0)
+       << ", k=" << weight_.size(2) << ", s=" << stride_
+       << ", p=" << padding_ << ")";
+    return os.str();
+}
+
+Tensor
+ActivationLayer::forward(const Tensor &x)
+{
+    switch (kind_) {
+      case Activation::Relu:
+        return tensor::relu(x);
+      case Activation::Sigmoid:
+        return tensor::sigmoid(x);
+      case Activation::Tanh:
+        return tensor::tanhOp(x);
+      case Activation::Identity:
+        return x;
+    }
+    util::panic("ActivationLayer: unknown activation");
+}
+
+std::string
+ActivationLayer::describe() const
+{
+    switch (kind_) {
+      case Activation::Relu:
+        return "relu";
+      case Activation::Sigmoid:
+        return "sigmoid";
+      case Activation::Tanh:
+        return "tanh";
+      case Activation::Identity:
+        return "identity";
+    }
+    return "?";
+}
+
+Tensor
+MaxPoolLayer::forward(const Tensor &x)
+{
+    return tensor::maxPool2d(x, kernel_, stride_);
+}
+
+std::string
+MaxPoolLayer::describe() const
+{
+    std::ostringstream os;
+    os << "maxpool(k=" << kernel_ << ", s=" << stride_ << ")";
+    return os.str();
+}
+
+Tensor
+FlattenLayer::forward(const Tensor &x)
+{
+    util::panicIf(x.dim() < 1, "FlattenLayer: rank-0 input");
+    int64_t n = x.size(0);
+    return x.reshaped({n, x.numel() / std::max<int64_t>(n, 1)});
+}
+
+Tensor
+SoftmaxLayer::forward(const Tensor &x)
+{
+    return tensor::softmax(x);
+}
+
+void
+Sequential::add(std::unique_ptr<Layer> layer)
+{
+    util::panicIf(!layer, "Sequential::add: null layer");
+    layers_.push_back(std::move(layer));
+}
+
+Tensor
+Sequential::forward(const Tensor &x)
+{
+    Tensor h = x;
+    for (auto &layer : layers_)
+        h = layer->forward(h);
+    return h;
+}
+
+uint64_t
+Sequential::paramBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &layer : layers_)
+        total += layer->paramBytes();
+    return total;
+}
+
+std::string
+Sequential::describe() const
+{
+    std::ostringstream os;
+    os << "sequential[";
+    for (size_t i = 0; i < layers_.size(); i++) {
+        if (i)
+            os << ", ";
+        os << layers_[i]->describe();
+    }
+    os << "]";
+    return os.str();
+}
+
+std::unique_ptr<Sequential>
+makeMlp(const std::vector<int64_t> &widths, Activation activation,
+        util::Rng &rng)
+{
+    util::panicIf(widths.size() < 2,
+                  "makeMlp: need at least input and output widths");
+    auto net = std::make_unique<Sequential>();
+    for (size_t i = 0; i + 1 < widths.size(); i++) {
+        net->add(std::make_unique<LinearLayer>(widths[i], widths[i + 1],
+                                               rng));
+        if (i + 2 < widths.size())
+            net->add(std::make_unique<ActivationLayer>(activation));
+    }
+    return net;
+}
+
+std::unique_ptr<Sequential>
+makeConvNet(int64_t in_channels, int64_t in_hw,
+            const std::vector<ConvBlockSpec> &blocks,
+            const std::vector<int64_t> &head_widths, util::Rng &rng)
+{
+    util::panicIf(blocks.empty(), "makeConvNet: no conv blocks");
+    util::panicIf(head_widths.empty(), "makeConvNet: no head widths");
+
+    auto net = std::make_unique<Sequential>();
+    int64_t channels = in_channels;
+    int64_t hw = in_hw;
+    for (const auto &spec : blocks) {
+        net->add(std::make_unique<Conv2dLayer>(channels,
+                                               spec.outChannels,
+                                               spec.kernel, rng,
+                                               spec.stride,
+                                               spec.padding));
+        net->add(std::make_unique<ActivationLayer>(Activation::Relu));
+        hw = (hw + 2 * spec.padding - spec.kernel) / spec.stride + 1;
+        util::panicIf(hw < 1, "makeConvNet: spatial extent collapsed");
+        if (spec.pool) {
+            net->add(std::make_unique<MaxPoolLayer>(2, 2));
+            hw = (hw - 2) / 2 + 1;
+            util::panicIf(hw < 1,
+                          "makeConvNet: pooled extent collapsed");
+        }
+        channels = spec.outChannels;
+    }
+    net->add(std::make_unique<FlattenLayer>());
+
+    std::vector<int64_t> widths;
+    widths.push_back(channels * hw * hw);
+    widths.insert(widths.end(), head_widths.begin(), head_widths.end());
+    for (size_t i = 0; i + 1 < widths.size(); i++) {
+        net->add(std::make_unique<LinearLayer>(widths[i], widths[i + 1],
+                                               rng));
+        if (i + 2 < widths.size())
+            net->add(
+                std::make_unique<ActivationLayer>(Activation::Relu));
+    }
+    net->add(std::make_unique<SoftmaxLayer>());
+    return net;
+}
+
+} // namespace nsbench::nn

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Neural-network layers built on the instrumented tensor ops.
+ *
+ * Layers are inference-oriented: the paper characterizes inference-time
+ * behaviour, so parameters are initialized once (Xavier/He) and frozen.
+ */
+
+#ifndef NSBENCH_NN_LAYERS_HH
+#define NSBENCH_NN_LAYERS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+
+namespace nsbench::nn
+{
+
+/**
+ * Abstract inference layer.
+ */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Runs the layer on one input batch. */
+    virtual tensor::Tensor forward(const tensor::Tensor &x) = 0;
+
+    /** Bytes of persistent parameters held by the layer. */
+    virtual uint64_t paramBytes() const = 0;
+
+    /** Short structural description, e.g. "linear(64->32)". */
+    virtual std::string describe() const = 0;
+};
+
+/** Element-wise nonlinearity choices. */
+enum class Activation
+{
+    Relu,
+    Sigmoid,
+    Tanh,
+    Identity,
+};
+
+/** Fully-connected layer: y = x W^T + b. */
+class LinearLayer : public Layer
+{
+  public:
+    /**
+     * Xavier-uniform initialization.
+     * @param in Input feature count.
+     * @param out Output feature count.
+     * @param rng Initialization source.
+     * @param bias Whether to carry a bias vector.
+     */
+    LinearLayer(int64_t in, int64_t out, util::Rng &rng,
+                bool bias = true);
+
+    tensor::Tensor forward(const tensor::Tensor &x) override;
+    uint64_t paramBytes() const override;
+    std::string describe() const override;
+
+    /** Weight matrix accessor ([out, in]). */
+    const tensor::Tensor &weight() const { return weight_; }
+
+  private:
+    tensor::Tensor weight_;
+    tensor::Tensor bias_;
+};
+
+/** 2-D convolution layer (NCHW). */
+class Conv2dLayer : public Layer
+{
+  public:
+    Conv2dLayer(int64_t in_channels, int64_t out_channels,
+                int64_t kernel, util::Rng &rng, int64_t stride = 1,
+                int64_t padding = 0, bool bias = true);
+
+    tensor::Tensor forward(const tensor::Tensor &x) override;
+    uint64_t paramBytes() const override;
+    std::string describe() const override;
+
+  private:
+    tensor::Tensor weight_;
+    tensor::Tensor bias_;
+    int64_t stride_;
+    int64_t padding_;
+};
+
+/** Stateless activation layer. */
+class ActivationLayer : public Layer
+{
+  public:
+    explicit ActivationLayer(Activation kind) : kind_(kind) {}
+
+    tensor::Tensor forward(const tensor::Tensor &x) override;
+    uint64_t paramBytes() const override { return 0; }
+    std::string describe() const override;
+
+  private:
+    Activation kind_;
+};
+
+/** Max pooling layer. */
+class MaxPoolLayer : public Layer
+{
+  public:
+    MaxPoolLayer(int64_t kernel, int64_t stride)
+        : kernel_(kernel), stride_(stride)
+    {}
+
+    tensor::Tensor forward(const tensor::Tensor &x) override;
+    uint64_t paramBytes() const override { return 0; }
+    std::string describe() const override;
+
+  private:
+    int64_t kernel_;
+    int64_t stride_;
+};
+
+/** Flattens [N, ...] to [N, features]. */
+class FlattenLayer : public Layer
+{
+  public:
+    tensor::Tensor forward(const tensor::Tensor &x) override;
+    uint64_t paramBytes() const override { return 0; }
+    std::string describe() const override { return "flatten"; }
+};
+
+/** Softmax over the last dimension. */
+class SoftmaxLayer : public Layer
+{
+  public:
+    tensor::Tensor forward(const tensor::Tensor &x) override;
+    uint64_t paramBytes() const override { return 0; }
+    std::string describe() const override { return "softmax"; }
+};
+
+/** Ordered container of layers. */
+class Sequential : public Layer
+{
+  public:
+    Sequential() = default;
+
+    /** Appends a layer. */
+    void add(std::unique_ptr<Layer> layer);
+
+    tensor::Tensor forward(const tensor::Tensor &x) override;
+    uint64_t paramBytes() const override;
+    std::string describe() const override;
+
+    /** Number of contained layers. */
+    size_t size() const { return layers_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/**
+ * Builds an MLP with the given layer widths; a nonlinearity follows
+ * every layer but the last.
+ */
+std::unique_ptr<Sequential> makeMlp(const std::vector<int64_t> &widths,
+                                    Activation activation,
+                                    util::Rng &rng);
+
+/** Configuration of one conv block of makeConvNet. */
+struct ConvBlockSpec
+{
+    int64_t outChannels;    ///< Output channel count.
+    int64_t kernel;         ///< Square kernel size.
+    int64_t stride = 1;     ///< Convolution stride.
+    int64_t padding = 0;    ///< Zero padding.
+    bool pool = false;      ///< Append a 2x2/2 max pool.
+};
+
+/**
+ * Builds a small perception ConvNet: conv blocks with ReLU (and
+ * optional pooling), then flatten and an MLP head ending in softmax.
+ *
+ * @param in_channels Input image channels.
+ * @param in_hw Input spatial extent (square).
+ * @param blocks Conv block configuration.
+ * @param head_widths MLP head widths, last entry is the output size.
+ */
+std::unique_ptr<Sequential> makeConvNet(
+    int64_t in_channels, int64_t in_hw,
+    const std::vector<ConvBlockSpec> &blocks,
+    const std::vector<int64_t> &head_widths, util::Rng &rng);
+
+} // namespace nsbench::nn
+
+#endif // NSBENCH_NN_LAYERS_HH

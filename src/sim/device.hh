@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Analytical device models for the platforms the paper profiles on.
+ *
+ * We do not have the paper's silicon; instead each device is a
+ * roofline-style analytical model (peak FP32 throughput, memory
+ * bandwidth, per-op launch overhead, and a per-operator-category
+ * efficiency factor reflecting how well that category maps onto the
+ * device). Projecting a measured op stream through these models
+ * reproduces the *shape* of the paper's cross-device results
+ * (Fig. 2b): edge SoCs are ~20x slower, and symbolic phases stay
+ * dominant everywhere.
+ */
+
+#ifndef NSBENCH_SIM_DEVICE_HH
+#define NSBENCH_SIM_DEVICE_HH
+
+#include <array>
+#include <span>
+#include <string>
+
+#include "core/taxonomy.hh"
+
+namespace nsbench::sim
+{
+
+/** Analytical model of one execution platform. */
+struct DeviceSpec
+{
+    std::string name;          ///< e.g. "RTX 2080 Ti".
+    double peakGflops = 0.0;   ///< Peak FP32 throughput, GFLOP/s.
+    double memBandwidthGBs = 0.0; ///< DRAM bandwidth, GB/s.
+    double launchOverheadUs = 0.0; ///< Fixed per-op dispatch cost.
+    double tdpWatts = 0.0;     ///< Board/module power budget.
+
+    /**
+     * Fraction of peak compute each operator category achieves. Dense
+     * MatMul/Conv approach peak on GPUs; vector/element-wise and
+     * "other" symbolic operators achieve a small fraction (the <10%
+     * ALU utilization of the paper's Tab. IV).
+     */
+    std::array<double, core::numOpCategories> categoryEfficiency{};
+
+    /** Efficiency lookup for one category. */
+    double
+    efficiency(core::OpCategory category) const
+    {
+        return categoryEfficiency[static_cast<size_t>(category)];
+    }
+
+    /** Ridge point of the roofline, FLOP/byte. */
+    double
+    ridgeIntensity() const
+    {
+        return peakGflops / memBandwidthGBs;
+    }
+};
+
+/** Intel Xeon Silver 4114 host CPU model. */
+const DeviceSpec &xeon4114();
+
+/** Nvidia RTX 2080 Ti discrete GPU model (250 W). */
+const DeviceSpec &rtx2080ti();
+
+/** Nvidia Jetson Xavier NX edge SoC model (20 W). */
+const DeviceSpec &xavierNx();
+
+/** Nvidia Jetson TX2 edge SoC model (15 W). */
+const DeviceSpec &jetsonTx2();
+
+/** All modeled devices, host first. */
+std::span<const DeviceSpec> allDevices();
+
+} // namespace nsbench::sim
+
+#endif // NSBENCH_SIM_DEVICE_HH

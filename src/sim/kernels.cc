@@ -1,0 +1,210 @@
+#include "sim/kernels.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace nsbench::sim
+{
+
+namespace
+{
+
+/** Coalesced access granularity: one 64-byte sector per instruction. */
+constexpr uint64_t sectorBytes = 64;
+
+/** Trace driver: counts coalesced accesses alongside the hierarchy. */
+class TraceRunner
+{
+  public:
+    explicit TraceRunner(const MachineModel &machine)
+        : hier_(machine.l1, machine.l2)
+    {}
+
+    /** Streams a contiguous byte range as 64B sector accesses. */
+    void
+    stream(uint64_t base, uint64_t bytes)
+    {
+        for (uint64_t off = 0; off < bytes; off += sectorBytes) {
+            hier_.access(base + off,
+                         std::min<uint64_t>(sectorBytes, bytes - off));
+            accesses_++;
+        }
+    }
+
+    /** Forgets counters but keeps cache contents (warm start). */
+    void
+    warmReset()
+    {
+        hier_.resetCounters();
+        accesses_ = 0;
+    }
+
+    uint64_t accesses() const { return accesses_; }
+    const CacheHierarchy &hierarchy() const { return hier_; }
+
+  private:
+    CacheHierarchy hier_;
+    uint64_t accesses_ = 0;
+};
+
+/** Folds a finished trace plus FLOP count into the Tab. IV row. */
+KernelCounters
+deriveCounters(const MachineModel &machine, const std::string &name,
+               const TraceRunner &trace, double flops)
+{
+    KernelCounters out;
+    out.name = name;
+    out.flops = flops;
+    out.memAccesses = trace.accesses();
+
+    const auto &hier = trace.hierarchy();
+    double l1_bytes =
+        static_cast<double>(trace.accesses()) * sectorBytes;
+    double l2_bytes = static_cast<double>(hier.l1().misses()) *
+                      static_cast<double>(hier.l1().lineBytes());
+    double dram_bytes = static_cast<double>(hier.dramBytes());
+    double issue_ops = flops + machine.issueOpsPerAccess *
+                                   static_cast<double>(trace.accesses());
+
+    double compute_cycles = flops / machine.flopsPerCycle;
+    double issue_cycles = issue_ops / machine.issueSlotsPerCycle;
+    double l1_cycles = l1_bytes / machine.l1BytesPerCycle;
+    double l2_cycles = l2_bytes / machine.l2BytesPerCycle;
+    double dram_cycles = dram_bytes / machine.dramBytesPerCycle;
+
+    out.cycles = std::max({compute_cycles, issue_cycles, l1_cycles,
+                           l2_cycles, dram_cycles, 1.0});
+
+    out.aluUtilPct = 100.0 * compute_cycles / out.cycles;
+    // "Compute throughput" mirrors Nsight's SM throughput: the
+    // busiest SM-side pipe, whether FP, issue or the L1/LSU path.
+    out.computeThroughputPct =
+        100.0 *
+        std::max({compute_cycles, issue_cycles, l1_cycles}) /
+        out.cycles;
+    out.l1ThroughputPct = 100.0 * l1_cycles / out.cycles;
+    out.l2ThroughputPct = 100.0 * l2_cycles / out.cycles;
+    out.dramBwUtilPct = 100.0 * dram_cycles / out.cycles;
+    out.l1HitRatePct = 100.0 * hier.l1().hitRate();
+    out.l2HitRatePct = 100.0 * hier.l2().hitRate();
+    return out;
+}
+
+} // namespace
+
+KernelCounters
+runSgemmKernel(const MachineModel &machine, int64_t m, int64_t n,
+               int64_t k, int64_t tile)
+{
+    util::panicIf(m % tile || n % tile || k % tile,
+                  "runSgemmKernel: dimensions must be tile multiples");
+    TraceRunner trace(machine);
+
+    auto fbytes = [](int64_t elems) {
+        return static_cast<uint64_t>(elems) * 4;
+    };
+    uint64_t base_a = 0;
+    uint64_t base_b = base_a + fbytes(m * k);
+    uint64_t base_c = base_b + fbytes(k * n);
+
+    double flops = 0.0;
+    for (int64_t it = 0; it < m; it += tile) {
+        for (int64_t jt = 0; jt < n; jt += tile) {
+            for (int64_t kt = 0; kt < k; kt += tile) {
+                // Stage the A and B tiles (each element once).
+                for (int64_t i = 0; i < tile; i++) {
+                    trace.stream(base_a +
+                                     fbytes((it + i) * k + kt),
+                                 fbytes(tile));
+                }
+                for (int64_t r = 0; r < tile; r++) {
+                    trace.stream(base_b +
+                                     fbytes((kt + r) * n + jt),
+                                 fbytes(tile));
+                }
+                flops += 2.0 * static_cast<double>(tile) *
+                         static_cast<double>(tile) *
+                         static_cast<double>(tile);
+            }
+            // Write the C tile once per (it, jt).
+            for (int64_t i = 0; i < tile; i++) {
+                trace.stream(base_c + fbytes((it + i) * n + jt),
+                             fbytes(tile));
+            }
+        }
+    }
+    return deriveCounters(machine, "sgemm_nn", trace, flops);
+}
+
+KernelCounters
+runReluKernel(const MachineModel &machine, int64_t elems)
+{
+    TraceRunner trace(machine);
+    uint64_t bytes = static_cast<uint64_t>(elems) * 4;
+    uint64_t base_in = 0;
+    uint64_t base_out = bytes;
+
+    // The producing kernel leaves the activation tensor cache-warm:
+    // pre-touch both arrays, then measure the second pass.
+    trace.stream(base_in, bytes);
+    trace.stream(base_out, bytes);
+    trace.warmReset();
+
+    double flops = 0.0;
+    for (uint64_t off = 0; off < bytes; off += sectorBytes) {
+        uint64_t chunk = std::min<uint64_t>(sectorBytes, bytes - off);
+        trace.stream(base_in + off, chunk);
+        trace.stream(base_out + off, chunk);
+        flops += static_cast<double>(chunk) / 4.0;
+    }
+    return deriveCounters(machine, "relu_nn", trace, flops);
+}
+
+KernelCounters
+runVsaBundleKernel(const MachineModel &machine, int64_t vectors,
+                   int64_t dim)
+{
+    TraceRunner trace(machine);
+    uint64_t vec_bytes = static_cast<uint64_t>(dim) * 4;
+    uint64_t base_acc = 0;
+
+    double flops = 0.0;
+    for (int64_t v = 0; v < vectors; v++) {
+        uint64_t base_v = vec_bytes * static_cast<uint64_t>(v + 1);
+        for (uint64_t off = 0; off < vec_bytes; off += sectorBytes) {
+            uint64_t chunk =
+                std::min<uint64_t>(sectorBytes, vec_bytes - off);
+            trace.stream(base_v + off, chunk);   // operand
+            trace.stream(base_acc + off, chunk); // accumulator r+w
+            trace.stream(base_acc + off, chunk);
+            flops += static_cast<double>(chunk) / 4.0;
+        }
+    }
+    return deriveCounters(machine, "vectorized_elem", trace, flops);
+}
+
+KernelCounters
+runGatherKernel(const MachineModel &machine, int64_t lookups,
+                int64_t table_rows, int64_t row_floats)
+{
+    TraceRunner trace(machine);
+    uint64_t row_bytes = static_cast<uint64_t>(row_floats) * 4;
+    uint64_t table_bytes =
+        static_cast<uint64_t>(table_rows) * row_bytes;
+    uint64_t base_acc = table_bytes;
+
+    double flops = 0.0;
+    uint64_t state = 0x9e3779b97f4a7c15ull; // deterministic LCG walk
+    for (int64_t l = 0; l < lookups; l++) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        uint64_t row = (state >> 17) %
+                       static_cast<uint64_t>(table_rows);
+        trace.stream(row * row_bytes, row_bytes);
+        trace.stream(base_acc, row_bytes); // small resident accumulator
+        flops += static_cast<double>(row_floats);
+    }
+    return deriveCounters(machine, "elementwise", trace, flops);
+}
+
+} // namespace nsbench::sim

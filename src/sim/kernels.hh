@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Representative-kernel traces and the machine utilization model
+ * behind the paper's Tab. IV.
+ *
+ * Four kernels bracket the NVSA workload the paper instruments with
+ * Nsight Compute: a tiled SGEMM and a streaming ReLU (the neural
+ * kernels), and a multi-operand vectorized element-wise kernel plus a
+ * gather-style element-wise kernel (the symbolic kernels). Each kernel
+ * replays its coalesced access trace through the cache hierarchy; a
+ * simple issue/bandwidth cycle model then derives the utilization
+ * percentages the paper reports.
+ */
+
+#ifndef NSBENCH_SIM_KERNELS_HH
+#define NSBENCH_SIM_KERNELS_HH
+
+#include <string>
+
+#include "sim/cache.hh"
+
+namespace nsbench::sim
+{
+
+/**
+ * GPU-like cycle model. Cycles are the max over the compute, issue,
+ * L1, L2 and DRAM demands; utilizations are each demand relative to
+ * that bound.
+ */
+struct MachineModel
+{
+    double flopsPerCycle = 4096;     ///< FP ALU peak per cycle.
+    double issueSlotsPerCycle = 6144; ///< Total instruction issue.
+    double l1BytesPerCycle = 8192;   ///< Aggregate L1 bandwidth.
+    double l2BytesPerCycle = 2048;   ///< Aggregate L2 bandwidth.
+    double dramBytesPerCycle = 400;  ///< DRAM bandwidth.
+    /** Integer/address instructions issued per memory access. */
+    double issueOpsPerAccess = 4.0;
+    CacheConfig l1{64 * 1024, 128, 4};
+    CacheConfig l2{4 * 1024 * 1024, 128, 16};
+
+    /** A Turing-class discrete GPU instance. */
+    static MachineModel gpuLike() { return MachineModel{}; }
+};
+
+/** Derived Tab. IV row for one kernel. */
+struct KernelCounters
+{
+    std::string name;
+    double flops = 0.0;          ///< FP operations executed.
+    uint64_t memAccesses = 0;    ///< Coalesced memory instructions.
+    double cycles = 0.0;         ///< Modeled execution cycles.
+
+    double computeThroughputPct = 0.0; ///< Issue-slot occupancy.
+    double aluUtilPct = 0.0;           ///< FP ALU occupancy.
+    double l1ThroughputPct = 0.0;      ///< L1 bandwidth occupancy.
+    double l2ThroughputPct = 0.0;      ///< L2 bandwidth occupancy.
+    double l1HitRatePct = 0.0;
+    double l2HitRatePct = 0.0;
+    double dramBwUtilPct = 0.0;        ///< DRAM bandwidth occupancy.
+};
+
+/**
+ * Tiled dense SGEMM (the "sgemm_nn" neural kernel): C[M,N] += A[M,K]
+ * B[K,N] with square tiles of @p tile elements.
+ */
+KernelCounters runSgemmKernel(const MachineModel &machine, int64_t m,
+                              int64_t n, int64_t k, int64_t tile = 32);
+
+/**
+ * Streaming ReLU over @p elems floats ("relu_nn"), reading an
+ * activation tensor the producing kernel left L2-warm and writing the
+ * result back.
+ */
+KernelCounters runReluKernel(const MachineModel &machine,
+                             int64_t elems);
+
+/**
+ * Multi-operand vectorized element-wise kernel ("vectorized_elem"):
+ * bundling @p vectors hypervectors of @p dim floats into an
+ * accumulator, streaming far more data than fits in L2.
+ */
+KernelCounters runVsaBundleKernel(const MachineModel &machine,
+                                  int64_t vectors, int64_t dim);
+
+/**
+ * Gather-style element-wise kernel ("elementwise"): @p lookups
+ * pseudo-random row reads from a @p table_rows x @p row_floats
+ * codebook combined element-wise into an accumulator.
+ */
+KernelCounters runGatherKernel(const MachineModel &machine,
+                               int64_t lookups, int64_t table_rows,
+                               int64_t row_floats);
+
+} // namespace nsbench::sim
+
+#endif // NSBENCH_SIM_KERNELS_HH

@@ -1,0 +1,80 @@
+#include "sim/projection.hh"
+
+#include <algorithm>
+
+namespace nsbench::sim
+{
+
+double
+DeviceProjection::symbolicFraction() const
+{
+    if (totalSeconds <= 0.0)
+        return 0.0;
+    for (const auto &p : phases) {
+        if (p.phase == core::Phase::Symbolic)
+            return p.seconds / totalSeconds;
+    }
+    return 0.0;
+}
+
+double
+DeviceProjection::neuralFraction() const
+{
+    if (totalSeconds <= 0.0)
+        return 0.0;
+    for (const auto &p : phases) {
+        if (p.phase == core::Phase::Neural)
+            return p.seconds / totalSeconds;
+    }
+    return 0.0;
+}
+
+double
+projectOp(const DeviceSpec &device, core::OpCategory category,
+          const core::OpStats &stats)
+{
+    double eff = std::max(device.efficiency(category), 1e-4);
+    double compute_s =
+        stats.flops / (device.peakGflops * 1e9 * eff);
+    double memory_s = stats.bytes() / (device.memBandwidthGBs * 1e9);
+    double overhead_s = static_cast<double>(stats.invocations) *
+                        device.launchOverheadUs * 1e-6;
+    return std::max(compute_s, memory_s) + overhead_s;
+}
+
+DeviceProjection
+projectProfile(const DeviceSpec &device, const core::Profiler &profiler)
+{
+    DeviceProjection out;
+    out.device = device.name;
+
+    for (core::Phase phase :
+         {core::Phase::Neural, core::Phase::Symbolic,
+          core::Phase::Untagged}) {
+        PhaseProjection proj;
+        proj.phase = phase;
+        for (core::OpCategory category : core::allOpCategories) {
+            core::OpStats s = profiler.categoryTotals(phase, category);
+            if (s.invocations == 0)
+                continue;
+            double eff = std::max(device.efficiency(category), 1e-4);
+            double compute_s =
+                s.flops / (device.peakGflops * 1e9 * eff);
+            double memory_s =
+                s.bytes() / (device.memBandwidthGBs * 1e9);
+            double overhead_s = static_cast<double>(s.invocations) *
+                                device.launchOverheadUs * 1e-6;
+            proj.computeSeconds += compute_s;
+            proj.memorySeconds += memory_s;
+            proj.overheadSeconds += overhead_s;
+            proj.seconds += std::max(compute_s, memory_s) + overhead_s;
+        }
+        if (proj.seconds > 0.0) {
+            out.phases.push_back(proj);
+            out.totalSeconds += proj.seconds;
+        }
+    }
+    return out;
+}
+
+} // namespace nsbench::sim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Cross-device runtime projection (Fig. 2b of the paper).
+ *
+ * Takes the op stream measured on the host and estimates its runtime
+ * on each modeled device: every aggregated operator pays the larger of
+ * its compute time (FLOPs over category-derated peak) and its memory
+ * time (bytes over bandwidth), plus a per-invocation dispatch
+ * overhead. The same stream projected onto TX2 / Xavier NX / RTX
+ * reproduces the paper's ordering and the stability of the symbolic
+ * share across devices.
+ */
+
+#ifndef NSBENCH_SIM_PROJECTION_HH
+#define NSBENCH_SIM_PROJECTION_HH
+
+#include <string>
+#include <vector>
+
+#include "core/profiler.hh"
+#include "sim/device.hh"
+
+namespace nsbench::sim
+{
+
+/** Projected runtime of one phase on one device. */
+struct PhaseProjection
+{
+    core::Phase phase = core::Phase::Untagged;
+    double seconds = 0.0;       ///< Projected phase runtime.
+    double computeSeconds = 0.0; ///< Compute-limited portion.
+    double memorySeconds = 0.0;  ///< Bandwidth-limited portion.
+    double overheadSeconds = 0.0; ///< Dispatch-overhead portion.
+};
+
+/** Projected end-to-end runtime of a workload on one device. */
+struct DeviceProjection
+{
+    std::string device;         ///< Device name.
+    double totalSeconds = 0.0;  ///< Sum over phases.
+    std::vector<PhaseProjection> phases;
+
+    /** Symbolic share of the projected runtime. */
+    double symbolicFraction() const;
+
+    /** Neural share of the projected runtime. */
+    double neuralFraction() const;
+};
+
+/**
+ * Projects one aggregated operator onto a device.
+ *
+ * @return Estimated seconds for all invocations of the operator.
+ */
+double projectOp(const DeviceSpec &device, core::OpCategory category,
+                 const core::OpStats &stats);
+
+/** Projects a full profiled run onto a device. */
+DeviceProjection projectProfile(const DeviceSpec &device,
+                                const core::Profiler &profiler);
+
+} // namespace nsbench::sim
+
+#endif // NSBENCH_SIM_PROJECTION_HH

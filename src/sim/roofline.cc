@@ -1,0 +1,60 @@
+#include "sim/roofline.hh"
+
+#include <algorithm>
+
+namespace nsbench::sim
+{
+
+double
+attainableGflops(const DeviceSpec &device, double intensity)
+{
+    return std::min(device.peakGflops,
+                    device.memBandwidthGBs * intensity);
+}
+
+bool
+isMemoryBound(const DeviceSpec &device, double intensity)
+{
+    return intensity < device.ridgeIntensity();
+}
+
+RooflinePoint
+placeOnRoofline(const DeviceSpec &device, const std::string &label,
+                const core::OpStats &stats)
+{
+    RooflinePoint pt;
+    pt.label = label;
+    pt.intensity = stats.opIntensity();
+    pt.attainableGflops = attainableGflops(device, pt.intensity);
+    pt.memoryBound = isMemoryBound(device, pt.intensity);
+    return pt;
+}
+
+std::vector<RooflinePoint>
+rooflineFromProfile(const DeviceSpec &device,
+                    const core::Profiler &profiler,
+                    const std::string &workload_name)
+{
+    std::vector<RooflinePoint> points;
+    for (core::Phase phase :
+         {core::Phase::Neural, core::Phase::Symbolic}) {
+        core::OpStats phase_stats = profiler.phaseTotals(phase);
+        if (phase_stats.invocations == 0)
+            continue;
+        std::string base = workload_name + "/" +
+                           std::string(core::phaseName(phase));
+        points.push_back(placeOnRoofline(device, base, phase_stats));
+        for (core::OpCategory category : core::allOpCategories) {
+            core::OpStats s = profiler.categoryTotals(phase, category);
+            if (s.invocations == 0 || s.bytes() == 0.0)
+                continue;
+            points.push_back(placeOnRoofline(
+                device,
+                base + "/" + std::string(core::opCategoryName(category)),
+                s));
+        }
+    }
+    return points;
+}
+
+} // namespace nsbench::sim

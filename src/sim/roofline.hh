@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Roofline analysis (Fig. 3c of the paper).
+ */
+
+#ifndef NSBENCH_SIM_ROOFLINE_HH
+#define NSBENCH_SIM_ROOFLINE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/profiler.hh"
+#include "sim/device.hh"
+
+namespace nsbench::sim
+{
+
+/** One point on the roofline plot. */
+struct RooflinePoint
+{
+    std::string label;          ///< e.g. "NVSA/symbolic".
+    double intensity = 0.0;     ///< FLOP/byte.
+    double attainableGflops = 0.0; ///< min(peak, bw * intensity).
+    bool memoryBound = false;   ///< Left of the ridge point.
+};
+
+/**
+ * Attainable FP32 throughput at a given operational intensity under
+ * the naive (efficiency-free) roofline.
+ */
+double attainableGflops(const DeviceSpec &device, double intensity);
+
+/** True when the intensity sits left of the device's ridge point. */
+bool isMemoryBound(const DeviceSpec &device, double intensity);
+
+/**
+ * Places an aggregated op-stats slice on the device roofline.
+ */
+RooflinePoint placeOnRoofline(const DeviceSpec &device,
+                              const std::string &label,
+                              const core::OpStats &stats);
+
+/**
+ * Builds the Fig. 3c point set from a profiled run: one point per
+ * (phase x category) slice with nonzero traffic, plus one per phase
+ * aggregate.
+ */
+std::vector<RooflinePoint> rooflineFromProfile(
+    const DeviceSpec &device, const core::Profiler &profiler,
+    const std::string &workload_name);
+
+} // namespace nsbench::sim
+
+#endif // NSBENCH_SIM_ROOFLINE_HH

@@ -1,0 +1,145 @@
+#include "sim/schedule.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace nsbench::sim
+{
+
+using core::NodeId;
+using core::OpGraph;
+using core::Phase;
+
+double
+ScheduleResult::utilization(Phase kind, int units) const
+{
+    if (makespan <= 0.0 || units <= 0)
+        return 0.0;
+    double busy = 0.0;
+    for (const auto &stage : stages) {
+        if (stage.kind == kind)
+            busy += stage.end - stage.start;
+    }
+    return busy / (makespan * units);
+}
+
+ScheduleResult
+pipelineSchedule(const OpGraph &graph, const ScheduleConfig &config,
+                 int episodes)
+{
+    util::panicIf(config.neuralUnits < 1 || config.symbolicUnits < 1,
+                  "pipelineSchedule: need at least one unit per kind");
+    util::panicIf(episodes < 1,
+                  "pipelineSchedule: need at least one episode");
+
+    ScheduleResult result;
+    for (NodeId id = 0; id < graph.size(); id++)
+        result.sequentialSeconds += graph.node(id).seconds;
+    result.sequentialSeconds *= episodes;
+
+    // Event-driven global list scheduling: keep the ready set across
+    // all episodes and always dispatch the (stage, unit) pair that
+    // can start earliest. Episode-major greedy would reserve units
+    // ahead of time and starve later episodes of earlier idle slots.
+    std::vector<double> neural_free(
+        static_cast<size_t>(config.neuralUnits), 0.0);
+    std::vector<double> symbolic_free(
+        static_cast<size_t>(config.symbolicUnits), 0.0);
+
+    size_t n = graph.size();
+    std::vector<size_t> pending(static_cast<size_t>(episodes) * n);
+    std::vector<double> ready_time(
+        static_cast<size_t>(episodes) * n, 0.0);
+    std::vector<bool> is_ready(static_cast<size_t>(episodes) * n,
+                               false);
+    std::vector<bool> done(static_cast<size_t>(episodes) * n, false);
+
+    auto slot = [n](int e, NodeId id) {
+        return static_cast<size_t>(e) * n + id;
+    };
+    for (int e = 0; e < episodes; e++) {
+        for (NodeId id = 0; id < n; id++) {
+            pending[slot(e, id)] = graph.predecessors(id).size();
+            if (pending[slot(e, id)] == 0)
+                is_ready[slot(e, id)] = true;
+        }
+    }
+
+    auto earliest_unit = [](const std::vector<double> &frees) {
+        size_t best = 0;
+        for (size_t u = 1; u < frees.size(); u++) {
+            if (frees[u] < frees[best])
+                best = u;
+        }
+        return best;
+    };
+
+    size_t remaining = static_cast<size_t>(episodes) * n;
+    while (remaining > 0) {
+        // Pick the dispatchable stage with the earliest start time.
+        double best_start = std::numeric_limits<double>::infinity();
+        int best_e = -1;
+        NodeId best_id = 0;
+        Phase best_kind = Phase::Untagged;
+        size_t best_unit = 0;
+
+        for (int e = 0; e < episodes; e++) {
+            for (NodeId id = 0; id < n; id++) {
+                size_t sl = slot(e, id);
+                if (!is_ready[sl] || done[sl])
+                    continue;
+
+                Phase phase = graph.node(id).phase;
+                auto consider = [&](Phase kind,
+                                    const std::vector<double>
+                                        &frees) {
+                    size_t unit = earliest_unit(frees);
+                    double start =
+                        std::max(ready_time[sl], frees[unit]);
+                    if (start < best_start) {
+                        best_start = start;
+                        best_e = e;
+                        best_id = id;
+                        best_kind = kind;
+                        best_unit = unit;
+                    }
+                };
+                if (phase == Phase::Neural) {
+                    consider(Phase::Neural, neural_free);
+                } else if (phase == Phase::Symbolic) {
+                    consider(Phase::Symbolic, symbolic_free);
+                } else {
+                    consider(Phase::Neural, neural_free);
+                    consider(Phase::Symbolic, symbolic_free);
+                }
+            }
+        }
+        util::panicIf(best_e < 0,
+                      "pipelineSchedule: no dispatchable stage");
+
+        double end = best_start + graph.node(best_id).seconds;
+        auto &pool = best_kind == Phase::Neural ? neural_free
+                                                : symbolic_free;
+        pool[best_unit] = end;
+
+        size_t sl = slot(best_e, best_id);
+        done[sl] = true;
+        remaining--;
+        for (NodeId next : graph.successors(best_id)) {
+            size_t nsl = slot(best_e, next);
+            ready_time[nsl] = std::max(ready_time[nsl], end);
+            if (--pending[nsl] == 0)
+                is_ready[nsl] = true;
+        }
+
+        result.stages.push_back({best_id, best_e,
+                                 static_cast<int>(best_unit),
+                                 best_kind, best_start, end});
+        result.makespan = std::max(result.makespan, end);
+    }
+    return result;
+}
+
+} // namespace nsbench::sim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Heterogeneous scheduling simulation (the paper's Recommendation 5).
+ *
+ * The paper recommends "adaptive workload scheduling with parallelism
+ * processing of neural and symbolic components" to fight the
+ * underutilization caused by the strictly sequential pipelines of
+ * Fig. 4. This module simulates exactly that: stage DAGs scheduled
+ * onto a machine with separate neural and symbolic execution units,
+ * and — the realistic win — pipelining across consecutive inference
+ * episodes, so the neural unit perceives episode i+1 while the
+ * symbolic unit reasons about episode i.
+ */
+
+#ifndef NSBENCH_SIM_SCHEDULE_HH
+#define NSBENCH_SIM_SCHEDULE_HH
+
+#include <vector>
+
+#include "core/opgraph.hh"
+
+namespace nsbench::sim
+{
+
+/** The heterogeneous machine. */
+struct ScheduleConfig
+{
+    int neuralUnits = 1;   ///< Units that run neural stages.
+    int symbolicUnits = 1; ///< Units that run symbolic stages.
+};
+
+/** One scheduled stage instance. */
+struct ScheduledStage
+{
+    core::NodeId node = 0; ///< Node in the (replicated) graph.
+    int episode = 0;       ///< Which pipelined episode it belongs to.
+    int unit = 0;          ///< Unit index within its kind.
+    core::Phase kind = core::Phase::Untagged; ///< Unit kind used.
+    double start = 0.0;
+    double end = 0.0;
+};
+
+/** Outcome of a scheduling run. */
+struct ScheduleResult
+{
+    std::vector<ScheduledStage> stages;
+    double makespan = 0.0;          ///< End of the last stage.
+    double sequentialSeconds = 0.0; ///< One-unit-at-a-time baseline.
+
+    /** Throughput speedup over fully sequential execution. */
+    double
+    speedup() const
+    {
+        return makespan > 0.0 ? sequentialSeconds / makespan : 1.0;
+    }
+
+    /** Busy fraction of the named unit kind across the makespan. */
+    double utilization(core::Phase kind, int units) const;
+};
+
+/**
+ * List-schedules @p episodes independent repetitions of the stage DAG
+ * onto the machine. Neural stages run on neural units, symbolic
+ * stages on symbolic units, untagged stages on whichever unit kind
+ * frees up first. Dependencies within an episode are honoured; the
+ * episodes themselves are independent, which is where pipelining
+ * overlap comes from.
+ */
+ScheduleResult pipelineSchedule(const core::OpGraph &graph,
+                                const ScheduleConfig &config,
+                                int episodes);
+
+} // namespace nsbench::sim
+
+#endif // NSBENCH_SIM_SCHEDULE_HH

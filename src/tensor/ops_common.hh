@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Internal helpers shared by the op implementation files. Not part of
+ * the public API.
+ */
+
+#ifndef NSBENCH_TENSOR_OPS_COMMON_HH
+#define NSBENCH_TENSOR_OPS_COMMON_HH
+
+#include "core/profiler.hh"
+#include "tensor/tensor.hh"
+#include "util/logging.hh"
+
+namespace nsbench::tensor::detail
+{
+
+inline constexpr double elemBytes = sizeof(float);
+
+/** Applies f element-wise over two same-shape tensors. */
+template <typename F>
+Tensor
+ewBinary(const char *name, const Tensor &a, const Tensor &b, F f,
+         double flops_per_elem = 1.0)
+{
+    util::panicIf(a.shape() != b.shape(),
+                  std::string(name) + ": shape mismatch " +
+                      shapeStr(a.shape()) + " vs " +
+                      shapeStr(b.shape()));
+    core::ScopedOp op(name, core::OpCategory::VectorElementwise);
+    Tensor out(a.shape());
+    auto pa = a.data();
+    auto pb = b.data();
+    auto po = out.data();
+    size_t n = pa.size();
+    for (size_t i = 0; i < n; i++)
+        po[i] = f(pa[i], pb[i]);
+    op.setFlops(static_cast<double>(n) * flops_per_elem);
+    op.setBytesRead(2.0 * static_cast<double>(n) * elemBytes);
+    op.setBytesWritten(static_cast<double>(n) * elemBytes);
+    return out;
+}
+
+/** Applies f element-wise over one tensor. */
+template <typename F>
+Tensor
+ewUnary(const char *name, const Tensor &a, F f,
+        double flops_per_elem = 1.0)
+{
+    core::ScopedOp op(name, core::OpCategory::VectorElementwise);
+    Tensor out(a.shape());
+    auto pa = a.data();
+    auto po = out.data();
+    size_t n = pa.size();
+    for (size_t i = 0; i < n; i++)
+        po[i] = f(pa[i]);
+    op.setFlops(static_cast<double>(n) * flops_per_elem);
+    op.setBytesRead(static_cast<double>(n) * elemBytes);
+    op.setBytesWritten(static_cast<double>(n) * elemBytes);
+    return out;
+}
+
+} // namespace nsbench::tensor::detail
+
+#endif // NSBENCH_TENSOR_OPS_COMMON_HH

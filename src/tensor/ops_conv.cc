@@ -1,0 +1,163 @@
+#include <algorithm>
+#include <limits>
+
+#include "tensor/ops.hh"
+#include "tensor/ops_common.hh"
+
+namespace nsbench::tensor
+{
+
+using detail::elemBytes;
+
+Tensor
+conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
+       int64_t stride, int64_t padding)
+{
+    util::panicIf(input.dim() != 4 || weight.dim() != 4,
+                  "conv2d: NCHW input and OCKK weight required");
+    util::panicIf(stride < 1, "conv2d: stride must be positive");
+    util::panicIf(padding < 0, "conv2d: negative padding");
+
+    int64_t n = input.size(0), c = input.size(1);
+    int64_t h = input.size(2), w = input.size(3);
+    int64_t o = weight.size(0), kc = weight.size(1);
+    int64_t kh = weight.size(2), kw = weight.size(3);
+    util::panicIf(kc != c, "conv2d: channel mismatch");
+    bool has_bias = !bias.empty();
+    util::panicIf(has_bias && (bias.dim() != 1 || bias.size(0) != o),
+                  "conv2d: bias shape mismatch");
+
+    int64_t oh = (h + 2 * padding - kh) / stride + 1;
+    int64_t ow = (w + 2 * padding - kw) / stride + 1;
+    util::panicIf(oh < 1 || ow < 1, "conv2d: kernel exceeds input");
+
+    core::ScopedOp op("conv2d", core::OpCategory::Convolution);
+    Tensor out({n, o, oh, ow});
+    auto src = input.data();
+    auto wt = weight.data();
+    auto dst = out.data();
+
+    auto in_at = [&](int64_t b, int64_t ch, int64_t y,
+                     int64_t x) -> float {
+        return src[static_cast<size_t>(((b * c + ch) * h + y) * w +
+                                       x)];
+    };
+
+    for (int64_t b = 0; b < n; b++) {
+        for (int64_t oc = 0; oc < o; oc++) {
+            float bias_v = has_bias ? bias.flat(oc) : 0.0f;
+            for (int64_t oy = 0; oy < oh; oy++) {
+                for (int64_t ox = 0; ox < ow; ox++) {
+                    float acc = bias_v;
+                    int64_t iy0 = oy * stride - padding;
+                    int64_t ix0 = ox * stride - padding;
+                    for (int64_t ic = 0; ic < c; ic++) {
+                        for (int64_t ky = 0; ky < kh; ky++) {
+                            int64_t iy = iy0 + ky;
+                            if (iy < 0 || iy >= h)
+                                continue;
+                            for (int64_t kx = 0; kx < kw; kx++) {
+                                int64_t ix = ix0 + kx;
+                                if (ix < 0 || ix >= w)
+                                    continue;
+                                acc += in_at(b, ic, iy, ix) *
+                                       wt[static_cast<size_t>(
+                                           ((oc * c + ic) * kh + ky) *
+                                               kw +
+                                           kx)];
+                            }
+                        }
+                    }
+                    dst[static_cast<size_t>(
+                        ((b * o + oc) * oh + oy) * ow + ox)] = acc;
+                }
+            }
+        }
+    }
+
+    double macs = static_cast<double>(n * o * oh * ow) *
+                  static_cast<double>(c * kh * kw);
+    op.setFlops(2.0 * macs);
+    op.setBytesRead(
+        static_cast<double>(input.numel() + weight.numel() +
+                            (has_bias ? o : 0)) *
+        elemBytes);
+    op.setBytesWritten(static_cast<double>(out.numel()) * elemBytes);
+    return out;
+}
+
+namespace
+{
+
+template <typename Fold>
+Tensor
+pool2d(const char *name, const Tensor &input, int64_t kernel,
+       int64_t stride, float init, Fold fold, bool mean)
+{
+    util::panicIf(input.dim() != 4, "pool2d: NCHW input required");
+    util::panicIf(kernel < 1 || stride < 1,
+                  "pool2d: kernel/stride must be positive");
+
+    int64_t n = input.size(0), c = input.size(1);
+    int64_t h = input.size(2), w = input.size(3);
+    int64_t oh = (h - kernel) / stride + 1;
+    int64_t ow = (w - kernel) / stride + 1;
+    util::panicIf(oh < 1 || ow < 1, "pool2d: kernel exceeds input");
+
+    core::ScopedOp op(name, core::OpCategory::VectorElementwise);
+    Tensor out({n, c, oh, ow});
+    auto src = input.data();
+    auto dst = out.data();
+
+    for (int64_t b = 0; b < n; b++) {
+        for (int64_t ch = 0; ch < c; ch++) {
+            for (int64_t oy = 0; oy < oh; oy++) {
+                for (int64_t ox = 0; ox < ow; ox++) {
+                    float acc = init;
+                    for (int64_t ky = 0; ky < kernel; ky++) {
+                        for (int64_t kx = 0; kx < kernel; kx++) {
+                            int64_t iy = oy * stride + ky;
+                            int64_t ix = ox * stride + kx;
+                            acc = fold(
+                                acc,
+                                src[static_cast<size_t>(
+                                    ((b * c + ch) * h + iy) * w +
+                                    ix)]);
+                        }
+                    }
+                    if (mean)
+                        acc /= static_cast<float>(kernel * kernel);
+                    dst[static_cast<size_t>(
+                        ((b * c + ch) * oh + oy) * ow + ox)] = acc;
+                }
+            }
+        }
+    }
+
+    auto in_n = static_cast<double>(input.numel());
+    op.setFlops(static_cast<double>(out.numel()) *
+                static_cast<double>(kernel * kernel));
+    op.setBytesRead(in_n * elemBytes);
+    op.setBytesWritten(static_cast<double>(out.numel()) * elemBytes);
+    return out;
+}
+
+} // namespace
+
+Tensor
+maxPool2d(const Tensor &input, int64_t kernel, int64_t stride)
+{
+    return pool2d("max_pool2d", input, kernel, stride,
+                  -std::numeric_limits<float>::infinity(),
+                  [](float acc, float v) { return std::max(acc, v); },
+                  false);
+}
+
+Tensor
+avgPool2d(const Tensor &input, int64_t kernel, int64_t stride)
+{
+    return pool2d("avg_pool2d", input, kernel, stride, 0.0f,
+                  [](float acc, float v) { return acc + v; }, true);
+}
+
+} // namespace nsbench::tensor

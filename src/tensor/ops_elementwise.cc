@@ -1,0 +1,375 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.hh"
+#include "tensor/ops_common.hh"
+
+namespace nsbench::tensor
+{
+
+using detail::elemBytes;
+using detail::ewBinary;
+using detail::ewUnary;
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    return ewBinary("add", a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor
+sub(const Tensor &a, const Tensor &b)
+{
+    return ewBinary("sub", a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor
+mul(const Tensor &a, const Tensor &b)
+{
+    return ewBinary("mul", a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor
+div(const Tensor &a, const Tensor &b)
+{
+    return ewBinary("div", a, b, [](float x, float y) { return x / y; });
+}
+
+Tensor
+minimum(const Tensor &a, const Tensor &b)
+{
+    return ewBinary("minimum", a, b,
+                    [](float x, float y) { return std::min(x, y); });
+}
+
+Tensor
+maximum(const Tensor &a, const Tensor &b)
+{
+    return ewBinary("maximum", a, b,
+                    [](float x, float y) { return std::max(x, y); });
+}
+
+Tensor
+addScalar(const Tensor &a, float s)
+{
+    return ewUnary("add_scalar", a, [s](float x) { return x + s; });
+}
+
+Tensor
+mulScalar(const Tensor &a, float s)
+{
+    return ewUnary("mul_scalar", a, [s](float x) { return x * s; });
+}
+
+Tensor
+relu(const Tensor &a)
+{
+    return ewUnary("relu", a,
+                   [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor
+sigmoid(const Tensor &a)
+{
+    return ewUnary(
+        "sigmoid", a,
+        [](float x) { return 1.0f / (1.0f + std::exp(-x)); }, 4.0);
+}
+
+Tensor
+tanhOp(const Tensor &a)
+{
+    return ewUnary("tanh", a, [](float x) { return std::tanh(x); },
+                   4.0);
+}
+
+Tensor
+expOp(const Tensor &a)
+{
+    return ewUnary("exp", a, [](float x) { return std::exp(x); }, 2.0);
+}
+
+Tensor
+logOp(const Tensor &a)
+{
+    return ewUnary("log", a, [](float x) { return std::log(x); }, 2.0);
+}
+
+Tensor
+sqrtOp(const Tensor &a)
+{
+    return ewUnary("sqrt", a, [](float x) { return std::sqrt(x); },
+                   2.0);
+}
+
+Tensor
+neg(const Tensor &a)
+{
+    return ewUnary("neg", a, [](float x) { return -x; });
+}
+
+Tensor
+absOp(const Tensor &a)
+{
+    return ewUnary("abs", a, [](float x) { return std::abs(x); });
+}
+
+Tensor
+sign(const Tensor &a)
+{
+    return ewUnary("sign", a, [](float x) {
+        return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
+    });
+}
+
+Tensor
+clamp(const Tensor &a, float lo, float hi)
+{
+    return ewUnary("clamp", a, [lo, hi](float x) {
+        return std::clamp(x, lo, hi);
+    });
+}
+
+Tensor
+powOp(const Tensor &a, float exponent)
+{
+    return ewUnary("pow", a, [exponent](float x) {
+        return std::pow(x, exponent);
+    }, 4.0);
+}
+
+float
+sumAll(const Tensor &a)
+{
+    core::ScopedOp op("sum", core::OpCategory::VectorElementwise);
+    double acc = 0.0;
+    for (float v : a.data())
+        acc += v;
+    auto n = static_cast<double>(a.numel());
+    op.setFlops(n);
+    op.setBytesRead(n * elemBytes);
+    op.setBytesWritten(elemBytes);
+    return static_cast<float>(acc);
+}
+
+float
+maxAll(const Tensor &a)
+{
+    util::panicIf(a.numel() == 0, "maxAll: empty tensor");
+    core::ScopedOp op("max", core::OpCategory::VectorElementwise);
+    float best = a.data()[0];
+    for (float v : a.data())
+        best = std::max(best, v);
+    auto n = static_cast<double>(a.numel());
+    op.setFlops(n);
+    op.setBytesRead(n * elemBytes);
+    op.setBytesWritten(elemBytes);
+    return best;
+}
+
+float
+meanAll(const Tensor &a)
+{
+    util::panicIf(a.numel() == 0, "meanAll: empty tensor");
+    return sumAll(a) / static_cast<float>(a.numel());
+}
+
+int64_t
+argmaxAll(const Tensor &a)
+{
+    util::panicIf(a.numel() == 0, "argmaxAll: empty tensor");
+    core::ScopedOp op("argmax", core::OpCategory::VectorElementwise);
+    auto data = a.data();
+    int64_t best = 0;
+    for (int64_t i = 1; i < a.numel(); i++) {
+        if (data[static_cast<size_t>(i)] >
+            data[static_cast<size_t>(best)]) {
+            best = i;
+        }
+    }
+    auto n = static_cast<double>(a.numel());
+    op.setFlops(n);
+    op.setBytesRead(n * elemBytes);
+    op.setBytesWritten(elemBytes);
+    return best;
+}
+
+namespace
+{
+
+/**
+ * Shared frame for axis reductions: iterates outer x inner blocks
+ * where the reduced axis has extent `axis_n` and stride `inner`.
+ */
+template <typename Fold>
+Tensor
+reduceAxis(const char *name, const Tensor &a, int64_t axis, float init,
+           Fold fold, bool mean)
+{
+    auto rank = static_cast<int64_t>(a.dim());
+    util::panicIf(axis < 0 || axis >= rank,
+                  std::string(name) + ": axis out of range");
+
+    core::ScopedOp op(name, core::OpCategory::VectorElementwise);
+
+    Shape out_shape;
+    for (int64_t d = 0; d < rank; d++) {
+        if (d != axis)
+            out_shape.push_back(a.shape()[static_cast<size_t>(d)]);
+    }
+    int64_t axis_n = a.shape()[static_cast<size_t>(axis)];
+    int64_t inner = 1;
+    for (int64_t d = axis + 1; d < rank; d++)
+        inner *= a.shape()[static_cast<size_t>(d)];
+    int64_t outer = a.numel() / std::max<int64_t>(axis_n * inner, 1);
+
+    Tensor out(out_shape);
+    auto src = a.data();
+    auto dst = out.data();
+    for (int64_t o = 0; o < outer; o++) {
+        for (int64_t i = 0; i < inner; i++) {
+            float acc = init;
+            for (int64_t k = 0; k < axis_n; k++) {
+                acc = fold(acc,
+                           src[static_cast<size_t>(
+                               (o * axis_n + k) * inner + i)]);
+            }
+            if (mean && axis_n > 0)
+                acc /= static_cast<float>(axis_n);
+            dst[static_cast<size_t>(o * inner + i)] = acc;
+        }
+    }
+
+    auto n = static_cast<double>(a.numel());
+    op.setFlops(n);
+    op.setBytesRead(n * elemBytes);
+    op.setBytesWritten(static_cast<double>(out.numel()) * elemBytes);
+    return out;
+}
+
+} // namespace
+
+Tensor
+sumAxis(const Tensor &a, int64_t axis)
+{
+    return reduceAxis("sum_axis", a, axis, 0.0f,
+                      [](float acc, float v) { return acc + v; },
+                      false);
+}
+
+Tensor
+maxAxis(const Tensor &a, int64_t axis)
+{
+    return reduceAxis(
+        "max_axis", a, axis, -std::numeric_limits<float>::infinity(),
+        [](float acc, float v) { return std::max(acc, v); }, false);
+}
+
+Tensor
+meanAxis(const Tensor &a, int64_t axis)
+{
+    return reduceAxis("mean_axis", a, axis, 0.0f,
+                      [](float acc, float v) { return acc + v; },
+                      true);
+}
+
+namespace
+{
+
+/** Applies a row-wise transform over the last dimension. */
+template <typename RowFn>
+Tensor
+lastDimTransform(const char *name, const Tensor &a, RowFn row_fn,
+                 double flops_per_elem)
+{
+    util::panicIf(a.dim() == 0, std::string(name) + ": rank-0 tensor");
+    core::ScopedOp op(name, core::OpCategory::VectorElementwise);
+    Tensor out(a.shape());
+    int64_t row = a.shape().back();
+    int64_t rows = a.numel() / std::max<int64_t>(row, 1);
+    auto src = a.data();
+    auto dst = out.data();
+    for (int64_t r = 0; r < rows; r++) {
+        row_fn(src.subspan(static_cast<size_t>(r * row),
+                           static_cast<size_t>(row)),
+               dst.subspan(static_cast<size_t>(r * row),
+                           static_cast<size_t>(row)));
+    }
+    auto n = static_cast<double>(a.numel());
+    op.setFlops(n * flops_per_elem);
+    op.setBytesRead(n * elemBytes);
+    op.setBytesWritten(n * elemBytes);
+    return out;
+}
+
+} // namespace
+
+Tensor
+softmax(const Tensor &a)
+{
+    return lastDimTransform(
+        "softmax", a,
+        [](std::span<const float> src, std::span<float> dst) {
+            float mx = *std::max_element(src.begin(), src.end());
+            float sum = 0.0f;
+            for (size_t i = 0; i < src.size(); i++) {
+                dst[i] = std::exp(src[i] - mx);
+                sum += dst[i];
+            }
+            for (float &v : dst)
+                v /= sum;
+        },
+        5.0);
+}
+
+Tensor
+logSoftmax(const Tensor &a)
+{
+    return lastDimTransform(
+        "log_softmax", a,
+        [](std::span<const float> src, std::span<float> dst) {
+            float mx = *std::max_element(src.begin(), src.end());
+            float sum = 0.0f;
+            for (float v : src)
+                sum += std::exp(v - mx);
+            float log_sum = std::log(sum) + mx;
+            for (size_t i = 0; i < src.size(); i++)
+                dst[i] = src[i] - log_sum;
+        },
+        5.0);
+}
+
+Tensor
+normalizeSum(const Tensor &a, float eps)
+{
+    return lastDimTransform(
+        "normalize_sum", a,
+        [eps](std::span<const float> src, std::span<float> dst) {
+            float sum = 0.0f;
+            for (float v : src)
+                sum += v;
+            float scale = 1.0f / (sum + eps);
+            for (size_t i = 0; i < src.size(); i++)
+                dst[i] = src[i] * scale;
+        },
+        2.0);
+}
+
+Tensor
+normalizeL2(const Tensor &a, float eps)
+{
+    return lastDimTransform(
+        "normalize_l2", a,
+        [eps](std::span<const float> src, std::span<float> dst) {
+            float sum = 0.0f;
+            for (float v : src)
+                sum += v * v;
+            float scale = 1.0f / (std::sqrt(sum) + eps);
+            for (size_t i = 0; i < src.size(); i++)
+                dst[i] = src[i] * scale;
+        },
+        3.0);
+}
+
+} // namespace nsbench::tensor

@@ -1,0 +1,107 @@
+#include "tensor/ops.hh"
+#include "tensor/ops_common.hh"
+
+namespace nsbench::tensor
+{
+
+using detail::elemBytes;
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    util::panicIf(a.dim() != 2 || b.dim() != 2,
+                  "matmul: rank-2 tensors required");
+    int64_t m = a.size(0);
+    int64_t k = a.size(1);
+    int64_t n = b.size(1);
+    util::panicIf(b.size(0) != k,
+                  "matmul: inner dimension mismatch " +
+                      shapeStr(a.shape()) + " x " +
+                      shapeStr(b.shape()));
+
+    core::ScopedOp op("matmul", core::OpCategory::MatMul);
+    Tensor out({m, n});
+    auto pa = a.data();
+    auto pb = b.data();
+    auto po = out.data();
+
+    // i-k-j loop order keeps the inner loop streaming over B and C.
+    for (int64_t i = 0; i < m; i++) {
+        float *crow = &po[static_cast<size_t>(i * n)];
+        for (int64_t kk = 0; kk < k; kk++) {
+            float aik = pa[static_cast<size_t>(i * k + kk)];
+            const float *brow = &pb[static_cast<size_t>(kk * n)];
+            for (int64_t j = 0; j < n; j++)
+                crow[j] += aik * brow[j];
+        }
+    }
+
+    op.setFlops(2.0 * static_cast<double>(m) *
+                static_cast<double>(n) * static_cast<double>(k));
+    op.setBytesRead(static_cast<double>(m * k + k * n) * elemBytes);
+    op.setBytesWritten(static_cast<double>(m * n) * elemBytes);
+    return out;
+}
+
+Tensor
+linear(const Tensor &x, const Tensor &w, const Tensor &bias)
+{
+    util::panicIf(x.dim() != 2 || w.dim() != 2,
+                  "linear: rank-2 tensors required");
+    int64_t n = x.size(0);
+    int64_t k = x.size(1);
+    int64_t o = w.size(0);
+    util::panicIf(w.size(1) != k,
+                  "linear: weight inner dimension mismatch");
+    bool has_bias = !bias.empty();
+    util::panicIf(has_bias && (bias.dim() != 1 || bias.size(0) != o),
+                  "linear: bias shape mismatch");
+
+    core::ScopedOp op("linear", core::OpCategory::MatMul);
+    Tensor out({n, o});
+    auto px = x.data();
+    auto pw = w.data();
+    auto po = out.data();
+
+    for (int64_t i = 0; i < n; i++) {
+        const float *xrow = &px[static_cast<size_t>(i * k)];
+        float *yrow = &po[static_cast<size_t>(i * o)];
+        for (int64_t j = 0; j < o; j++) {
+            const float *wrow = &pw[static_cast<size_t>(j * k)];
+            float acc = has_bias ? bias.flat(j) : 0.0f;
+            for (int64_t kk = 0; kk < k; kk++)
+                acc += xrow[kk] * wrow[kk];
+            yrow[j] = acc;
+        }
+    }
+
+    op.setFlops(2.0 * static_cast<double>(n) *
+                    static_cast<double>(o) * static_cast<double>(k) +
+                (has_bias ? static_cast<double>(n * o) : 0.0));
+    op.setBytesRead(static_cast<double>(n * k + o * k +
+                                        (has_bias ? o : 0)) *
+                    elemBytes);
+    op.setBytesWritten(static_cast<double>(n * o) * elemBytes);
+    return out;
+}
+
+float
+dot(const Tensor &a, const Tensor &b)
+{
+    util::panicIf(a.dim() != 1 || b.dim() != 1 ||
+                      a.size(0) != b.size(0),
+                  "dot: rank-1 equal-length tensors required");
+    core::ScopedOp op("dot", core::OpCategory::MatMul);
+    auto pa = a.data();
+    auto pb = b.data();
+    double acc = 0.0;
+    for (size_t i = 0; i < pa.size(); i++)
+        acc += static_cast<double>(pa[i]) * pb[i];
+    auto n = static_cast<double>(a.numel());
+    op.setFlops(2.0 * n);
+    op.setBytesRead(2.0 * n * elemBytes);
+    op.setBytesWritten(elemBytes);
+    return static_cast<float>(acc);
+}
+
+} // namespace nsbench::tensor

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * A dense FP32 n-dimensional tensor with profiler-tracked storage.
+ *
+ * Tensors are shallow-copy handles onto shared row-major storage, like
+ * the frameworks the paper profiles. Operations live in tensor/ops.hh
+ * and produce new tensors; in-place mutation is limited to explicit
+ * fill-style methods. Storage allocation and release report to the
+ * global profiler so the memory figures (Fig. 3b) fall out of normal
+ * execution.
+ */
+
+#ifndef NSBENCH_TENSOR_TENSOR_HH
+#define NSBENCH_TENSOR_TENSOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace nsbench::tensor
+{
+
+/** Tensor shape: extent per dimension. */
+using Shape = std::vector<int64_t>;
+
+/** Number of elements implied by a shape (1 for rank-0). */
+int64_t shapeNumel(const Shape &shape);
+
+/** Renders a shape as e.g. "[2, 3, 4]". */
+std::string shapeStr(const Shape &shape);
+
+/**
+ * Dense FP32 tensor.
+ */
+class Tensor
+{
+  public:
+    /** An empty (rank-0, zero-storage) tensor. */
+    Tensor() = default;
+
+    /** Allocates a zero-initialized tensor of the given shape. */
+    explicit Tensor(Shape shape);
+
+    /** Allocates and fills from the given values (size must match). */
+    Tensor(Shape shape, std::vector<float> values);
+
+    /** Zero-filled tensor. */
+    static Tensor zeros(Shape shape);
+
+    /** One-filled tensor. */
+    static Tensor ones(Shape shape);
+
+    /** Constant-filled tensor. */
+    static Tensor full(Shape shape, float value);
+
+    /** I.i.d. normal entries. */
+    static Tensor randn(Shape shape, util::Rng &rng, float mean = 0.0f,
+                        float stddev = 1.0f);
+
+    /** I.i.d. uniform entries in [lo, hi). */
+    static Tensor rand(Shape shape, util::Rng &rng, float lo = 0.0f,
+                       float hi = 1.0f);
+
+    /** I.i.d. random +1/-1 entries (bipolar hypervector material). */
+    static Tensor bipolar(Shape shape, util::Rng &rng);
+
+    /** Entries are 1 with probability p, else 0. */
+    static Tensor bernoulli(Shape shape, util::Rng &rng, double p);
+
+    /** Tensor rank. */
+    size_t dim() const { return shape_.size(); }
+
+    /** Shape accessor. */
+    const Shape &shape() const { return shape_; }
+
+    /** Extent of one dimension (negative indices count from the end). */
+    int64_t size(int64_t d) const;
+
+    /** Total element count. */
+    int64_t numel() const { return shapeNumel(shape_); }
+
+    /** True when no storage is attached. */
+    bool empty() const { return !storage_; }
+
+    /** Mutable flat element view. */
+    std::span<float> data();
+
+    /** Const flat element view. */
+    std::span<const float> data() const;
+
+    /** Flat element access. */
+    float &flat(int64_t i);
+
+    /** Flat element access (const). */
+    float flat(int64_t i) const;
+
+    /** Multi-index element access; index count must equal rank. */
+    float &at(std::initializer_list<int64_t> idx);
+
+    /** Multi-index element access (const). */
+    float at(std::initializer_list<int64_t> idx) const;
+
+    /** Rank-1/2/3/4 conveniences. */
+    float &operator()(int64_t i) { return at({i}); }
+    float operator()(int64_t i) const { return at({i}); }
+    float &operator()(int64_t i, int64_t j) { return at({i, j}); }
+    float operator()(int64_t i, int64_t j) const { return at({i, j}); }
+    float &
+    operator()(int64_t i, int64_t j, int64_t k)
+    {
+        return at({i, j, k});
+    }
+    float
+    operator()(int64_t i, int64_t j, int64_t k) const
+    {
+        return at({i, j, k});
+    }
+    float &
+    operator()(int64_t i, int64_t j, int64_t k, int64_t l)
+    {
+        return at({i, j, k, l});
+    }
+    float
+    operator()(int64_t i, int64_t j, int64_t k, int64_t l) const
+    {
+        return at({i, j, k, l});
+    }
+
+    /**
+     * Returns a handle with a new shape sharing this storage. The
+     * element count must be unchanged.
+     */
+    Tensor reshaped(Shape shape) const;
+
+    /** Deep copy with fresh storage. */
+    Tensor clone() const;
+
+    /** Fills every element with the given value. */
+    void fill(float value);
+
+    /** Storage footprint in bytes. */
+    uint64_t bytes() const { return static_cast<uint64_t>(numel()) * 4; }
+
+  private:
+    struct Storage;
+
+    Shape shape_;
+    std::shared_ptr<Storage> storage_;
+    /** Strides in elements, row-major. */
+    std::vector<int64_t> strides_;
+
+    void computeStrides();
+    int64_t flatIndex(std::initializer_list<int64_t> idx) const;
+};
+
+} // namespace nsbench::tensor
+
+#endif // NSBENCH_TENSOR_TENSOR_HH

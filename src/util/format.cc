@@ -1,0 +1,85 @@
+#include "util/format.hh"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace nsbench::util
+{
+
+namespace
+{
+
+std::string
+formatWith(const char *fmt, double v, const char *suffix)
+{
+    std::array<char, 64> buf{};
+    std::snprintf(buf.data(), buf.size(), fmt, v, suffix);
+    return buf.data();
+}
+
+} // namespace
+
+std::string
+humanBytes(uint64_t bytes)
+{
+    static const std::array<const char *, 5> units =
+        {"B", "KiB", "MiB", "GiB", "TiB"};
+    double v = static_cast<double>(bytes);
+    size_t u = 0;
+    while (v >= 1024.0 && u + 1 < units.size()) {
+        v /= 1024.0;
+        u++;
+    }
+    return u == 0 ? formatWith("%.0f %s", v, units[u])
+                  : formatWith("%.2f %s", v, units[u]);
+}
+
+std::string
+humanSeconds(double seconds)
+{
+    double v = seconds;
+    if (v < 1e-6)
+        return formatWith("%.1f %s", v * 1e9, "ns");
+    if (v < 1e-3)
+        return formatWith("%.1f %s", v * 1e6, "us");
+    if (v < 1.0)
+        return formatWith("%.2f %s", v * 1e3, "ms");
+    if (v < 600.0)
+        return formatWith("%.2f %s", v, "s");
+    return formatWith("%.1f %s", v / 60.0, "min");
+}
+
+std::string
+humanCount(double count, const std::string &unit)
+{
+    static const std::array<const char *, 5> prefixes =
+        {"", "K", "M", "G", "T"};
+    double v = count;
+    size_t u = 0;
+    while (std::abs(v) >= 1000.0 && u + 1 < prefixes.size()) {
+        v /= 1000.0;
+        u++;
+    }
+    std::string suffix = std::string(prefixes[u]) + unit;
+    return formatWith("%.2f %s", v, suffix.c_str());
+}
+
+std::string
+percentStr(double fraction, int decimals)
+{
+    std::array<char, 32> buf{};
+    std::snprintf(buf.data(), buf.size(), "%.*f%%", decimals,
+                  fraction * 100.0);
+    return buf.data();
+}
+
+std::string
+fixedStr(double value, int decimals)
+{
+    std::array<char, 48> buf{};
+    std::snprintf(buf.data(), buf.size(), "%.*f", decimals, value);
+    return buf.data();
+}
+
+} // namespace nsbench::util

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Human-readable formatting helpers for report output.
+ */
+
+#ifndef NSBENCH_UTIL_FORMAT_HH
+#define NSBENCH_UTIL_FORMAT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace nsbench::util
+{
+
+/** Formats a byte count as e.g. "1.50 MiB". */
+std::string humanBytes(uint64_t bytes);
+
+/** Formats a duration in seconds as e.g. "12.3 ms" or "2.1 s". */
+std::string humanSeconds(double seconds);
+
+/** Formats an op/FLOP count as e.g. "3.2 GFLOP". */
+std::string humanCount(double count, const std::string &unit = "");
+
+/** Formats a fraction in [0,1] as a fixed-width percentage, e.g. "45.4%". */
+std::string percentStr(double fraction, int decimals = 1);
+
+/** Formats a double with the given number of decimals. */
+std::string fixedStr(double value, int decimals = 2);
+
+} // namespace nsbench::util
+
+#endif // NSBENCH_UTIL_FORMAT_HH

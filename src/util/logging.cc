@@ -1,0 +1,88 @@
+#include "util/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace nsbench::util
+{
+
+namespace
+{
+
+LogLevel g_threshold = LogLevel::Inform;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Panic:
+        return "panic";
+      case LogLevel::Fatal:
+        return "fatal";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Inform:
+        return "info";
+      case LogLevel::Debug:
+        return "debug";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return g_threshold;
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    g_threshold = level;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    if (level > g_threshold &&
+        level != LogLevel::Panic && level != LogLevel::Fatal) {
+        return;
+    }
+    std::cerr << "[" << levelTag(level) << "] " << msg << "\n";
+}
+
+void
+panic(const std::string &msg)
+{
+    logMessage(LogLevel::Panic, msg);
+    std::abort();
+}
+
+void
+fatal(const std::string &msg)
+{
+    logMessage(LogLevel::Fatal, msg);
+    std::exit(1);
+}
+
+void
+warn(const std::string &msg)
+{
+    logMessage(LogLevel::Warn, msg);
+}
+
+void
+inform(const std::string &msg)
+{
+    logMessage(LogLevel::Inform, msg);
+}
+
+void
+debug(const std::string &msg)
+{
+    logMessage(LogLevel::Debug, msg);
+}
+
+} // namespace nsbench::util

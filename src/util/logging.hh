@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Status and error reporting helpers.
+ *
+ * Follows the gem5 convention: panic() flags an internal library bug and
+ * aborts; fatal() flags an unrecoverable user/configuration error and
+ * exits cleanly; warn()/inform() report conditions without stopping.
+ */
+
+#ifndef NSBENCH_UTIL_LOGGING_HH
+#define NSBENCH_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace nsbench::util
+{
+
+/** Verbosity levels, ordered from most to least severe. */
+enum class LogLevel
+{
+    Panic,
+    Fatal,
+    Warn,
+    Inform,
+    Debug,
+};
+
+/**
+ * Returns the current global verbosity threshold. Messages whose level is
+ * numerically greater than the threshold are suppressed (panic/fatal are
+ * never suppressed).
+ */
+LogLevel logThreshold();
+
+/** Sets the global verbosity threshold. */
+void setLogThreshold(LogLevel level);
+
+/** Emits a message at the given level to stderr. */
+void logMessage(LogLevel level, const std::string &msg);
+
+/**
+ * Reports an internal invariant violation and aborts.
+ *
+ * Use for conditions that indicate a bug in this library itself, never
+ * for bad user input.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/**
+ * Reports an unrecoverable user-facing error (bad configuration, invalid
+ * arguments) and exits with status 1.
+ */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Reports a suspicious-but-survivable condition. */
+void warn(const std::string &msg);
+
+/** Reports normal operating status. */
+void inform(const std::string &msg);
+
+/** Reports developer-level detail, hidden unless Debug verbosity is on. */
+void debug(const std::string &msg);
+
+/**
+ * Aborts via panic() when the given condition holds.
+ *
+ * This is the library's internal assert; it is always active, regardless
+ * of NDEBUG, because profiling results silently built on corrupt state
+ * are worse than a crash. The const char* overload exists so hot paths
+ * pay no std::string construction when the condition is false; avoid
+ * eagerly concatenated messages on hot paths.
+ */
+inline void
+panicIf(bool condition, const char *msg)
+{
+    if (condition)
+        panic(msg);
+}
+
+/** @copydoc panicIf(bool, const char *) */
+inline void
+panicIf(bool condition, const std::string &msg)
+{
+    if (condition)
+        panic(msg);
+}
+
+/** Calls fatal() when the given condition holds. */
+inline void
+fatalIf(bool condition, const char *msg)
+{
+    if (condition)
+        fatal(msg);
+}
+
+/** @copydoc fatalIf(bool, const char *) */
+inline void
+fatalIf(bool condition, const std::string &msg)
+{
+    if (condition)
+        fatal(msg);
+}
+
+} // namespace nsbench::util
+
+#endif // NSBENCH_UTIL_LOGGING_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Deterministic random number generation.
+ *
+ * All stochastic components of the suite draw from an explicitly seeded
+ * Rng so every experiment is reproducible run-to-run. Never use
+ * std::rand or an unseeded engine anywhere in the library.
+ */
+
+#ifndef NSBENCH_UTIL_RNG_HH
+#define NSBENCH_UTIL_RNG_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace nsbench::util
+{
+
+/**
+ * A seeded pseudo-random source with the sampling helpers the suite
+ * needs. Thin wrapper around std::mt19937_64.
+ */
+class Rng
+{
+  public:
+    /** Constructs a generator from an explicit seed. */
+    explicit Rng(uint64_t seed) : engine_(seed) {}
+
+    /** Returns a float uniform in [lo, hi). */
+    float
+    uniform(float lo = 0.0f, float hi = 1.0f)
+    {
+        std::uniform_real_distribution<float> dist(lo, hi);
+        return dist(engine_);
+    }
+
+    /** Returns a double uniform in [lo, hi). */
+    double
+    uniformDouble(double lo = 0.0, double hi = 1.0)
+    {
+        std::uniform_real_distribution<double> dist(lo, hi);
+        return dist(engine_);
+    }
+
+    /** Returns an integer uniform in [lo, hi] inclusive. */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        panicIf(lo > hi, "Rng::uniformInt: empty range");
+        std::uniform_int_distribution<int64_t> dist(lo, hi);
+        return dist(engine_);
+    }
+
+    /** Returns a normally distributed float. */
+    float
+    normal(float mean = 0.0f, float stddev = 1.0f)
+    {
+        std::normal_distribution<float> dist(mean, stddev);
+        return dist(engine_);
+    }
+
+    /** Returns true with probability p. */
+    bool
+    bernoulli(double p)
+    {
+        std::bernoulli_distribution dist(p);
+        return dist(engine_);
+    }
+
+    /** Returns +1 or -1 with equal probability. */
+    float
+    bipolar()
+    {
+        return bernoulli(0.5) ? 1.0f : -1.0f;
+    }
+
+    /** Samples an index from an unnormalized non-negative weight vector. */
+    size_t
+    categorical(const std::vector<double> &weights)
+    {
+        panicIf(weights.empty(), "Rng::categorical: no weights");
+        std::discrete_distribution<size_t> dist(weights.begin(),
+                                                weights.end());
+        return dist(engine_);
+    }
+
+    /** Fisher-Yates shuffles a vector in place. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        std::shuffle(items.begin(), items.end(), engine_);
+    }
+
+    /** Picks a uniformly random element of a non-empty vector. */
+    template <typename T>
+    const T &
+    choice(const std::vector<T> &items)
+    {
+        panicIf(items.empty(), "Rng::choice: empty vector");
+        return items[static_cast<size_t>(
+            uniformInt(0, static_cast<int64_t>(items.size()) - 1))];
+    }
+
+    /** Exposes the raw engine for std distributions not wrapped here. */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace nsbench::util
+
+#endif // NSBENCH_UTIL_RNG_HH

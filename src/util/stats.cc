@@ -1,0 +1,46 @@
+#include "util/stats.hh"
+
+#include "util/logging.hh"
+
+namespace nsbench::util
+{
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    panicIf(bins == 0, "Histogram: need at least one bin");
+    panicIf(hi <= lo, "Histogram: hi must exceed lo");
+}
+
+void
+Histogram::add(double x)
+{
+    double frac = (x - lo_) / (hi_ - lo_);
+    auto bin = static_cast<int64_t>(frac * static_cast<double>(bins()));
+    bin = std::clamp<int64_t>(bin, 0, static_cast<int64_t>(bins()) - 1);
+    counts_[static_cast<size_t>(bin)]++;
+    total_++;
+}
+
+double
+Histogram::binCenter(size_t bin) const
+{
+    double width = (hi_ - lo_) / static_cast<double>(bins());
+    return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    double rank = std::clamp(p, 0.0, 100.0) / 100.0 *
+                  static_cast<double>(samples.size() - 1);
+    auto lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, samples.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
+
+} // namespace nsbench::util

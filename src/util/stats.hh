@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Streaming statistics accumulators used by the profiler and benches.
+ */
+
+#ifndef NSBENCH_UTIL_STATS_HH
+#define NSBENCH_UTIL_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace nsbench::util
+{
+
+/**
+ * Welford-style running mean/variance with min/max tracking.
+ */
+class RunningStat
+{
+  public:
+    /** Folds one sample into the accumulator. */
+    void
+    add(double x)
+    {
+        count_++;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+        sum_ += x;
+    }
+
+    /** Number of samples folded in so far. */
+    uint64_t count() const { return count_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Unbiased sample variance; 0 with fewer than two samples. */
+    double
+    variance() const
+    {
+        return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+    }
+
+    /** Sample standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Smallest sample seen; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest sample seen; -inf when empty. */
+    double max() const { return max_; }
+
+  private:
+    uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-bin histogram over a closed value range.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first bin.
+     * @param hi Upper edge of the last bin; must exceed lo.
+     * @param bins Number of equal-width bins; must be positive.
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Adds a sample; values outside [lo, hi] clamp to the edge bins. */
+    void add(double x);
+
+    /** Count in the given bin. */
+    uint64_t binCount(size_t bin) const { return counts_.at(bin); }
+
+    /** Total samples added. */
+    uint64_t total() const { return total_; }
+
+    /** Number of bins. */
+    size_t bins() const { return counts_.size(); }
+
+    /** Center value of the given bin. */
+    double binCenter(size_t bin) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/**
+ * Computes the p-th percentile (0..100) of a sample vector by linear
+ * interpolation. The input is copied and sorted. Returns 0 when empty.
+ */
+double percentile(std::vector<double> samples, double p);
+
+} // namespace nsbench::util
+
+#endif // NSBENCH_UTIL_STATS_HH

@@ -1,0 +1,83 @@
+#include "util/table.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace nsbench::util
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    panicIf(headers_.empty(), "Table: need at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    panicIf(cells.size() != headers_.size(),
+            "Table::addRow: cell count does not match header count");
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); c++)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); c++)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); c++) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    print_row(headers_);
+    size_t rule = 0;
+    for (size_t c = 0; c < widths.size(); c++)
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(rule, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); c++) {
+            os << csvQuote(row[c]);
+            if (c + 1 < row.size())
+                os << ",";
+        }
+        os << "\n";
+    };
+    print_row(headers_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+csvQuote(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace nsbench::util

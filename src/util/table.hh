@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Console table and CSV emitters used by every bench to print the
+ * rows/series the paper reports.
+ */
+
+#ifndef NSBENCH_UTIL_TABLE_HH
+#define NSBENCH_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nsbench::util
+{
+
+/**
+ * A column-aligned text table. Cells are strings; the writer pads each
+ * column to its widest cell and draws a header rule.
+ */
+class Table
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Appends a row; the cell count must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Renders the table to the given stream. */
+    void print(std::ostream &os) const;
+
+    /** Renders as CSV (comma-separated, quoted where needed). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows. */
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Quotes a CSV cell when it contains separators or quotes. */
+std::string csvQuote(const std::string &cell);
+
+} // namespace nsbench::util
+
+#endif // NSBENCH_UTIL_TABLE_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Wall-clock timing.
+ */
+
+#ifndef NSBENCH_UTIL_TIMER_HH
+#define NSBENCH_UTIL_TIMER_HH
+
+#include <chrono>
+
+namespace nsbench::util
+{
+
+/**
+ * A steady-clock stopwatch. Starts on construction; elapsed() may be
+ * sampled repeatedly without stopping it.
+ */
+class WallTimer
+{
+  public:
+    WallTimer() : start_(Clock::now()) {}
+
+    /** Restarts the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds since construction or the last reset(). */
+    double
+    elapsed() const
+    {
+        auto dt = Clock::now() - start_;
+        return std::chrono::duration<double>(dt).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace nsbench::util
+
+#endif // NSBENCH_UTIL_TIMER_HH

@@ -1,0 +1,236 @@
+#include "vsa/binary.hh"
+
+#include <bit>
+
+#include "core/profiler.hh"
+#include "util/logging.hh"
+
+namespace nsbench::vsa
+{
+
+using core::OpCategory;
+using core::ScopedOp;
+using tensor::Tensor;
+
+namespace
+{
+
+int64_t
+wordsFor(int64_t dim)
+{
+    return (dim + 63) / 64;
+}
+
+/** Clears any bits beyond the dimension in the last word. */
+void
+maskTail(std::vector<uint64_t> &words, int64_t dim)
+{
+    int tail = static_cast<int>(dim % 64);
+    if (tail != 0 && !words.empty())
+        words.back() &= (uint64_t{1} << tail) - 1;
+}
+
+} // namespace
+
+BinaryVector::BinaryVector(int64_t dim) : dim_(dim)
+{
+    util::panicIf(dim < 1, "BinaryVector: non-positive dimension");
+    words_.assign(static_cast<size_t>(wordsFor(dim)), 0);
+}
+
+BinaryVector
+BinaryVector::random(int64_t dim, util::Rng &rng)
+{
+    BinaryVector out(dim);
+    for (auto &word : out.words_)
+        word = rng.engine()();
+    maskTail(out.words_, dim);
+    return out;
+}
+
+BinaryVector
+BinaryVector::fromTensor(const Tensor &values)
+{
+    util::panicIf(values.dim() != 1,
+                  "BinaryVector::fromTensor: rank-1 required");
+    BinaryVector out(values.size(0));
+    auto data = values.data();
+    for (int64_t i = 0; i < values.size(0); i++)
+        out.setBit(i, data[static_cast<size_t>(i)] > 0.0f);
+    return out;
+}
+
+bool
+BinaryVector::bit(int64_t index) const
+{
+    util::panicIf(index < 0 || index >= dim_,
+                  "BinaryVector::bit: index out of range");
+    return (words_[static_cast<size_t>(index / 64)] >>
+            (index % 64)) &
+           1u;
+}
+
+void
+BinaryVector::setBit(int64_t index, bool value)
+{
+    util::panicIf(index < 0 || index >= dim_,
+                  "BinaryVector::setBit: index out of range");
+    uint64_t mask = uint64_t{1} << (index % 64);
+    if (value)
+        words_[static_cast<size_t>(index / 64)] |= mask;
+    else
+        words_[static_cast<size_t>(index / 64)] &= ~mask;
+}
+
+Tensor
+BinaryVector::toBipolarTensor() const
+{
+    Tensor out({dim_});
+    for (int64_t i = 0; i < dim_; i++)
+        out(i) = bit(i) ? 1.0f : -1.0f;
+    return out;
+}
+
+BinaryVector
+xorBind(const BinaryVector &a, const BinaryVector &b)
+{
+    util::panicIf(a.dim() != b.dim(),
+                  "bvsa_bind: dimension mismatch");
+    ScopedOp op("bvsa_bind", OpCategory::VectorElementwise);
+    BinaryVector out(a.dim());
+    auto &words = out.words();
+    for (size_t w = 0; w < words.size(); w++)
+        words[w] = a.words()[w] ^ b.words()[w];
+    double bytes = static_cast<double>(words.size()) * 8.0;
+    op.setFlops(static_cast<double>(a.dim()));
+    op.setBytesRead(2.0 * bytes);
+    op.setBytesWritten(bytes);
+    return out;
+}
+
+BinaryVector
+majorityBundle(const std::vector<BinaryVector> &vectors, bool tie_high)
+{
+    util::panicIf(vectors.empty(), "bvsa_majority: no vectors");
+    int64_t dim = vectors[0].dim();
+    for (const auto &v : vectors) {
+        util::panicIf(v.dim() != dim,
+                      "bvsa_majority: dimension mismatch");
+    }
+
+    ScopedOp op("bvsa_majority", OpCategory::VectorElementwise);
+    BinaryVector out(dim);
+    auto n = static_cast<int64_t>(vectors.size());
+    for (int64_t i = 0; i < dim; i++) {
+        int64_t ones = 0;
+        for (const auto &v : vectors)
+            ones += v.bit(i) ? 1 : 0;
+        bool set = 2 * ones > n || (2 * ones == n && tie_high);
+        out.setBit(i, set);
+    }
+    op.setFlops(static_cast<double>(dim * n));
+    op.setBytesRead(static_cast<double>(n) *
+                    static_cast<double>(dim) / 8.0);
+    op.setBytesWritten(static_cast<double>(dim) / 8.0);
+    return out;
+}
+
+BinaryVector
+rotateBits(const BinaryVector &a, int64_t k)
+{
+    ScopedOp op("bvsa_permute", OpCategory::DataTransform);
+    int64_t dim = a.dim();
+    int64_t shift = ((k % dim) + dim) % dim;
+    BinaryVector out(dim);
+    for (int64_t i = 0; i < dim; i++)
+        out.setBit((i + shift) % dim, a.bit(i));
+    double bytes = static_cast<double>(dim) / 8.0;
+    op.setBytesRead(bytes);
+    op.setBytesWritten(bytes);
+    return out;
+}
+
+int64_t
+hammingDistance(const BinaryVector &a, const BinaryVector &b)
+{
+    util::panicIf(a.dim() != b.dim(),
+                  "bvsa_hamming: dimension mismatch");
+    ScopedOp op("bvsa_hamming", OpCategory::VectorElementwise);
+    int64_t distance = 0;
+    for (size_t w = 0; w < a.words().size(); w++)
+        distance += std::popcount(a.words()[w] ^ b.words()[w]);
+    double bytes = static_cast<double>(a.words().size()) * 8.0;
+    op.setFlops(static_cast<double>(a.words().size()) * 2.0);
+    op.setBytesRead(2.0 * bytes);
+    op.setBytesWritten(8.0);
+    return distance;
+}
+
+double
+binarySimilarity(const BinaryVector &a, const BinaryVector &b)
+{
+    return 1.0 - static_cast<double>(hammingDistance(a, b)) /
+                     static_cast<double>(a.dim());
+}
+
+BinaryCodebook::BinaryCodebook(int64_t entries, int64_t dim,
+                               util::Rng &rng)
+    : dim_(dim)
+{
+    util::panicIf(entries < 1 || dim < 1,
+                  "BinaryCodebook: non-positive size");
+    atoms_.reserve(static_cast<size_t>(entries));
+    for (int64_t e = 0; e < entries; e++)
+        atoms_.push_back(BinaryVector::random(dim, rng));
+}
+
+const BinaryVector &
+BinaryCodebook::atom(int64_t index) const
+{
+    util::panicIf(index < 0 || index >= entries(),
+                  "BinaryCodebook::atom: index out of range");
+    return atoms_[static_cast<size_t>(index)];
+}
+
+CleanupResult
+BinaryCodebook::cleanup(const BinaryVector &query) const
+{
+    util::panicIf(query.dim() != dim_,
+                  "BinaryCodebook::cleanup: dimension mismatch");
+    ScopedOp op("bvsa_cleanup", OpCategory::MatMul);
+    CleanupResult best;
+    int64_t best_distance = dim_ + 1;
+    for (int64_t e = 0; e < entries(); e++) {
+        int64_t distance = 0;
+        const auto &atom = atoms_[static_cast<size_t>(e)];
+        for (size_t w = 0; w < atom.words().size(); w++) {
+            distance +=
+                std::popcount(atom.words()[w] ^ query.words()[w]);
+        }
+        if (distance < best_distance) {
+            best_distance = distance;
+            best.index = e;
+        }
+    }
+    best.similarity =
+        1.0f - static_cast<float>(best_distance) /
+                   static_cast<float>(dim_);
+    double touched = static_cast<double>(entries()) *
+                     static_cast<double>(dim_) / 8.0;
+    op.setFlops(static_cast<double>(entries()) *
+                static_cast<double>(dim_) / 32.0);
+    op.setBytesRead(touched + static_cast<double>(dim_) / 8.0);
+    op.setBytesWritten(8.0);
+    return best;
+}
+
+uint64_t
+BinaryCodebook::bytes() const
+{
+    uint64_t total = 0;
+    for (const auto &atom : atoms_)
+        total += atom.bytes();
+    return total;
+}
+
+} // namespace nsbench::vsa

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Bit-packed binary vector-symbolic architecture.
+ *
+ * The paper's Tab. I tracks which algorithms use vector formats; the
+ * binary VSA family (XOR binding, majority bundling, Hamming
+ * similarity) is the storage- and bandwidth-friendly end of that
+ * space: packing 64 dimensions per machine word cuts the codebook
+ * bytes 32x against FP32 and turns binding into word-wide XOR — a
+ * software counterpart to the paper's Recommendation 3/4 pressure
+ * relief for the memory-bound symbolic phase.
+ */
+
+#ifndef NSBENCH_VSA_BINARY_HH
+#define NSBENCH_VSA_BINARY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+#include "vsa/codebook.hh"
+
+namespace nsbench::vsa
+{
+
+/**
+ * A dense binary hypervector packed 64 dimensions per word.
+ */
+class BinaryVector
+{
+  public:
+    /** An empty (zero-dimension) vector. */
+    BinaryVector() = default;
+
+    /** All-zeros vector of the given dimension. */
+    explicit BinaryVector(int64_t dim);
+
+    /** I.i.d. uniform random bits. */
+    static BinaryVector random(int64_t dim, util::Rng &rng);
+
+    /**
+     * Thresholds a bipolar/real tensor: bit i set iff value > 0.
+     */
+    static BinaryVector fromTensor(const tensor::Tensor &values);
+
+    /** Dimension in bits. */
+    int64_t dim() const { return dim_; }
+
+    /** Bit accessor. */
+    bool bit(int64_t index) const;
+
+    /** Bit mutator. */
+    void setBit(int64_t index, bool value);
+
+    /** Packed storage (little-endian bit order within words). */
+    const std::vector<uint64_t> &words() const { return words_; }
+
+    /**
+     * Mutable packed storage for word-wide operators. Callers must
+     * keep bits beyond dim() zero.
+     */
+    std::vector<uint64_t> &words() { return words_; }
+
+    /** Storage footprint in bytes. */
+    uint64_t
+    bytes() const
+    {
+        return words_.size() * sizeof(uint64_t);
+    }
+
+    /** Bipolar (+1/-1) tensor expansion. */
+    tensor::Tensor toBipolarTensor() const;
+
+    bool operator==(const BinaryVector &other) const = default;
+
+  private:
+    int64_t dim_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+/** XOR binding; its own inverse. Instrumented as "bvsa_bind". */
+BinaryVector xorBind(const BinaryVector &a, const BinaryVector &b);
+
+/**
+ * Majority-rule bundling of an odd-or-even set of vectors (ties break
+ * to 1 when @p tie_high). Instrumented as "bvsa_majority".
+ */
+BinaryVector majorityBundle(const std::vector<BinaryVector> &vectors,
+                            bool tie_high = true);
+
+/** Cyclic rotation by k bit positions. Instrumented as "bvsa_permute". */
+BinaryVector rotateBits(const BinaryVector &a, int64_t k);
+
+/** Hamming distance in bits. Instrumented as "bvsa_hamming". */
+int64_t hammingDistance(const BinaryVector &a, const BinaryVector &b);
+
+/** Normalized Hamming similarity in [0, 1]. */
+double binarySimilarity(const BinaryVector &a, const BinaryVector &b);
+
+/**
+ * A packed associative memory over binary atoms.
+ */
+class BinaryCodebook
+{
+  public:
+    /** Draws @p entries random atoms of dimension @p dim. */
+    BinaryCodebook(int64_t entries, int64_t dim, util::Rng &rng);
+
+    int64_t entries() const { return static_cast<int64_t>(atoms_.size()); }
+    int64_t dim() const { return dim_; }
+
+    /** Atom accessor. */
+    const BinaryVector &atom(int64_t index) const;
+
+    /** Index and similarity of the nearest atom (min Hamming). */
+    CleanupResult cleanup(const BinaryVector &query) const;
+
+    /** Packed storage footprint. */
+    uint64_t bytes() const;
+
+  private:
+    int64_t dim_;
+    std::vector<BinaryVector> atoms_;
+};
+
+} // namespace nsbench::vsa
+
+#endif // NSBENCH_VSA_BINARY_HH

@@ -1,0 +1,195 @@
+#include "vsa/codebook.hh"
+
+#include <cmath>
+
+#include "core/profiler.hh"
+#include "core/sparsity.hh"
+#include "util/logging.hh"
+
+namespace nsbench::vsa
+{
+
+using core::OpCategory;
+using core::ScopedOp;
+using tensor::Tensor;
+
+namespace
+{
+constexpr double elemBytes = sizeof(float);
+} // namespace
+
+Codebook::Codebook(int64_t entries, int64_t dim, util::Rng &rng)
+{
+    util::panicIf(entries < 1 || dim < 1,
+                  "Codebook: non-positive size");
+    atoms_ = Tensor::bipolar({entries, dim}, rng);
+    norms_.assign(static_cast<size_t>(entries),
+                  std::sqrt(static_cast<float>(dim)));
+}
+
+Codebook::Codebook(tensor::Tensor atoms) : atoms_(std::move(atoms))
+{
+    util::panicIf(atoms_.dim() != 2,
+                  "Codebook: atom matrix must be rank-2");
+    util::panicIf(atoms_.numel() == 0, "Codebook: non-positive size");
+    int64_t n = entries();
+    int64_t d = dim();
+    norms_.resize(static_cast<size_t>(n));
+    auto pa = atoms_.data();
+    for (int64_t e = 0; e < n; e++) {
+        double acc = 0.0;
+        for (int64_t i = 0; i < d; i++) {
+            float v = pa[static_cast<size_t>(e * d + i)];
+            acc += static_cast<double>(v) * v;
+        }
+        norms_[static_cast<size_t>(e)] =
+            static_cast<float>(std::sqrt(acc));
+    }
+}
+
+Tensor
+Codebook::atom(int64_t index) const
+{
+    util::panicIf(index < 0 || index >= entries(),
+                  "Codebook::atom: index out of range");
+    Tensor out({dim()});
+    auto src = atoms_.data();
+    auto dst = out.data();
+    auto d = static_cast<size_t>(dim());
+    std::copy(&src[static_cast<size_t>(index) * d],
+              &src[static_cast<size_t>(index + 1) * d], dst.begin());
+    return out;
+}
+
+Tensor
+Codebook::encodePmf(const Tensor &pmf, std::string_view stage,
+                    float threshold) const
+{
+    util::panicIf(pmf.dim() != 1 || pmf.size(0) != entries(),
+                  "Codebook::encodePmf: PMF length must equal entry "
+                  "count");
+    if (!stage.empty())
+        core::recordSpanSparsity(stage, pmf.data(), threshold);
+
+    ScopedOp op("pmf_to_vsa", OpCategory::VectorElementwise);
+    int64_t d = dim();
+    Tensor out({d});
+    auto po = out.data();
+    auto pw = pmf.data();
+    auto pa = atoms_.data();
+
+    int64_t active = 0;
+    for (int64_t e = 0; e < entries(); e++) {
+        float weight = pw[static_cast<size_t>(e)];
+        if (std::abs(weight) <= threshold)
+            continue;
+        active++;
+        const float *row = &pa[static_cast<size_t>(e * d)];
+        for (int64_t i = 0; i < d; i++)
+            po[static_cast<size_t>(i)] +=
+                weight * row[static_cast<size_t>(i)];
+    }
+
+    double touched = static_cast<double>(active) *
+                     static_cast<double>(d);
+    op.setFlops(2.0 * touched);
+    op.setBytesRead(touched * elemBytes +
+                    static_cast<double>(entries()) * elemBytes);
+    op.setBytesWritten(static_cast<double>(d) * elemBytes);
+    return out;
+}
+
+Tensor
+Codebook::decodePmf(const Tensor &hv, std::string_view stage,
+                    float threshold) const
+{
+    util::panicIf(hv.dim() != 1 || hv.size(0) != dim(),
+                  "Codebook::decodePmf: dimension mismatch");
+    ScopedOp op("vsa_to_pmf", OpCategory::VectorElementwise);
+
+    int64_t n = entries();
+    int64_t d = dim();
+    Tensor out({n});
+    auto po = out.data();
+    auto ph = hv.data();
+    auto pa = atoms_.data();
+
+    double hv_norm = 0.0;
+    for (int64_t i = 0; i < d; i++)
+        hv_norm += static_cast<double>(ph[static_cast<size_t>(i)]) *
+                   ph[static_cast<size_t>(i)];
+    hv_norm = std::sqrt(hv_norm);
+
+    double total = 0.0;
+    for (int64_t e = 0; e < n; e++) {
+        const float *row = &pa[static_cast<size_t>(e * d)];
+        double acc = 0.0;
+        for (int64_t i = 0; i < d; i++)
+            acc += static_cast<double>(ph[static_cast<size_t>(i)]) *
+                   row[static_cast<size_t>(i)];
+        double denom = hv_norm * norms_[static_cast<size_t>(e)];
+        double sim = denom > 0.0 ? acc / denom : 0.0;
+        float clamped = sim > threshold
+                            ? static_cast<float>(sim)
+                            : 0.0f;
+        po[static_cast<size_t>(e)] = clamped;
+        total += clamped;
+    }
+    if (total > 0.0) {
+        for (int64_t e = 0; e < n; e++)
+            po[static_cast<size_t>(e)] /= static_cast<float>(total);
+    }
+
+    double touched = static_cast<double>(n) * static_cast<double>(d);
+    op.setFlops(2.0 * touched + 2.0 * static_cast<double>(n));
+    op.setBytesRead((touched + static_cast<double>(d)) * elemBytes);
+    op.setBytesWritten(static_cast<double>(n) * elemBytes);
+
+    if (!stage.empty()) {
+        core::recordSpanSparsity(
+            stage, std::span<const float>(out.data()));
+    }
+    return out;
+}
+
+CleanupResult
+Codebook::cleanup(const Tensor &hv) const
+{
+    util::panicIf(hv.dim() != 1 || hv.size(0) != dim(),
+                  "Codebook::cleanup: dimension mismatch");
+    ScopedOp op("codebook_cleanup", OpCategory::MatMul);
+
+    int64_t n = entries();
+    int64_t d = dim();
+    auto ph = hv.data();
+    auto pa = atoms_.data();
+
+    double hv_norm = 0.0;
+    for (int64_t i = 0; i < d; i++)
+        hv_norm += static_cast<double>(ph[static_cast<size_t>(i)]) *
+                   ph[static_cast<size_t>(i)];
+    hv_norm = std::sqrt(hv_norm);
+
+    CleanupResult best;
+    for (int64_t e = 0; e < n; e++) {
+        const float *row = &pa[static_cast<size_t>(e * d)];
+        double acc = 0.0;
+        for (int64_t i = 0; i < d; i++)
+            acc += static_cast<double>(ph[static_cast<size_t>(i)]) *
+                   row[static_cast<size_t>(i)];
+        double denom = hv_norm * norms_[static_cast<size_t>(e)];
+        double sim = denom > 0.0 ? acc / denom : 0.0;
+        if (best.index < 0 || sim > best.similarity) {
+            best.index = e;
+            best.similarity = static_cast<float>(sim);
+        }
+    }
+
+    double touched = static_cast<double>(n) * static_cast<double>(d);
+    op.setFlops(2.0 * touched);
+    op.setBytesRead((touched + static_cast<double>(d)) * elemBytes);
+    op.setBytesWritten(elemBytes);
+    return best;
+}
+
+} // namespace nsbench::vsa

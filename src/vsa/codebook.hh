@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Codebooks and cleanup memory for vector-symbolic reasoning.
+ *
+ * A codebook maps discrete symbols (attribute values, object
+ * combinations) to quasi-orthogonal bipolar hypervectors. The
+ * PMF<->VSA transforms implemented here are the NVSA symbolic stages
+ * whose sparsity the paper reports in Fig. 5, and the codebook storage
+ * is the ">90% memory footprint" component of Takeaway 4.
+ */
+
+#ifndef NSBENCH_VSA_CODEBOOK_HH
+#define NSBENCH_VSA_CODEBOOK_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+
+namespace nsbench::vsa
+{
+
+/** Result of a cleanup-memory lookup. */
+struct CleanupResult
+{
+    int64_t index = -1;     ///< Best-matching atom.
+    float similarity = 0.0; ///< Cosine similarity of the match.
+};
+
+/**
+ * A table of random bipolar atoms with PMF encode/decode transforms.
+ */
+class Codebook
+{
+  public:
+    /**
+     * Draws @p entries random bipolar atoms of dimension @p dim.
+     */
+    Codebook(int64_t entries, int64_t dim, util::Rng &rng);
+
+    /**
+     * Wraps an explicit [entries, dim] atom matrix (e.g. structured
+     * fractional-power atoms). Atoms should be unit-L2-normalized;
+     * decode/cleanup similarities assume a common atom norm.
+     */
+    explicit Codebook(tensor::Tensor atoms);
+
+    /** Number of atoms. */
+    int64_t entries() const { return atoms_.size(0); }
+
+    /** Hypervector dimension. */
+    int64_t dim() const { return atoms_.size(1); }
+
+    /** Copy of one atom as a rank-1 tensor. */
+    tensor::Tensor atom(int64_t index) const;
+
+    /** The full [entries, dim] atom matrix. */
+    const tensor::Tensor &matrix() const { return atoms_; }
+
+    /**
+     * PMF-to-VSA transform: the probability-weighted superposition of
+     * atoms. Entries below @p threshold are skipped (the unstructured
+     * sparsity NVSA exploits); when @p stage is non-empty the PMF's
+     * zero fraction at that threshold is recorded on the profiler.
+     *
+     * @param pmf Rank-1 probability vector over the atoms.
+     */
+    tensor::Tensor encodePmf(const tensor::Tensor &pmf,
+                             std::string_view stage = {},
+                             float threshold = 1e-6f) const;
+
+    /**
+     * VSA-to-PMF transform: cosine similarity of @p hv against every
+     * atom, negatives and values below @p threshold clamped to zero,
+     * renormalized to sum to one. When @p stage is non-empty the
+     * result's sparsity is recorded.
+     */
+    tensor::Tensor decodePmf(const tensor::Tensor &hv,
+                             std::string_view stage = {},
+                             float threshold = 0.0f) const;
+
+    /** Nearest atom by cosine similarity. */
+    CleanupResult cleanup(const tensor::Tensor &hv) const;
+
+    /** Storage footprint of the atom table. */
+    uint64_t bytes() const { return atoms_.bytes(); }
+
+  private:
+    tensor::Tensor atoms_; ///< [entries, dim] atom matrix.
+    std::vector<float> norms_; ///< Per-atom L2 norms.
+};
+
+} // namespace nsbench::vsa
+
+#endif // NSBENCH_VSA_CODEBOOK_HH

@@ -1,0 +1,57 @@
+#include "vsa/fft.hh"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/logging.hh"
+
+namespace nsbench::vsa
+{
+
+bool
+isPowerOfTwo(size_t n)
+{
+    return n > 0 && (n & (n - 1)) == 0;
+}
+
+void
+fft(std::vector<std::complex<double>> &values, bool inverse)
+{
+    size_t n = values.size();
+    util::panicIf(!isPowerOfTwo(n), "fft: length must be a power of 2");
+    if (n == 1)
+        return;
+
+    // Bit-reversal permutation.
+    for (size_t i = 1, j = 0; i < n; i++) {
+        size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(values[i], values[j]);
+    }
+
+    for (size_t len = 2; len <= n; len <<= 1) {
+        double angle = 2.0 * std::numbers::pi /
+                       static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+        std::complex<double> wlen(std::cos(angle), std::sin(angle));
+        for (size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (size_t k = 0; k < len / 2; k++) {
+                std::complex<double> u = values[i + k];
+                std::complex<double> v = values[i + k + len / 2] * w;
+                values[i + k] = u + v;
+                values[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+
+    if (inverse) {
+        for (auto &v : values)
+            v /= static_cast<double>(n);
+    }
+}
+
+} // namespace nsbench::vsa

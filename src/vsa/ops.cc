@@ -1,0 +1,323 @@
+#include "vsa/ops.hh"
+
+#include <cmath>
+
+#include "core/profiler.hh"
+#include "util/logging.hh"
+#include "vsa/fft.hh"
+
+namespace nsbench::vsa
+{
+
+using core::OpCategory;
+using core::ScopedOp;
+using tensor::Tensor;
+
+namespace
+{
+
+constexpr double elemBytes = sizeof(float);
+
+void
+checkSameDim(const char *name, const Tensor &a, const Tensor &b)
+{
+    util::panicIf(a.dim() != 1 || b.dim() != 1 ||
+                      a.size(0) != b.size(0),
+                  std::string(name) +
+                      ": rank-1 equal-dimension hypervectors required");
+}
+
+} // namespace
+
+Tensor
+randomHypervector(int64_t dim, util::Rng &rng)
+{
+    util::panicIf(dim < 1, "randomHypervector: non-positive dimension");
+    return Tensor::bipolar({dim}, rng);
+}
+
+Tensor
+bind(const Tensor &a, const Tensor &b)
+{
+    checkSameDim("vsa_bind", a, b);
+    ScopedOp op("vsa_bind", OpCategory::VectorElementwise);
+    Tensor out({a.size(0)});
+    auto pa = a.data();
+    auto pb = b.data();
+    auto po = out.data();
+    for (size_t i = 0; i < pa.size(); i++)
+        po[i] = pa[i] * pb[i];
+    auto n = static_cast<double>(a.numel());
+    op.setFlops(n);
+    op.setBytesRead(2.0 * n * elemBytes);
+    op.setBytesWritten(n * elemBytes);
+    return out;
+}
+
+Tensor
+unbind(const Tensor &a, const Tensor &b)
+{
+    checkSameDim("vsa_unbind", a, b);
+    ScopedOp op("vsa_unbind", OpCategory::VectorElementwise);
+    Tensor out({a.size(0)});
+    auto pa = a.data();
+    auto pb = b.data();
+    auto po = out.data();
+    for (size_t i = 0; i < pa.size(); i++)
+        po[i] = pa[i] * pb[i];
+    auto n = static_cast<double>(a.numel());
+    op.setFlops(n);
+    op.setBytesRead(2.0 * n * elemBytes);
+    op.setBytesWritten(n * elemBytes);
+    return out;
+}
+
+Tensor
+bundle(const std::vector<Tensor> &vectors)
+{
+    util::panicIf(vectors.empty(), "vsa_bundle: no vectors");
+    int64_t dim = vectors[0].size(0);
+    for (const auto &v : vectors)
+        checkSameDim("vsa_bundle", vectors[0], v);
+
+    ScopedOp op("vsa_bundle", OpCategory::VectorElementwise);
+    Tensor out({dim});
+    auto po = out.data();
+    for (const auto &v : vectors) {
+        auto pv = v.data();
+        for (size_t i = 0; i < po.size(); i++)
+            po[i] += pv[i];
+    }
+    double total = static_cast<double>(dim) *
+                   static_cast<double>(vectors.size());
+    op.setFlops(total);
+    op.setBytesRead(total * elemBytes);
+    op.setBytesWritten(static_cast<double>(dim) * elemBytes);
+    return out;
+}
+
+Tensor
+bundleMajority(const std::vector<Tensor> &vectors)
+{
+    Tensor sum = bundle(vectors);
+    ScopedOp op("vsa_majority", OpCategory::VectorElementwise);
+    auto ps = sum.data();
+    Tensor out({sum.size(0)});
+    auto po = out.data();
+    for (size_t i = 0; i < ps.size(); i++)
+        po[i] = ps[i] >= 0.0f ? 1.0f : -1.0f;
+    auto n = static_cast<double>(sum.numel());
+    op.setFlops(n);
+    op.setBytesRead(n * elemBytes);
+    op.setBytesWritten(n * elemBytes);
+    return out;
+}
+
+Tensor
+permuteShift(const Tensor &a, int64_t k)
+{
+    util::panicIf(a.dim() != 1, "vsa_permute: rank-1 required");
+    ScopedOp op("vsa_permute", OpCategory::DataTransform);
+    int64_t d = a.size(0);
+    Tensor out({d});
+    auto pa = a.data();
+    auto po = out.data();
+    int64_t shift = ((k % d) + d) % d;
+    for (int64_t i = 0; i < d; i++)
+        po[static_cast<size_t>((i + shift) % d)] =
+            pa[static_cast<size_t>(i)];
+    auto n = static_cast<double>(d);
+    op.setBytesRead(n * elemBytes);
+    op.setBytesWritten(n * elemBytes);
+    return out;
+}
+
+Tensor
+circularConvolve(const Tensor &a, const Tensor &b)
+{
+    checkSameDim("circular_conv", a, b);
+    ScopedOp op("circular_conv", OpCategory::VectorElementwise);
+    int64_t d = a.size(0);
+    Tensor out({d});
+    auto pa = a.data();
+    auto pb = b.data();
+    auto po = out.data();
+    for (int64_t i = 0; i < d; i++) {
+        double acc = 0.0;
+        for (int64_t j = 0; j < d; j++) {
+            acc += static_cast<double>(pa[static_cast<size_t>(j)]) *
+                   pb[static_cast<size_t>(((i - j) % d + d) % d)];
+        }
+        po[static_cast<size_t>(i)] = static_cast<float>(acc);
+    }
+    auto n = static_cast<double>(d);
+    op.setFlops(2.0 * n * n);
+    // Schoolbook form streams the full B vector per output element.
+    op.setBytesRead((n + n * n) * elemBytes);
+    op.setBytesWritten(n * elemBytes);
+    return out;
+}
+
+Tensor
+circularCorrelate(const Tensor &a, const Tensor &b)
+{
+    checkSameDim("circular_corr", a, b);
+    ScopedOp op("circular_corr", OpCategory::VectorElementwise);
+    int64_t d = a.size(0);
+    Tensor out({d});
+    auto pa = a.data();
+    auto pb = b.data();
+    auto po = out.data();
+    for (int64_t i = 0; i < d; i++) {
+        double acc = 0.0;
+        for (int64_t j = 0; j < d; j++) {
+            acc += static_cast<double>(pa[static_cast<size_t>(j)]) *
+                   pb[static_cast<size_t>((j + i) % d)];
+        }
+        po[static_cast<size_t>(i)] = static_cast<float>(acc);
+    }
+    auto n = static_cast<double>(d);
+    op.setFlops(2.0 * n * n);
+    op.setBytesRead((n + n * n) * elemBytes);
+    op.setBytesWritten(n * elemBytes);
+    return out;
+}
+
+Tensor
+fftCircularConvolve(const Tensor &a, const Tensor &b)
+{
+    checkSameDim("fft_circular_conv", a, b);
+    auto d = static_cast<size_t>(a.size(0));
+    util::panicIf(!isPowerOfTwo(d),
+                  "fft_circular_conv: dimension must be a power of 2");
+
+    ScopedOp op("fft_circular_conv", OpCategory::VectorElementwise);
+    std::vector<std::complex<double>> fa(d), fb(d);
+    auto pa = a.data();
+    auto pb = b.data();
+    for (size_t i = 0; i < d; i++) {
+        fa[i] = pa[i];
+        fb[i] = pb[i];
+    }
+    fft(fa, false);
+    fft(fb, false);
+    for (size_t i = 0; i < d; i++)
+        fa[i] *= fb[i];
+    fft(fa, true);
+
+    Tensor out({static_cast<int64_t>(d)});
+    auto po = out.data();
+    for (size_t i = 0; i < d; i++)
+        po[i] = static_cast<float>(fa[i].real());
+
+    auto n = static_cast<double>(d);
+    double logn = std::log2(n);
+    op.setFlops(3.0 * 5.0 * n * logn + 6.0 * n);
+    op.setBytesRead(2.0 * n * elemBytes);
+    op.setBytesWritten(n * elemBytes);
+    return out;
+}
+
+Tensor
+unitaryVector(int64_t dim, util::Rng &rng)
+{
+    util::panicIf(!isPowerOfTwo(static_cast<size_t>(dim)),
+                  "unitaryVector: dimension must be a power of 2");
+    auto d = static_cast<size_t>(dim);
+    // Random unit-magnitude spectrum with conjugate symmetry so the
+    // time-domain signal is real.
+    std::vector<std::complex<double>> spectrum(d);
+    spectrum[0] = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    spectrum[d / 2] = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    for (size_t i = 1; i < d / 2; i++) {
+        double theta = rng.uniformDouble(0.0, 2.0 * 3.14159265358979);
+        spectrum[i] = {std::cos(theta), std::sin(theta)};
+        spectrum[d - i] = std::conj(spectrum[i]);
+    }
+    fft(spectrum, true);
+    // Unit-magnitude spectrum + Parseval gives a unit-L2 time-domain
+    // vector, and convolution powers keep that norm exactly.
+    Tensor out({dim});
+    auto po = out.data();
+    for (size_t i = 0; i < d; i++)
+        po[i] = static_cast<float>(spectrum[i].real());
+    return out;
+}
+
+Tensor
+convPower(const Tensor &base, int power)
+{
+    util::panicIf(base.dim() != 1, "convPower: rank-1 required");
+    auto d = static_cast<size_t>(base.size(0));
+    util::panicIf(!isPowerOfTwo(d),
+                  "convPower: dimension must be a power of 2");
+
+    core::ScopedOp op("vsa_conv_power",
+                      core::OpCategory::VectorElementwise);
+    std::vector<std::complex<double>> spectrum(d);
+    auto pb = base.data();
+    for (size_t i = 0; i < d; i++)
+        spectrum[i] = pb[i];
+    fft(spectrum, false);
+    for (auto &c : spectrum) {
+        double mag = std::abs(c);
+        double phase = std::arg(c);
+        double new_mag = std::pow(mag, power);
+        double new_phase = phase * power;
+        c = {new_mag * std::cos(new_phase),
+             new_mag * std::sin(new_phase)};
+    }
+    fft(spectrum, true);
+    Tensor out({base.size(0)});
+    auto po = out.data();
+    for (size_t i = 0; i < d; i++)
+        po[i] = static_cast<float>(spectrum[i].real());
+
+    auto n = static_cast<double>(d);
+    op.setFlops(2.0 * 5.0 * n * std::log2(n) + 8.0 * n);
+    op.setBytesRead(n * elemBytes);
+    op.setBytesWritten(n * elemBytes);
+    return out;
+}
+
+float
+cosineSimilarity(const Tensor &a, const Tensor &b)
+{
+    checkSameDim("vsa_cosine", a, b);
+    ScopedOp op("vsa_cosine", OpCategory::VectorElementwise);
+    auto pa = a.data();
+    auto pb = b.data();
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (size_t i = 0; i < pa.size(); i++) {
+        dot += static_cast<double>(pa[i]) * pb[i];
+        na += static_cast<double>(pa[i]) * pa[i];
+        nb += static_cast<double>(pb[i]) * pb[i];
+    }
+    auto n = static_cast<double>(a.numel());
+    op.setFlops(6.0 * n);
+    op.setBytesRead(2.0 * n * elemBytes);
+    op.setBytesWritten(elemBytes);
+    double denom = std::sqrt(na) * std::sqrt(nb);
+    return denom > 0.0 ? static_cast<float>(dot / denom) : 0.0f;
+}
+
+float
+hammingSimilarity(const Tensor &a, const Tensor &b)
+{
+    checkSameDim("vsa_hamming", a, b);
+    ScopedOp op("vsa_hamming", OpCategory::VectorElementwise);
+    auto pa = a.data();
+    auto pb = b.data();
+    int64_t match = 0;
+    for (size_t i = 0; i < pa.size(); i++) {
+        if ((pa[i] >= 0.0f) == (pb[i] >= 0.0f))
+            match++;
+    }
+    auto n = static_cast<double>(a.numel());
+    op.setFlops(n);
+    op.setBytesRead(2.0 * n * elemBytes);
+    op.setBytesWritten(elemBytes);
+    return static_cast<float>(match) / static_cast<float>(a.numel());
+}
+
+} // namespace nsbench::vsa

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Vector-symbolic architecture primitives.
+ *
+ * Hypervectors are rank-1 tensors. Bipolar (+1/-1) vectors use
+ * Hadamard binding (self-inverse); real-valued holographic vectors use
+ * circular convolution binding with circular correlation as the
+ * approximate inverse — the operations the paper attributes to NVSA,
+ * VSAIT and PrAE's symbolic backends. Each primitive is instrumented
+ * under its own operator name so the Fig. 3a breakdown separates
+ * binding, bundling, permutation and cleanup traffic.
+ */
+
+#ifndef NSBENCH_VSA_OPS_HH
+#define NSBENCH_VSA_OPS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+
+namespace nsbench::vsa
+{
+
+/** Draws a random bipolar hypervector of the given dimension. */
+tensor::Tensor randomHypervector(int64_t dim, util::Rng &rng);
+
+/** Hadamard binding; self-inverse for bipolar vectors. */
+tensor::Tensor bind(const tensor::Tensor &a, const tensor::Tensor &b);
+
+/**
+ * Hadamard unbinding. For bipolar vectors this equals bind(); kept
+ * distinct so the profiler separates bind and unbind traffic the way
+ * VSAIT's pipeline does.
+ */
+tensor::Tensor unbind(const tensor::Tensor &a, const tensor::Tensor &b);
+
+/** Element-wise sum of hypervectors (superposition). */
+tensor::Tensor bundle(const std::vector<tensor::Tensor> &vectors);
+
+/**
+ * Majority-rule bundling: the sign of the element-wise sum, ties
+ * broken toward +1. Keeps the result bipolar.
+ */
+tensor::Tensor bundleMajority(const std::vector<tensor::Tensor> &vectors);
+
+/** Cyclic right-shift by k positions (the VSA permutation op). */
+tensor::Tensor permuteShift(const tensor::Tensor &a, int64_t k);
+
+/**
+ * Circular convolution binding (HRR), naive O(d^2) schoolbook form —
+ * the shape of compute the paper calls out as memory-streaming-heavy.
+ */
+tensor::Tensor circularConvolve(const tensor::Tensor &a,
+                                const tensor::Tensor &b);
+
+/** Circular correlation, the approximate inverse of HRR binding. */
+tensor::Tensor circularCorrelate(const tensor::Tensor &a,
+                                 const tensor::Tensor &b);
+
+/**
+ * FFT-based circular convolution, O(d log d). Requires a power-of-two
+ * dimension. The ablation bench contrasts this with the naive path.
+ */
+tensor::Tensor fftCircularConvolve(const tensor::Tensor &a,
+                                   const tensor::Tensor &b);
+
+/**
+ * Random unitary hypervector: every spectral coefficient has unit
+ * magnitude, so circular-convolution powers preserve the L2 norm and
+ * circular correlation is an exact inverse. Requires a power-of-two
+ * dimension. This is the fractional-power-encoding base NVSA-style
+ * frontends use for ordered attribute values.
+ */
+tensor::Tensor unitaryVector(int64_t dim, util::Rng &rng);
+
+/**
+ * The k-th circular-convolution power of a unitary base vector,
+ * computed spectrally (k may be negative or zero; power 0 is the
+ * convolution identity).
+ */
+tensor::Tensor convPower(const tensor::Tensor &base, int power);
+
+/** Cosine similarity of two hypervectors, in [-1, 1]. */
+float cosineSimilarity(const tensor::Tensor &a, const tensor::Tensor &b);
+
+/**
+ * Normalized Hamming similarity of two bipolar vectors: the fraction
+ * of positions with matching sign, in [0, 1].
+ */
+float hammingSimilarity(const tensor::Tensor &a,
+                        const tensor::Tensor &b);
+
+} // namespace nsbench::vsa
+
+#endif // NSBENCH_VSA_OPS_HH

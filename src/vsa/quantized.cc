@@ -1,0 +1,111 @@
+#include "vsa/quantized.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/profiler.hh"
+#include "util/logging.hh"
+
+namespace nsbench::vsa
+{
+
+using tensor::Tensor;
+
+QuantizedCodebook::QuantizedCodebook(const Codebook &source)
+    : entries_(source.entries()), dim_(source.dim())
+{
+    atoms_.resize(static_cast<size_t>(entries_ * dim_));
+    scales_.resize(static_cast<size_t>(entries_));
+    norms_.resize(static_cast<size_t>(entries_));
+
+    auto src = source.matrix().data();
+    for (int64_t e = 0; e < entries_; e++) {
+        const float *row = &src[static_cast<size_t>(e * dim_)];
+        float max_abs = 0.0f;
+        for (int64_t i = 0; i < dim_; i++)
+            max_abs = std::max(max_abs, std::abs(row[i]));
+        float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+        scales_[static_cast<size_t>(e)] = scale;
+
+        double norm = 0.0;
+        for (int64_t i = 0; i < dim_; i++) {
+            auto q = static_cast<int8_t>(std::clamp(
+                std::lround(row[i] / scale), -127L, 127L));
+            atoms_[static_cast<size_t>(e * dim_ + i)] = q;
+            double dq = static_cast<double>(q) * scale;
+            norm += dq * dq;
+        }
+        norms_[static_cast<size_t>(e)] =
+            static_cast<float>(std::sqrt(norm));
+    }
+}
+
+CleanupResult
+QuantizedCodebook::cleanup(const Tensor &hv) const
+{
+    util::panicIf(hv.dim() != 1 || hv.size(0) != dim_,
+                  "QuantizedCodebook::cleanup: dimension mismatch");
+    core::ScopedOp op("codebook_cleanup_int8",
+                      core::OpCategory::MatMul);
+
+    // Quantize the query symmetrically.
+    auto ph = hv.data();
+    float max_abs = 0.0f;
+    for (float v : ph)
+        max_abs = std::max(max_abs, std::abs(v));
+    float q_scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+    std::vector<int8_t> query(static_cast<size_t>(dim_));
+    double q_norm = 0.0;
+    for (int64_t i = 0; i < dim_; i++) {
+        auto q = static_cast<int8_t>(std::clamp(
+            std::lround(ph[static_cast<size_t>(i)] / q_scale), -127L,
+            127L));
+        query[static_cast<size_t>(i)] = q;
+        double dq = static_cast<double>(q) * q_scale;
+        q_norm += dq * dq;
+    }
+    q_norm = std::sqrt(q_norm);
+
+    CleanupResult best;
+    for (int64_t e = 0; e < entries_; e++) {
+        const int8_t *row = &atoms_[static_cast<size_t>(e * dim_)];
+        int64_t acc = 0; // integer MAC accumulation
+        for (int64_t i = 0; i < dim_; i++) {
+            acc += static_cast<int64_t>(row[i]) *
+                   query[static_cast<size_t>(i)];
+        }
+        double dot = static_cast<double>(acc) *
+                     scales_[static_cast<size_t>(e)] * q_scale;
+        double denom = q_norm * norms_[static_cast<size_t>(e)];
+        double sim = denom > 0.0 ? dot / denom : 0.0;
+        if (best.index < 0 || sim > best.similarity) {
+            best.index = e;
+            best.similarity = static_cast<float>(sim);
+        }
+    }
+
+    double touched = static_cast<double>(entries_) *
+                     static_cast<double>(dim_);
+    op.setFlops(2.0 * touched);
+    // INT8 atoms move a quarter of the FP32 bytes.
+    op.setBytesRead(touched + static_cast<double>(dim_) * 4.0);
+    op.setBytesWritten(8.0);
+    return best;
+}
+
+Tensor
+QuantizedCodebook::dequantizeAtom(int64_t index) const
+{
+    util::panicIf(index < 0 || index >= entries_,
+                  "QuantizedCodebook::dequantizeAtom: out of range");
+    Tensor out({dim_});
+    float scale = scales_[static_cast<size_t>(index)];
+    for (int64_t i = 0; i < dim_; i++) {
+        out(i) = static_cast<float>(
+                     atoms_[static_cast<size_t>(index * dim_ + i)]) *
+                 scale;
+    }
+    return out;
+}
+
+} // namespace nsbench::vsa

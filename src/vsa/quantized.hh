@@ -1,0 +1,69 @@
+/**
+ * @file
+ * INT8-quantized codebook (the paper's Recommendation 3).
+ *
+ * The paper recommends model compression — quantization in
+ * particular — to shrink the codebooks that dominate NVSA-class
+ * memory footprints. Cleanup over random-ish hypervectors is
+ * extremely quantization-tolerant (similarity search only needs the
+ * sign structure), so an 8-bit codebook keeps accuracy while cutting
+ * the footprint 4x and, on real hardware, the bandwidth pressure of
+ * the memory-bound symbolic phase with it.
+ */
+
+#ifndef NSBENCH_VSA_QUANTIZED_HH
+#define NSBENCH_VSA_QUANTIZED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "vsa/codebook.hh"
+
+namespace nsbench::vsa
+{
+
+/**
+ * An 8-bit copy of a codebook with symmetric per-atom scales.
+ */
+class QuantizedCodebook
+{
+  public:
+    /** Quantizes every atom of @p source at 8 bits. */
+    explicit QuantizedCodebook(const Codebook &source);
+
+    /** Number of atoms. */
+    int64_t entries() const { return entries_; }
+
+    /** Hypervector dimension. */
+    int64_t dim() const { return dim_; }
+
+    /**
+     * Nearest atom by (quantized) cosine similarity. The query is
+     * quantized symmetrically on the fly; accumulation is integer,
+     * as an INT8 MAC array would do it.
+     */
+    CleanupResult cleanup(const tensor::Tensor &hv) const;
+
+    /** Storage footprint: one byte per element plus scales. */
+    uint64_t
+    bytes() const
+    {
+        return static_cast<uint64_t>(entries_) *
+                   static_cast<uint64_t>(dim_) +
+               static_cast<uint64_t>(entries_) * sizeof(float);
+    }
+
+    /** Dequantized copy of one atom (for inspection/tests). */
+    tensor::Tensor dequantizeAtom(int64_t index) const;
+
+  private:
+    int64_t entries_ = 0;
+    int64_t dim_ = 0;
+    std::vector<int8_t> atoms_;   ///< entries x dim, row-major.
+    std::vector<float> scales_;   ///< Per-atom dequantization scale.
+    std::vector<float> norms_;    ///< Per-atom dequantized L2 norm.
+};
+
+} // namespace nsbench::vsa
+
+#endif // NSBENCH_VSA_QUANTIZED_HH

@@ -1,0 +1,130 @@
+#include "vsa/resonator.hh"
+
+#include "core/profiler.hh"
+#include "util/logging.hh"
+#include "vsa/ops.hh"
+
+namespace nsbench::vsa
+{
+
+using tensor::Tensor;
+
+namespace
+{
+
+/**
+ * Projects a noisy estimate onto a codebook's span and re-binarizes:
+ * sign(X^T (X v)) in resonator terms.
+ */
+Tensor
+projectAndBinarize(const Codebook &book, const Tensor &estimate)
+{
+    // Similarity of the estimate to every atom...
+    Tensor sims({book.entries()});
+    {
+        core::ScopedOp op("resonator_project",
+                          core::OpCategory::MatMul);
+        auto pa = book.matrix().data();
+        auto pe = estimate.data();
+        auto ps = sims.data();
+        int64_t d = book.dim();
+        for (int64_t e = 0; e < book.entries(); e++) {
+            const float *row = &pa[static_cast<size_t>(e * d)];
+            double acc = 0.0;
+            for (int64_t i = 0; i < d; i++)
+                acc += static_cast<double>(
+                           pe[static_cast<size_t>(i)]) *
+                       row[static_cast<size_t>(i)];
+            ps[static_cast<size_t>(e)] = static_cast<float>(acc);
+        }
+        double touched = static_cast<double>(book.entries()) *
+                         static_cast<double>(d);
+        op.setFlops(2.0 * touched);
+        op.setBytesRead((touched + static_cast<double>(d)) * 4.0);
+        op.setBytesWritten(static_cast<double>(book.entries()) * 4.0);
+    }
+
+    // ...then the similarity-weighted recombination, binarized.
+    core::ScopedOp op("resonator_recombine", core::OpCategory::MatMul);
+    Tensor out({book.dim()});
+    auto pa = book.matrix().data();
+    auto ps = sims.data();
+    auto po = out.data();
+    int64_t d = book.dim();
+    for (int64_t e = 0; e < book.entries(); e++) {
+        float w = ps[static_cast<size_t>(e)];
+        const float *row = &pa[static_cast<size_t>(e * d)];
+        for (int64_t i = 0; i < d; i++)
+            po[static_cast<size_t>(i)] +=
+                w * row[static_cast<size_t>(i)];
+    }
+    for (int64_t i = 0; i < d; i++)
+        po[static_cast<size_t>(i)] =
+            po[static_cast<size_t>(i)] >= 0.0f ? 1.0f : -1.0f;
+    double touched = static_cast<double>(book.entries()) *
+                     static_cast<double>(d);
+    op.setFlops(2.0 * touched + static_cast<double>(d));
+    op.setBytesRead((touched + static_cast<double>(book.entries())) *
+                    4.0);
+    op.setBytesWritten(static_cast<double>(d) * 4.0);
+    return out;
+}
+
+} // namespace
+
+FactorizationResult
+factorize(const tensor::Tensor &composite,
+          const std::vector<const Codebook *> &books,
+          int max_iterations)
+{
+    util::panicIf(books.empty(), "factorize: no codebooks");
+    int64_t d = composite.size(0);
+    for (const Codebook *book : books) {
+        util::panicIf(book == nullptr, "factorize: null codebook");
+        util::panicIf(book->dim() != d,
+                      "factorize: codebook dimension mismatch");
+    }
+
+    size_t k = books.size();
+    // Initialize each estimate to the superposition of its book.
+    std::vector<Tensor> estimates;
+    estimates.reserve(k);
+    for (const Codebook *book : books) {
+        std::vector<Tensor> atoms;
+        atoms.reserve(static_cast<size_t>(book->entries()));
+        for (int64_t e = 0; e < book->entries(); e++)
+            atoms.push_back(book->atom(e));
+        estimates.push_back(bundleMajority(atoms));
+    }
+
+    FactorizationResult result;
+    for (int iter = 0; iter < max_iterations; iter++) {
+        result.iterations = iter + 1;
+        bool stable = true;
+        for (size_t f = 0; f < k; f++) {
+            // Unbind every other current estimate from the composite.
+            Tensor residual = composite;
+            for (size_t g = 0; g < k; g++) {
+                if (g != f)
+                    residual = unbind(residual, estimates[g]);
+            }
+            Tensor updated = projectAndBinarize(*books[f], residual);
+            // Check movement before committing.
+            if (hammingSimilarity(updated, estimates[f]) < 1.0f)
+                stable = false;
+            estimates[f] = std::move(updated);
+        }
+        if (stable) {
+            result.converged = true;
+            break;
+        }
+    }
+
+    result.factors.reserve(k);
+    for (size_t f = 0; f < k; f++)
+        result.factors.push_back(
+            books[f]->cleanup(estimates[f]).index);
+    return result;
+}
+
+} // namespace nsbench::vsa

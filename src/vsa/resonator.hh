@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Resonator network for factorizing bound hypervector products.
+ *
+ * NVSA-style frontends represent an object as the binding of one atom
+ * per attribute codebook; recovering the attributes from the product
+ * is a combinatorial search that resonator networks solve iteratively
+ * in superposition — the "efficient factorization of neural and
+ * symbolic components" the paper's Recommendation 3 points at.
+ */
+
+#ifndef NSBENCH_VSA_RESONATOR_HH
+#define NSBENCH_VSA_RESONATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "vsa/codebook.hh"
+
+namespace nsbench::vsa
+{
+
+/** Outcome of a resonator factorization. */
+struct FactorizationResult
+{
+    std::vector<int64_t> factors; ///< Recovered atom index per book.
+    int iterations = 0;           ///< Iterations until convergence.
+    bool converged = false;       ///< Whether estimates stabilized.
+};
+
+/**
+ * Iteratively factorizes a composite hypervector.
+ *
+ * @param composite The bound product bind(a1, a2, ..., ak), one atom
+ *        drawn from each codebook.
+ * @param books One codebook per factor (all of the same dimension).
+ * @param max_iterations Iteration cap.
+ * @return Recovered per-book atom indices; converged is false when the
+ *         cap was reached with estimates still moving.
+ */
+FactorizationResult factorize(const tensor::Tensor &composite,
+                              const std::vector<const Codebook *> &books,
+                              int max_iterations = 64);
+
+} // namespace nsbench::vsa
+
+#endif // NSBENCH_VSA_RESONATOR_HH

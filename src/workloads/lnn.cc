@@ -1,0 +1,316 @@
+#include "workloads/lnn.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "core/profiler.hh"
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+
+namespace nsbench::workloads
+{
+
+using core::OpCategory;
+using core::OpGraph;
+using core::Phase;
+using core::PhaseScope;
+using core::ScopedOp;
+using logic::GroundAtom;
+using logic::TruthBounds;
+using tensor::Tensor;
+
+void
+LnnWorkload::setUp(uint64_t seed)
+{
+    seed_ = seed;
+    university_ = std::make_unique<data::UniversityKb>(
+        data::makeUniversityKb(config_.departments,
+                               config_.professorsPerDept,
+                               config_.studentsPerDept,
+                               config_.coursesPerProf, seed));
+    // Ground truth from classical saturation on a scratch copy,
+    // computed here so run() spends no unattributed time on scoring.
+    logic::KnowledgeBase truth = university_->kb;
+    truth.forwardChain();
+    expectedSenior_ = {
+        truth.facts(university_->seniorStudent).begin(),
+        truth.facts(university_->seniorStudent).end()};
+}
+
+uint64_t
+LnnWorkload::storageBytes() const
+{
+    return university_ ? university_->kb.factBytes() : 0;
+}
+
+double
+LnnWorkload::run()
+{
+    util::panicIf(!university_, "LNN: setUp() not called");
+    // Work on a scratch copy so repeated runs start identically.
+    logic::KnowledgeBase kb = university_->kb;
+    std::set<GroundAtom> base_facts;
+    for (size_t p = 0; p < kb.numPredicates(); p++) {
+        for (const auto &fact :
+             kb.facts(static_cast<logic::PredId>(p))) {
+            base_facts.insert(fact);
+        }
+    }
+
+    // ---- Symbolic: grounding. Saturate to enumerate candidate
+    // atoms, then ground every rule into formula-graph instances.
+    Grounded g;
+    {
+        PhaseScope symbolic(Phase::Symbolic, "lnn/grounding");
+        kb.forwardChain();
+
+        auto atom_id = [&](const GroundAtom &atom) -> int64_t {
+            auto it = g.atomIds.find(atom);
+            if (it != g.atomIds.end())
+                return static_cast<int64_t>(it->second);
+            size_t id = g.bounds.size();
+            g.atomIds.emplace(atom, id);
+            g.bounds.push_back(base_facts.count(atom)
+                                   ? TruthBounds::certainTrue()
+                                   : TruthBounds::unknown());
+            return static_cast<int64_t>(id);
+        };
+
+        for (const auto &rule : kb.rules()) {
+            ScopedOp op("formula_grounding", OpCategory::Other);
+            auto instances = kb.enumerateGroundings(rule);
+            std::vector<Grounded::Instance> group;
+            group.reserve(instances.size());
+            for (const auto &inst : instances) {
+                Grounded::Instance gi;
+                for (const auto &atom : inst.body)
+                    gi.body.push_back(atom_id(atom));
+                gi.head = atom_id(inst.head);
+                group.push_back(std::move(gi));
+            }
+            op.setFlops(static_cast<double>(group.size()) *
+                        static_cast<double>(rule.body.size() + 1));
+            op.setBytesRead(static_cast<double>(group.size()) * 32.0);
+            op.setBytesWritten(
+                static_cast<double>(group.size()) * 16.0);
+            g.byRule.push_back(std::move(group));
+        }
+    }
+
+    auto n_atoms = static_cast<int64_t>(g.bounds.size());
+
+    // Account the grounded formula graph as symbolic working-set
+    // memory (it is the LNN's intermediate state).
+    uint64_t graph_bytes = g.bounds.size() * sizeof(TruthBounds);
+    for (const auto &group : g.byRule) {
+        for (const auto &inst : group)
+            graph_bytes += (inst.body.size() + 1) * sizeof(int64_t);
+    }
+    {
+        PhaseScope symbolic(Phase::Symbolic, "lnn/grounding");
+        core::globalProfiler().recordAlloc(graph_bytes);
+    }
+
+    // ---- Bidirectional inference passes.
+    for (int pass = 0; pass < config_.maxPasses; pass++) {
+        float max_change = 0.0f;
+
+        // Pack current bounds into tensors (the neuron state).
+        Tensor lower({n_atoms, 1});
+        Tensor upper({n_atoms, 1});
+        {
+            PhaseScope neural(Phase::Neural, "lnn/state_pack");
+            ScopedOp op("bound_pack", OpCategory::DataMovement);
+            for (int64_t i = 0; i < n_atoms; i++) {
+                lower(i, 0) = g.bounds[static_cast<size_t>(i)].lower;
+                upper(i, 0) = g.bounds[static_cast<size_t>(i)].upper;
+            }
+            op.setBytesRead(static_cast<double>(n_atoms) * 8.0);
+            op.setBytesWritten(static_cast<double>(n_atoms) * 8.0);
+        }
+
+        for (const auto &group : g.byRule) {
+            if (group.empty())
+                continue;
+            auto k = static_cast<int64_t>(group[0].body.size());
+            auto inst_n = static_cast<int64_t>(group.size());
+
+            // ---- Neural: vectorized weighted-Lukasiewicz AND over
+            // every instance of this rule (upward direction).
+            Tensor and_lower, and_upper, body_lower_mat,
+                body_upper_mat;
+            {
+                PhaseScope neural(Phase::Neural, "lnn/upward_eval");
+                std::vector<Tensor> lo_cols, hi_cols;
+                for (int64_t j = 0; j < k; j++) {
+                    std::vector<int64_t> rows;
+                    rows.reserve(static_cast<size_t>(inst_n));
+                    for (const auto &inst : group)
+                        rows.push_back(
+                            inst.body[static_cast<size_t>(j)]);
+                    lo_cols.push_back(tensor::gatherRows(lower, rows));
+                    hi_cols.push_back(tensor::gatherRows(upper, rows));
+                }
+                body_lower_mat = tensor::concat(lo_cols, 1);
+                body_upper_mat = tensor::concat(hi_cols, 1);
+                float bias = -static_cast<float>(k - 1);
+                and_lower = tensor::clamp(
+                    tensor::addScalar(
+                        tensor::sumAxis(body_lower_mat, 1), bias),
+                    0.0f, 1.0f);
+                and_upper = tensor::clamp(
+                    tensor::addScalar(
+                        tensor::sumAxis(body_upper_mat, 1), bias),
+                    0.0f, 1.0f);
+            }
+
+            // ---- Symbolic: upward bound tightening at the heads.
+            // Updates dispatch in fixed-size chunks, the granularity
+            // a per-node message-passing implementation batches at.
+            {
+                PhaseScope symbolic(Phase::Symbolic,
+                                    "lnn/upward_update");
+                constexpr int64_t chunk = 32;
+                for (int64_t c0 = 0; c0 < inst_n; c0 += chunk) {
+                    ScopedOp op("bound_update", OpCategory::Other);
+                    int64_t c1 = std::min(c0 + chunk, inst_n);
+                    for (int64_t i = c0; i < c1; i++) {
+                        auto &head = g.bounds[static_cast<size_t>(
+                            group[static_cast<size_t>(i)].head)];
+                        float new_lower =
+                            std::max(head.lower, and_lower.flat(i));
+                        max_change = std::max(
+                            max_change, new_lower - head.lower);
+                        head.lower = new_lower;
+                        util::panicIf(head.contradictory(),
+                                      "LNN: contradictory bounds");
+                    }
+                    op.setFlops(static_cast<double>(c1 - c0) * 2.0);
+                    op.setBytesRead(static_cast<double>(c1 - c0) *
+                                    8.0);
+                    op.setBytesWritten(
+                        static_cast<double>(c1 - c0) * 4.0);
+                }
+            }
+
+            // ---- Neural: downward candidate bounds, computed for
+            // all body positions at once. With the implication true,
+            // AND(body) <= head.upper, so
+            // x_j <= head.upper + (k-1) - sum_{i != j} L_i.
+            Tensor cand_all;
+            {
+                PhaseScope neural(Phase::Neural,
+                                  "lnn/downward_eval");
+                std::vector<int64_t> heads;
+                heads.reserve(static_cast<size_t>(inst_n));
+                for (const auto &inst : group)
+                    heads.push_back(inst.head);
+                Tensor head_upper = tensor::gatherRows(upper, heads);
+                Tensor sum_lower =
+                    tensor::sumAxis(body_lower_mat, 1)
+                        .reshaped({inst_n, 1});
+                Tensor ones_row = Tensor::ones({1, k});
+                // Broadcast [inst,1] -> [inst,k] via rank-1 matmuls.
+                Tensor others = tensor::sub(
+                    tensor::matmul(sum_lower, ones_row),
+                    body_lower_mat);
+                Tensor head_mat =
+                    tensor::matmul(head_upper, ones_row);
+                cand_all = tensor::clamp(
+                    tensor::sub(tensor::addScalar(
+                                    head_mat,
+                                    static_cast<float>(k - 1)),
+                                others),
+                    0.0f, 1.0f);
+            }
+
+            // ---- Symbolic: scatter-min into atom uppers, chunked
+            // like the upward updates.
+            {
+                PhaseScope symbolic(Phase::Symbolic,
+                                    "lnn/downward_update");
+                constexpr int64_t chunk = 32;
+                for (int64_t c0 = 0; c0 < inst_n; c0 += chunk) {
+                    ScopedOp op("bound_update", OpCategory::Other);
+                    int64_t c1 = std::min(c0 + chunk, inst_n);
+                    for (int64_t i = c0; i < c1; i++) {
+                        for (int64_t j = 0; j < k; j++) {
+                            auto &atom = g.bounds[static_cast<size_t>(
+                                group[static_cast<size_t>(i)]
+                                    .body[static_cast<size_t>(j)])];
+                            float new_upper = std::min(
+                                atom.upper, cand_all(i, j));
+                            // Base facts are observations; keep them.
+                            if (atom.lower >= 1.0f)
+                                new_upper = atom.upper;
+                            max_change = std::max(
+                                max_change, atom.upper - new_upper);
+                            atom.upper = new_upper;
+                        }
+                    }
+                    op.setFlops(static_cast<double>((c1 - c0) * k) *
+                                2.0);
+                    op.setBytesRead(
+                        static_cast<double>((c1 - c0) * k) * 8.0);
+                    op.setBytesWritten(
+                        static_cast<double>((c1 - c0) * k) * 4.0);
+                }
+            }
+        }
+
+        if (max_change < 1e-6f)
+            break;
+    }
+
+    core::globalProfiler().recordFree(graph_bytes);
+
+    // ---- Score: recall x precision of proven seniorStudent facts.
+    const std::set<GroundAtom> &expected = expectedSenior_;
+
+    size_t proven = 0, proven_correct = 0;
+    for (const auto &[atom, id] : g.atomIds) {
+        if (atom.predicate != university_->seniorStudent)
+            continue;
+        if (g.bounds[id].isTrue()) {
+            proven++;
+            if (expected.count(atom))
+                proven_correct++;
+        }
+    }
+    double recall =
+        expected.empty()
+            ? 1.0
+            : static_cast<double>(proven_correct) /
+                  static_cast<double>(expected.size());
+    double precision =
+        proven == 0 ? 0.0
+                    : static_cast<double>(proven_correct) /
+                          static_cast<double>(proven);
+    return expected.empty() ? 1.0 : recall * precision;
+}
+
+OpGraph
+LnnWorkload::opGraph() const
+{
+    OpGraph g;
+    auto kb_in = g.addNode("knowledge_base", Phase::Untagged);
+    auto ground = g.addNode("lnn/grounding", Phase::Symbolic);
+    auto pack = g.addNode("lnn/state_pack", Phase::Neural);
+    auto up_eval = g.addNode("lnn/upward_eval", Phase::Neural);
+    auto up_update = g.addNode("lnn/upward_update", Phase::Symbolic);
+    auto down_eval = g.addNode("lnn/downward_eval", Phase::Neural);
+    auto down_update =
+        g.addNode("lnn/downward_update", Phase::Symbolic);
+    auto verdict = g.addNode("proof_bounds", Phase::Untagged);
+    g.addEdge(kb_in, ground);
+    g.addEdge(ground, pack);
+    g.addEdge(pack, up_eval);
+    g.addEdge(up_eval, up_update);
+    g.addEdge(up_update, down_eval);
+    g.addEdge(down_eval, down_update);
+    g.addEdge(down_update, verdict);
+    return g;
+}
+
+
+} // namespace nsbench::workloads

@@ -1,0 +1,201 @@
+#include "workloads/ltn.hh"
+
+#include <cmath>
+
+#include "core/profiler.hh"
+#include "logic/fuzzy.hh"
+#include "tensor/ops.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace nsbench::workloads
+{
+
+using core::OpCategory;
+using core::OpGraph;
+using core::Phase;
+using core::PhaseScope;
+using core::ScopedOp;
+using tensor::Tensor;
+
+namespace
+{
+
+/** Quantifier aggregation wrapped as an instrumented symbolic op. */
+float
+aggregateForAll(std::span<const float> truths)
+{
+    ScopedOp op("quantifier_aggregate", OpCategory::Other);
+    op.setFlops(static_cast<double>(truths.size()) * 4.0);
+    op.setBytesRead(static_cast<double>(truths.size()) * 4.0);
+    op.setBytesWritten(4.0);
+    return logic::pMeanError(truths, 4.0f);
+}
+
+float
+aggregateExists(std::span<const float> truths)
+{
+    ScopedOp op("quantifier_aggregate", OpCategory::Other);
+    op.setFlops(static_cast<double>(truths.size()) * 4.0);
+    op.setBytesRead(static_cast<double>(truths.size()) * 4.0);
+    op.setBytesWritten(4.0);
+    return logic::pMean(truths, 4.0f);
+}
+
+} // namespace
+
+void
+LtnWorkload::setUp(uint64_t seed)
+{
+    util::Rng rng(seed);
+    dataset_ = std::make_unique<data::RelationalDataset>(
+        data::makeRelationalDataset(config_.people,
+                                    config_.featureDim,
+                                    config_.friendsPerPerson, rng));
+    friends_ = dataset_->friendMatrix();
+
+    // Construct predicate-MLP weights from the class statistics: the
+    // first hidden unit carries the discriminant direction, the rest
+    // are low-amplitude random features (trained stand-in).
+    Tensor direction({config_.featureDim});
+    int smokers = 0;
+    for (int i = 0; i < config_.people; i++) {
+        float sign =
+            dataset_->smokes[static_cast<size_t>(i)] ? 1.0f : -1.0f;
+        if (sign > 0)
+            smokers++;
+        for (int f = 0; f < config_.featureDim; f++)
+            direction(f) += sign * dataset_->features(i, f);
+    }
+    float norm = 0.0f;
+    for (int f = 0; f < config_.featureDim; f++)
+        norm += direction(f) * direction(f);
+    norm = std::sqrt(norm) + 1e-9f;
+
+    auto make_predicate = [&](float hidden_gain, float out_gain,
+                              Tensor &w1, Tensor &w2, Tensor &w3) {
+        w1 = Tensor::randn({config_.hidden, config_.featureDim}, rng,
+                           0.0f, 0.05f);
+        for (int f = 0; f < config_.featureDim; f++)
+            w1(0, f) = hidden_gain * direction(f) / norm;
+        // The second hidden layer forwards the discriminant unit.
+        w2 = Tensor::randn({config_.hidden, config_.hidden}, rng,
+                           0.0f, 0.02f);
+        w2(0, 0) = 1.5f;
+        w3 = Tensor::randn({1, config_.hidden}, rng, 0.0f, 0.02f);
+        w3(0, 0) = out_gain;
+    };
+    make_predicate(2.0f, 3.0f, smokesW1_, smokesW2_, smokesW3_);
+    make_predicate(2.0f, 2.0f, cancerW1_, cancerW2_, cancerW3_);
+}
+
+uint64_t
+LtnWorkload::storageBytes() const
+{
+    uint64_t bytes = 0;
+    for (const Tensor *t :
+         {&smokesW1_, &smokesW2_, &smokesW3_, &cancerW1_, &cancerW2_,
+          &cancerW3_, &friends_}) {
+        if (!t->empty())
+            bytes += t->bytes();
+    }
+    return bytes;
+}
+
+double
+LtnWorkload::run()
+{
+    util::panicIf(!dataset_, "LTN: setUp() not called");
+    int64_t n = config_.people;
+    double satisfaction_sum = 0.0;
+
+    for (int q = 0; q < config_.queries; q++) {
+        // ---- Neural: ground the predicates over the population.
+        Tensor smokes, cancer;
+        {
+            PhaseScope neural(Phase::Neural, "ltn/grounding_eval");
+            Tensor x = tensor::transfer(dataset_->features, "h2d");
+            Tensor hs = tensor::tanhOp(
+                tensor::linear(x, smokesW1_, Tensor()));
+            Tensor hs2 = tensor::tanhOp(
+                tensor::linear(hs, smokesW2_, Tensor()));
+            smokes = tensor::sigmoid(
+                tensor::linear(hs2, smokesW3_, Tensor()));
+            Tensor hc = tensor::tanhOp(
+                tensor::linear(x, cancerW1_, Tensor()));
+            Tensor hc2 = tensor::tanhOp(
+                tensor::linear(hc, cancerW2_, Tensor()));
+            cancer = tensor::sigmoid(
+                tensor::linear(hc2, cancerW3_, Tensor()));
+        }
+
+        // ---- Symbolic: evaluate the fuzzy theory.
+        std::vector<float> axiom_truths;
+        {
+            PhaseScope symbolic(Phase::Symbolic, "ltn/axiom_eval");
+            Tensor s = smokes.reshaped({n});
+            Tensor c = cancer.reshaped({n});
+
+            // Axiom 1: forall x, Smokes(x) -> Cancer(x) under the
+            // Reichenbach implication 1 - s + s*c.
+            Tensor impl1 = tensor::add(
+                tensor::sub(Tensor::ones({n}), s), tensor::mul(s, c));
+            axiom_truths.push_back(
+                aggregateForAll(impl1.data()));
+
+            // Axiom 2: forall x,y, Friends(x,y) ^ Smokes(x) ->
+            // Smokes(y), evaluated over all pairs.
+            Tensor ones_row = Tensor::ones({1, n});
+            Tensor sx = tensor::matmul(smokes, ones_row); // [n, n]
+            Tensor sy = tensor::transpose2d(sx);
+            Tensor antecedent = tensor::mul(friends_, sx);
+            Tensor impl2 = tensor::add(
+                tensor::sub(Tensor::ones({n, n}), antecedent),
+                tensor::mul(antecedent, sy));
+            Tensor relevant = tensor::maskedSelect(impl2, friends_);
+            if (relevant.numel() > 0) {
+                axiom_truths.push_back(
+                    aggregateForAll(relevant.data()));
+            }
+
+            // Axiom 3: exists x, Smokes(x); Axiom 4: exists x,
+            // Cancer(x).
+            axiom_truths.push_back(aggregateExists(s.data()));
+            axiom_truths.push_back(aggregateExists(c.data()));
+
+            // Axiom 5: forall x, not (Smokes(x) ^ not Smokes(x)) —
+            // a consistency check, true by fuzzy product semantics
+            // only to degree 1 - s(1-s).
+            Tensor contradiction = tensor::mul(
+                s, tensor::sub(Tensor::ones({n}), s));
+            Tensor consistent =
+                tensor::sub(Tensor::ones({n}), contradiction);
+            axiom_truths.push_back(
+                aggregateForAll(consistent.data()));
+        }
+
+        double sat = 0.0;
+        for (float t : axiom_truths)
+            sat += t;
+        satisfaction_sum +=
+            sat / static_cast<double>(axiom_truths.size());
+    }
+    return satisfaction_sum / static_cast<double>(config_.queries);
+}
+
+OpGraph
+LtnWorkload::opGraph() const
+{
+    OpGraph g;
+    auto data_in = g.addNode("features+relations", Phase::Untagged);
+    auto ground = g.addNode("ltn/grounding_eval", Phase::Neural);
+    auto axioms = g.addNode("ltn/axiom_eval", Phase::Symbolic);
+    auto sat = g.addNode("theory_satisfaction", Phase::Untagged);
+    g.addEdge(data_in, ground);
+    g.addEdge(ground, axioms);
+    g.addEdge(axioms, sat);
+    return g;
+}
+
+
+} // namespace nsbench::workloads

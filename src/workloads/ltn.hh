@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The Logic Tensor Network (LTN) workload.
+ *
+ * Predicates (Smokes, Cancer) are grounded as MLPs over individual
+ * feature vectors — the neural half, dominated by MatMul per the
+ * paper's Fig. 3a. The symbolic half grounds a fuzzy first-order
+ * theory (product real logic with p-mean quantifiers) over the full
+ * population and its friendship relation, evaluating the satisfaction
+ * of each axiom with element-wise tensor operations. The run score is
+ * the aggregated satisfaction of the theory, which is high because
+ * the MLP weights are constructed from the class statistics (a
+ * trained-network stand-in; see DESIGN.md).
+ */
+
+#ifndef NSBENCH_WORKLOADS_LTN_HH
+#define NSBENCH_WORKLOADS_LTN_HH
+
+#include <memory>
+
+#include "core/workload.hh"
+#include "data/tabular.hh"
+#include "tensor/tensor.hh"
+
+namespace nsbench::workloads
+{
+
+/** LTN configuration knobs. */
+struct LtnConfig
+{
+    int people = 160;       ///< Population size.
+    int featureDim = 16;    ///< Feature dimensionality.
+    int hidden = 64;        ///< Predicate-MLP hidden width.
+    int friendsPerPerson = 8;
+    int queries = 4;        ///< Theory evaluations per run.
+};
+
+/**
+ * End-to-end LTN querying/reasoning on the smokers-friends-cancer
+ * theory.
+ */
+class LtnWorkload : public core::Workload
+{
+  public:
+    LtnWorkload() = default;
+    explicit LtnWorkload(const LtnConfig &config) : config_(config) {}
+
+    std::string name() const override { return "LTN"; }
+    core::Paradigm
+    paradigm() const override
+    {
+        return core::Paradigm::NeuroUnderSymbolic;
+    }
+    std::string
+    taskDescription() const override
+    {
+        return "fuzzy-FOL querying on smokers-friends-cancer";
+    }
+
+    void setUp(uint64_t seed) override;
+    double run() override;
+    core::OpGraph opGraph() const override;
+    uint64_t storageBytes() const override;
+
+    const LtnConfig &config() const { return config_; }
+
+  private:
+    LtnConfig config_;
+    std::unique_ptr<data::RelationalDataset> dataset_;
+    /** Constructed predicate-MLP weights (trained stand-ins). */
+    tensor::Tensor smokesW1_, smokesW2_, smokesW3_;
+    tensor::Tensor cancerW1_, cancerW2_, cancerW3_;
+    tensor::Tensor friends_;
+};
+
+} // namespace nsbench::workloads
+
+#endif // NSBENCH_WORKLOADS_LTN_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The Neural Logic Machine (NLM) workload.
+ *
+ * NLM holds one predicate-tensor group per arity (unary [N,C], binary
+ * [N,N,C], ternary [N,N,N,C]) and alternates two kinds of work: the
+ * symbolic wiring — expand/permute/reduce operations that realize
+ * quantifiers and argument reordering (the "permutation" operators the
+ * paper attributes to NLM) — and the neural work, a per-position
+ * linear+sigmoid "MLP" over the wired channels. The family-tree
+ * program is expressed by constructed MLP weights that implement the
+ * boolean gates NLM learns in training (trained stand-in; see
+ * DESIGN.md): layer 1 derives grandparent and sibling, layer 2 derives
+ * uncle/aunt.
+ */
+
+#ifndef NSBENCH_WORKLOADS_NLM_HH
+#define NSBENCH_WORKLOADS_NLM_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/workload.hh"
+#include "data/familytree.hh"
+#include "tensor/tensor.hh"
+
+namespace nsbench::workloads
+{
+
+/** NLM configuration knobs. */
+struct NlmConfig
+{
+    int generations = 3;        ///< Family-graph depth.
+    int peoplePerGeneration = 8;
+    int episodes = 3;           ///< Graphs evaluated per run.
+};
+
+/**
+ * End-to-end NLM relational reasoning on family graphs.
+ */
+class NlmWorkload : public core::Workload
+{
+  public:
+    NlmWorkload() = default;
+    explicit NlmWorkload(const NlmConfig &config) : config_(config) {}
+
+    std::string name() const override { return "NLM"; }
+    core::Paradigm
+    paradigm() const override
+    {
+        return core::Paradigm::NeuroBracketSymbolic;
+    }
+    std::string
+    taskDescription() const override
+    {
+        return "family-graph relational reasoning "
+               "(grandparent/sibling/uncle)";
+    }
+
+    void setUp(uint64_t seed) override;
+    double run() override;
+    core::OpGraph opGraph() const override;
+    uint64_t storageBytes() const override;
+
+    const NlmConfig &config() const { return config_; }
+
+  private:
+    NlmConfig config_;
+    std::vector<data::FamilyGraph> graphs_;
+
+    /** One NLM layer's constructed MLP parameters. */
+    struct LayerWeights
+    {
+        tensor::Tensor ternaryW, ternaryB; ///< Ternary-group MLP.
+        tensor::Tensor binaryW, binaryB;   ///< Binary-group MLP.
+    };
+    std::vector<LayerWeights> layers_;
+
+    /** Evaluates the two-layer program on one graph; returns IoU. */
+    double evaluateGraph(const data::FamilyGraph &graph);
+};
+
+} // namespace nsbench::workloads
+
+#endif // NSBENCH_WORKLOADS_NLM_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared neural perception frontend for the RPM workloads.
+ *
+ * NVSA and PrAE both start from a ConvNet that maps a panel image to
+ * per-attribute probability mass functions. We cannot ship trained
+ * PyTorch weights, so the frontend combines (a) a real ConvNet forward
+ * pass — providing the paper's neural compute profile — with (b) a
+ * template-matching estimator that extracts the attributes from the
+ * rendered image and calibrates the PMFs, standing in for the trained
+ * network's accuracy (see DESIGN.md, substitutions).
+ */
+
+#ifndef NSBENCH_WORKLOADS_PERCEPTION_HH
+#define NSBENCH_WORKLOADS_PERCEPTION_HH
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "data/raven.hh"
+#include "nn/layers.hh"
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+
+namespace nsbench::workloads
+{
+
+/** Per-attribute PMFs for one perceived panel. */
+struct PanelBelief
+{
+    /** pmfs[a] is a rank-1 tensor over attributeDomain(a, grid). */
+    std::array<tensor::Tensor, data::numAttributes> pmfs;
+
+    /**
+     * Per-occupied-cell type and size PMFs, in cell scan order. The
+     * PrAE scene-inference engine aggregates these object-level
+     * distributions itself; NVSA consumes the panel-level pmfs.
+     */
+    std::vector<std::array<tensor::Tensor, 2>> cellBeliefs;
+};
+
+/**
+ * The perception frontend.
+ */
+class RavenPerception
+{
+  public:
+    /**
+     * @param grid Panel grid size the frontend is built for.
+     * @param seed Weight-initialization seed.
+     */
+    RavenPerception(int grid, uint64_t seed);
+
+    /**
+     * Perceives one panel image: runs the ConvNet trunk and the
+     * template estimator, returning calibrated attribute PMFs. All
+     * tensor work reports to the global profiler under the current
+     * phase.
+     */
+    PanelBelief perceive(const tensor::Tensor &image);
+
+    /**
+     * Batched perception: one ConvNet forward over all panels (the
+     * way a deployed frontend batches an RPM's sixteen panels),
+     * followed by per-panel template estimation.
+     */
+    std::vector<PanelBelief>
+    perceiveBatch(const std::vector<tensor::Tensor> &images);
+
+    /** Bytes of ConvNet parameters plus template storage. */
+    uint64_t storageBytes() const;
+
+  private:
+    int grid_;
+    std::unique_ptr<nn::Sequential> trunk_;
+    /** Rendered cell templates per (type, size), at panel resolution. */
+    std::vector<tensor::Tensor> templates_;
+    data::RavenGenerator templateRenderer_;
+
+    /** Template-matching estimate of (type, size) for one cell. */
+    void matchCell(const tensor::Tensor &image, int64_t cell_row,
+                   int64_t cell_col, int64_t cell_size,
+                   tensor::Tensor &type_scores,
+                   tensor::Tensor &size_scores) const;
+
+    /** Template-path estimation for one image (no trunk forward). */
+    PanelBelief estimate(const tensor::Tensor &image);
+};
+
+} // namespace nsbench::workloads
+
+#endif // NSBENCH_WORKLOADS_PERCEPTION_HH

@@ -1,0 +1,39 @@
+#include "workloads/register.hh"
+
+#include <memory>
+
+#include "core/workload.hh"
+#include "workloads/lnn.hh"
+#include "workloads/ltn.hh"
+#include "workloads/nlm.hh"
+#include "workloads/nvsa.hh"
+#include "workloads/prae.hh"
+#include "workloads/vsait.hh"
+#include "workloads/zeroc.hh"
+
+namespace nsbench::workloads
+{
+
+void
+registerAllWorkloads()
+{
+    static bool done = false;
+    if (done)
+        return;
+    done = true;
+
+    auto &registry = core::WorkloadRegistry::global();
+    registry.add("LNN", [] { return std::make_unique<LnnWorkload>(); });
+    registry.add("LTN", [] { return std::make_unique<LtnWorkload>(); });
+    registry.add("NVSA",
+                 [] { return std::make_unique<NvsaWorkload>(); });
+    registry.add("NLM", [] { return std::make_unique<NlmWorkload>(); });
+    registry.add("VSAIT",
+                 [] { return std::make_unique<VsaitWorkload>(); });
+    registry.add("ZeroC",
+                 [] { return std::make_unique<ZerocWorkload>(); });
+    registry.add("PrAE",
+                 [] { return std::make_unique<PraeWorkload>(); });
+}
+
+} // namespace nsbench::workloads

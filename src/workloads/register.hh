@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Explicit workload registration.
+ *
+ * The seven models register into the global WorkloadRegistry through
+ * this function (static-initializer registration would be silently
+ * dropped when linking the workloads as a static archive). Idempotent.
+ */
+
+#ifndef NSBENCH_WORKLOADS_REGISTER_HH
+#define NSBENCH_WORKLOADS_REGISTER_HH
+
+namespace nsbench::workloads
+{
+
+/** Registers all seven workloads; safe to call repeatedly. */
+void registerAllWorkloads();
+
+} // namespace nsbench::workloads
+
+#endif // NSBENCH_WORKLOADS_REGISTER_HH

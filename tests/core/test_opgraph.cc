@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "core/opgraph.hh"
+
+namespace
+{
+
+using namespace nsbench::core;
+
+/** Builds the canonical Neuro|Symbolic pipeline shape of Fig. 4. */
+OpGraph
+pipelineGraph()
+{
+    OpGraph g;
+    NodeId input = g.addNode("input", Phase::Untagged, 0.1);
+    NodeId percept = g.addNode("perception", Phase::Neural, 2.0);
+    NodeId infer = g.addNode("scene_inference", Phase::Symbolic, 1.0);
+    NodeId abduce = g.addNode("rule_abduction", Phase::Symbolic, 5.0);
+    NodeId exec = g.addNode("rule_execution", Phase::Symbolic, 1.5);
+    NodeId answer = g.addNode("answer", Phase::Untagged, 0.1);
+    g.addEdge(input, percept);
+    g.addEdge(percept, infer);
+    g.addEdge(infer, abduce);
+    g.addEdge(abduce, exec);
+    g.addEdge(exec, answer);
+    return g;
+}
+
+TEST(OpGraph, CriticalPathOfChainIsWholeChain)
+{
+    OpGraph g = pipelineGraph();
+    EXPECT_TRUE(g.isAcyclic());
+    auto path = g.criticalPath();
+    EXPECT_EQ(path.size(), 6u);
+    EXPECT_NEAR(g.criticalPathSeconds(), 9.7, 1e-9);
+    EXPECT_NEAR(g.totalSeconds(), 9.7, 1e-9);
+    EXPECT_NEAR(g.parallelSpeedupBound(), 1.0, 1e-9);
+}
+
+TEST(OpGraph, SymbolicFractionOnCriticalPath)
+{
+    OpGraph g = pipelineGraph();
+    EXPECT_NEAR(g.symbolicCriticalFraction(), 7.5 / 9.7, 1e-9);
+}
+
+TEST(OpGraph, DiamondPicksLongerBranch)
+{
+    OpGraph g;
+    NodeId a = g.addNode("a", Phase::Neural, 1.0);
+    NodeId fast = g.addNode("fast", Phase::Neural, 0.5);
+    NodeId slow = g.addNode("slow", Phase::Symbolic, 3.0);
+    NodeId join = g.addNode("join", Phase::Symbolic, 1.0);
+    g.addEdge(a, fast);
+    g.addEdge(a, slow);
+    g.addEdge(fast, join);
+    g.addEdge(slow, join);
+
+    auto path = g.criticalPath();
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_EQ(g.node(path[1]).name, "slow");
+    EXPECT_NEAR(g.criticalPathSeconds(), 5.0, 1e-9);
+    // Total work 5.5, critical path 5.0.
+    EXPECT_NEAR(g.parallelSpeedupBound(), 5.5 / 5.0, 1e-9);
+}
+
+TEST(OpGraph, ParallelBranchesExposeSpeedup)
+{
+    OpGraph g;
+    NodeId src = g.addNode("src", Phase::Untagged, 0.0);
+    for (int i = 0; i < 4; i++) {
+        NodeId n = g.addNode("branch" + std::to_string(i),
+                             Phase::Symbolic, 1.0);
+        g.addEdge(src, n);
+    }
+    EXPECT_NEAR(g.criticalPathSeconds(), 1.0, 1e-9);
+    EXPECT_NEAR(g.parallelSpeedupBound(), 4.0, 1e-9);
+}
+
+TEST(OpGraph, FindNode)
+{
+    OpGraph g = pipelineGraph();
+    EXPECT_LT(g.findNode("rule_abduction"), g.size());
+    EXPECT_EQ(g.findNode("missing"), g.size());
+}
+
+TEST(OpGraph, TopoOrderRespectsEdges)
+{
+    OpGraph g = pipelineGraph();
+    auto order = g.topoOrder();
+    ASSERT_EQ(order.size(), g.size());
+    std::vector<size_t> pos(g.size());
+    for (size_t i = 0; i < order.size(); i++)
+        pos[order[i]] = i;
+    for (NodeId id = 0; id < g.size(); id++) {
+        for (NodeId next : g.successors(id))
+            EXPECT_LT(pos[id], pos[next]);
+    }
+}
+
+TEST(OpGraph, DetectsCycle)
+{
+    OpGraph g;
+    NodeId a = g.addNode("a", Phase::Neural, 1.0);
+    NodeId b = g.addNode("b", Phase::Symbolic, 1.0);
+    g.addEdge(a, b);
+    g.addEdge(b, a);
+    EXPECT_FALSE(g.isAcyclic());
+    EXPECT_DEATH(g.topoOrder(), "cycle");
+}
+
+TEST(OpGraph, EmptyGraph)
+{
+    OpGraph g;
+    EXPECT_TRUE(g.isAcyclic());
+    EXPECT_TRUE(g.criticalPath().empty());
+    EXPECT_DOUBLE_EQ(g.criticalPathSeconds(), 0.0);
+    EXPECT_DOUBLE_EQ(g.symbolicCriticalFraction(), 0.0);
+}
+
+TEST(OpGraph, DotOutputContainsNodesAndEdges)
+{
+    OpGraph g = pipelineGraph();
+    std::string dot = g.toDot("nvsa");
+    EXPECT_NE(dot.find("digraph \"nvsa\""), std::string::npos);
+    EXPECT_NE(dot.find("perception"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    EXPECT_NE(dot.find("shape=box"), std::string::npos);
+}
+
+TEST(OpGraphDeath, RejectsSelfLoopAndBadIds)
+{
+    OpGraph g;
+    NodeId a = g.addNode("a", Phase::Neural, 1.0);
+    EXPECT_DEATH(g.addEdge(a, a), "self loop");
+    EXPECT_DEATH(g.addEdge(a, 99), "out of range");
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/profiler.hh"
+#include "core/report.hh"
+
+namespace
+{
+
+using namespace nsbench::core;
+
+class ReportTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        {
+            PhaseScope neural(Phase::Neural, "frontend", prof);
+            prof.recordOp("conv2d", OpCategory::Convolution, 2.0,
+                          1e9, 1e6, 1e6);
+            prof.recordOp("matmul", OpCategory::MatMul, 1.0, 5e8,
+                          1e6, 1e6);
+            prof.recordAlloc(4096);
+        }
+        {
+            PhaseScope symbolic(Phase::Symbolic, "backend", prof);
+            prof.recordOp("vsa_bind", OpCategory::VectorElementwise,
+                          3.0, 1e6, 8e6, 4e6);
+            prof.recordOp("rule_query", OpCategory::Other, 1.0, 1e3,
+                          1e4, 1e3);
+            prof.recordSparsity("stage/x", 90, 100);
+            prof.recordAlloc(8192);
+        }
+    }
+
+    Profiler prof;
+};
+
+TEST_F(ReportTest, PhaseBreakdownRowsAndShares)
+{
+    auto table = phaseBreakdownTable(prof);
+    EXPECT_EQ(table.rows(), 2u);
+    std::ostringstream os;
+    table.print(os);
+    std::string out = os.str();
+    // Neural 3 s of 7 s = 42.9%, symbolic 4 s = 57.1%.
+    EXPECT_NE(out.find("42.9%"), std::string::npos);
+    EXPECT_NE(out.find("57.1%"), std::string::npos);
+}
+
+TEST_F(ReportTest, CategoryBreakdownIsPhaseLocal)
+{
+    auto neural = categoryBreakdownTable(prof, Phase::Neural);
+    EXPECT_EQ(neural.rows(), 2u); // conv + matmul only
+    auto symbolic = categoryBreakdownTable(prof, Phase::Symbolic);
+    EXPECT_EQ(symbolic.rows(), 2u); // vec + other
+    std::ostringstream os;
+    neural.print(os);
+    EXPECT_EQ(os.str().find("Vector/Element-wise"),
+              std::string::npos);
+}
+
+TEST_F(ReportTest, TopOpsRespectsLimitAndOrder)
+{
+    auto table = topOpsTable(prof, 2);
+    EXPECT_EQ(table.rows(), 2u);
+    std::ostringstream os;
+    table.print(os);
+    std::string out = os.str();
+    // vsa_bind (3 s) leads conv2d (2 s).
+    EXPECT_LT(out.find("vsa_bind"), out.find("conv2d"));
+    EXPECT_EQ(out.find("rule_query"), std::string::npos);
+}
+
+TEST_F(ReportTest, MemoryTablePerPhase)
+{
+    auto table = memoryTable(prof);
+    EXPECT_EQ(table.rows(), 2u);
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_NE(os.str().find("4.00 KiB"), std::string::npos);
+    EXPECT_NE(os.str().find("12.00 KiB"), std::string::npos); // peak
+}
+
+TEST_F(ReportTest, SparsityTable)
+{
+    auto table = sparsityTable(prof);
+    EXPECT_EQ(table.rows(), 1u);
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_NE(os.str().find("90.00%"), std::string::npos);
+}
+
+TEST_F(ReportTest, RegionTableOrderedByFirstUse)
+{
+    auto table = regionTable(prof);
+    EXPECT_EQ(table.rows(), 2u);
+    std::ostringstream os;
+    table.print(os);
+    std::string out = os.str();
+    EXPECT_LT(out.find("frontend"), out.find("backend"));
+}
+
+TEST_F(ReportTest, CsvOutputParses)
+{
+    std::ostringstream os;
+    phaseBreakdownTable(prof).printCsv(os);
+    std::string out = os.str();
+    // Header plus two data rows, comma-separated.
+    int newlines = 0;
+    for (char c : out) {
+        if (c == '\n')
+            newlines++;
+    }
+    EXPECT_EQ(newlines, 3);
+    EXPECT_NE(out.find("phase,time,share"), std::string::npos);
+}
+
+TEST(ReportEmpty, TablesHaveNoRows)
+{
+    Profiler empty;
+    EXPECT_EQ(phaseBreakdownTable(empty).rows(), 0u);
+    EXPECT_EQ(topOpsTable(empty, 5).rows(), 0u);
+    EXPECT_EQ(memoryTable(empty).rows(), 0u);
+    EXPECT_EQ(sparsityTable(empty).rows(), 0u);
+    PhaseSplit split = phaseSplit(empty);
+    EXPECT_DOUBLE_EQ(split.total(), 0.0);
+    EXPECT_DOUBLE_EQ(split.neuralFraction(), 0.0);
+}
+
+} // namespace

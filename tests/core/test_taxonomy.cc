@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/paradigms.hh"
+#include "core/taxonomy.hh"
+
+namespace
+{
+
+using namespace nsbench::core;
+
+TEST(Taxonomy, CategoryNamesDistinct)
+{
+    std::set<std::string_view> names;
+    for (OpCategory c : allOpCategories)
+        names.insert(opCategoryName(c));
+    EXPECT_EQ(names.size(), numOpCategories);
+}
+
+TEST(Taxonomy, PhaseNames)
+{
+    EXPECT_EQ(phaseName(Phase::Neural), "neural");
+    EXPECT_EQ(phaseName(Phase::Symbolic), "symbolic");
+    EXPECT_EQ(phaseName(Phase::Untagged), "untagged");
+}
+
+TEST(Taxonomy, ParadigmNamesMatchPaperNotation)
+{
+    EXPECT_EQ(paradigmName(Paradigm::SymbolicNeuro), "Symbolic[Neuro]");
+    EXPECT_EQ(paradigmName(Paradigm::NeuroPipeSymbolic),
+              "Neuro|Symbolic");
+    EXPECT_EQ(paradigmName(Paradigm::NeuroSymbolicToNeuro),
+              "Neuro:Symbolic->Neuro");
+    EXPECT_EQ(paradigmName(Paradigm::NeuroUnderSymbolic),
+              "Neuro_{Symbolic}");
+    EXPECT_EQ(paradigmName(Paradigm::NeuroBracketSymbolic),
+              "Neuro[Symbolic]");
+}
+
+TEST(Paradigms, CensusCoversAllFiveParadigms)
+{
+    std::set<Paradigm> seen;
+    for (const auto &entry : algorithmCensus())
+        seen.insert(entry.paradigm);
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Paradigms, SevenWorkloadsImplemented)
+{
+    size_t implemented = 0;
+    std::set<std::string_view> names;
+    for (const auto &entry : algorithmCensus()) {
+        if (entry.implementedHere) {
+            implemented++;
+            names.insert(entry.name);
+        }
+    }
+    EXPECT_EQ(implemented, 7u);
+    for (std::string_view name :
+         {"LNN", "LTN", "NVSA", "NLM", "VSAIT", "ZeroC", "PrAE"}) {
+        EXPECT_TRUE(names.count(name)) << name;
+    }
+}
+
+TEST(Paradigms, OperationExamplesNonEmpty)
+{
+    EXPECT_GE(operationExamples().size(), 4u);
+    for (const auto &ex : operationExamples()) {
+        EXPECT_FALSE(ex.operation.empty());
+        EXPECT_FALSE(ex.example.empty());
+    }
+}
+
+} // namespace

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "data/familytree.hh"
+#include "data/images.hh"
+#include "data/kbgen.hh"
+#include "data/tabular.hh"
+
+namespace
+{
+
+using namespace nsbench::data;
+using nsbench::util::Rng;
+
+TEST(FamilyTree, StructureAndDerivations)
+{
+    Rng rng(1);
+    FamilyGraph g = makeFamilyGraph(3, 6, rng);
+    EXPECT_EQ(g.people, 18);
+
+    // Every non-root person has exactly two parents.
+    for (int child = 6; child < 18; child++) {
+        int parents = 0;
+        for (int p = 0; p < 18; p++) {
+            if (g.parent[static_cast<size_t>(p)]
+                        [static_cast<size_t>(child)]) {
+                parents++;
+            }
+        }
+        EXPECT_EQ(parents, 2) << "child " << child;
+    }
+
+    // Derived relations are consistent with their definitions.
+    for (size_t a = 0; a < 18; a++) {
+        for (size_t c = 0; c < 18; c++) {
+            bool expect_gp = false;
+            for (size_t b = 0; b < 18; b++) {
+                if (g.parent[a][b] && g.parent[b][c])
+                    expect_gp = true;
+            }
+            EXPECT_EQ(g.grandparent[a][c], expect_gp);
+        }
+    }
+    // Sibling is symmetric and irreflexive.
+    for (size_t a = 0; a < 18; a++) {
+        EXPECT_FALSE(g.sibling[a][a]);
+        for (size_t b = 0; b < 18; b++)
+            EXPECT_EQ(g.sibling[a][b], g.sibling[b][a]);
+    }
+}
+
+TEST(FamilyTree, TensorsMatchGraph)
+{
+    Rng rng(2);
+    FamilyGraph g = makeFamilyGraph(2, 4, rng);
+    auto parent = g.binaryTensor();
+    ASSERT_EQ(parent.shape(), (nsbench::tensor::Shape{8, 8, 1}));
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 8; j++) {
+            EXPECT_EQ(parent(i, j, 0) > 0.5f,
+                      static_cast<bool>(
+                          g.parent[static_cast<size_t>(i)]
+                                  [static_cast<size_t>(j)]));
+        }
+    }
+    auto targets = g.targetTensor();
+    EXPECT_EQ(targets.shape(), (nsbench::tensor::Shape{8, 8, 3}));
+}
+
+TEST(DomainImages, TexturesDifferAcrossDomains)
+{
+    Rng rng(3);
+    SemanticImage src = makeDomainImage(ImageDomain::Source, 64, rng);
+    SemanticImage dst = makeDomainImage(ImageDomain::Target, 64, rng);
+    EXPECT_EQ(src.pixels.numel(), 64 * 64);
+    EXPECT_EQ(src.labels.size(), 64u * 64u);
+
+    // All semantic classes appear.
+    std::array<int, 3> counts{};
+    for (int label : src.labels)
+        counts[static_cast<size_t>(label)]++;
+    for (int c : counts)
+        EXPECT_GT(c, 0);
+
+    // Column-pair variance (stripes) differs from the checker field:
+    // compare horizontal vs vertical neighbor correlation.
+    auto direction_diff = [](const SemanticImage &img, bool vertical) {
+        double acc = 0.0;
+        auto px = img.pixels.data();
+        for (int64_t r = 0; r + 1 < img.size; r++) {
+            for (int64_t c = 0; c + 1 < img.size; c++) {
+                auto here = px[static_cast<size_t>(r * img.size + c)];
+                auto there =
+                    vertical
+                        ? px[static_cast<size_t>((r + 1) * img.size +
+                                                 c)]
+                        : px[static_cast<size_t>(r * img.size + c +
+                                                 1)];
+                acc += std::abs(here - there);
+            }
+        }
+        return acc;
+    };
+    // Stripes: smooth vertically, varying horizontally.
+    EXPECT_GT(direction_diff(src, false),
+              1.5 * direction_diff(src, true));
+    // Checker: roughly isotropic.
+    double dv = direction_diff(dst, true);
+    double dh = direction_diff(dst, false);
+    EXPECT_LT(std::abs(dv - dh) / std::max(dv, dh), 0.4);
+}
+
+TEST(ConceptScenes, RenderAndCompose)
+{
+    Rng rng(4);
+    ConceptScene scene = makeConceptScene(
+        {ConceptShape::VerticalLine, ConceptShape::Rectangle}, 32,
+        rng);
+    EXPECT_EQ(scene.concepts.size(), 2u);
+    float total = 0.0f;
+    for (float v : scene.pixels.data())
+        total += v;
+    EXPECT_GT(total, 4.0f);
+
+    PlacedConcept line{ConceptShape::HorizontalLine, 5, 3, 8};
+    auto img = renderConcept(line, 32);
+    // Exactly `extent` pixels for a line.
+    float count = 0.0f;
+    for (float v : img.data())
+        count += v;
+    EXPECT_EQ(count, 8.0f);
+    EXPECT_EQ(img(0, 5, 3), 1.0f);
+    EXPECT_EQ(img(0, 5, 10), 1.0f);
+}
+
+TEST(ConceptScenes, ShapeNames)
+{
+    EXPECT_EQ(conceptShapeName(ConceptShape::LShape), "l_shape");
+    EXPECT_EQ(conceptShapeName(ConceptShape::Rectangle), "rectangle");
+}
+
+TEST(UniversityKb, GeneratesExpectedStructure)
+{
+    UniversityKb u = makeUniversityKb(2, 3, 10, 2, 7);
+    EXPECT_EQ(u.kb.facts(u.department).size(), 2u);
+    EXPECT_EQ(u.kb.facts(u.professor).size(), 6u);
+    EXPECT_EQ(u.kb.facts(u.student).size(), 20u);
+    EXPECT_EQ(u.kb.facts(u.course).size(), 12u);
+    EXPECT_EQ(u.kb.facts(u.teaches).size(), 12u);
+    EXPECT_EQ(u.kb.facts(u.advisor).size(), 20u);
+    EXPECT_EQ(u.kb.numRules(), 3u);
+}
+
+TEST(UniversityKb, ForwardChainMatchesGroundTruth)
+{
+    UniversityKb u = makeUniversityKb(2, 3, 10, 2, 7);
+    u.kb.forwardChain();
+    EXPECT_EQ(u.kb.facts(u.taughtBy).size(), u.expectedTaughtBy);
+    // Colleague is reflexive-inclusive by construction and symmetric;
+    // each department contributes profs^2 pairs.
+    EXPECT_EQ(u.kb.facts(u.colleague).size(), 2u * 3 * 3);
+}
+
+TEST(RelationalDataset, ClustersAndHomophily)
+{
+    Rng rng(11);
+    RelationalDataset d = makeRelationalDataset(120, 4, 6, rng);
+    EXPECT_EQ(d.people, 120);
+    EXPECT_GT(d.friendships.size(), 100u);
+
+    // Features separate by trait.
+    double smoker_mean = 0.0, non_mean = 0.0;
+    int smokers = 0;
+    for (int i = 0; i < d.people; i++) {
+        double m = 0.0;
+        for (int f = 0; f < d.featureDim; f++)
+            m += d.features(i, f);
+        m /= d.featureDim;
+        if (d.smokes[static_cast<size_t>(i)]) {
+            smoker_mean += m;
+            smokers++;
+        } else {
+            non_mean += m;
+        }
+    }
+    smoker_mean /= std::max(smokers, 1);
+    non_mean /= std::max(d.people - smokers, 1);
+    EXPECT_GT(smoker_mean, 0.5);
+    EXPECT_LT(non_mean, -0.5);
+
+    // Homophily: most friendships are same-trait.
+    int same = 0;
+    for (const auto &[a, b] : d.friendships) {
+        if (d.smokes[static_cast<size_t>(a)] ==
+            d.smokes[static_cast<size_t>(b)]) {
+            same++;
+        }
+    }
+    EXPECT_GT(static_cast<double>(same) /
+                  static_cast<double>(d.friendships.size()),
+              0.6);
+
+    // Cancer correlates with smoking.
+    int cancer_smokers = 0, cancer_non = 0;
+    for (int i = 0; i < d.people; i++) {
+        if (d.cancer[static_cast<size_t>(i)]) {
+            if (d.smokes[static_cast<size_t>(i)])
+                cancer_smokers++;
+            else
+                cancer_non++;
+        }
+    }
+    EXPECT_GT(cancer_smokers, cancer_non);
+}
+
+TEST(RelationalDataset, FriendMatrixSymmetric)
+{
+    Rng rng(12);
+    RelationalDataset d = makeRelationalDataset(30, 2, 4, rng);
+    auto m = d.friendMatrix();
+    for (int i = 0; i < 30; i++) {
+        EXPECT_EQ(m(i, i), 0.0f);
+        for (int j = 0; j < 30; j++)
+            EXPECT_EQ(m(i, j), m(j, i));
+    }
+}
+
+} // namespace

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/raven.hh"
+
+namespace
+{
+
+using namespace nsbench::data;
+
+TEST(RavenRules, ApplyConstant)
+{
+    AttributeRule rule{RuleType::Constant, 0, {}};
+    EXPECT_EQ(applyRule(rule, 3, 3, 10), 3);
+    EXPECT_EQ(applyRule(rule, 3, 4, 10), -1);
+}
+
+TEST(RavenRules, ApplyProgression)
+{
+    AttributeRule rule{RuleType::Progression, 2, {}};
+    EXPECT_EQ(applyRule(rule, 1, 3, 10), 5);
+    EXPECT_EQ(applyRule(rule, 1, 4, 10), -1); // wrong step
+    EXPECT_EQ(applyRule(rule, 6, 8, 10), -1); // out of domain
+    AttributeRule neg{RuleType::Progression, -1, {}};
+    EXPECT_EQ(applyRule(neg, 5, 4, 10), 3);
+}
+
+TEST(RavenRules, ApplyArithmetic)
+{
+    AttributeRule plus{RuleType::Arithmetic, 1, {}};
+    EXPECT_EQ(applyRule(plus, 2, 3, 10), 5);
+    EXPECT_EQ(applyRule(plus, 7, 7, 10), -1);
+    AttributeRule minus{RuleType::Arithmetic, -1, {}};
+    EXPECT_EQ(applyRule(minus, 7, 3, 10), 4);
+    EXPECT_EQ(applyRule(minus, 3, 7, 10), -1);
+}
+
+TEST(RavenRules, ApplyDistributeThree)
+{
+    AttributeRule rule{RuleType::DistributeThree, 0, {2, 5, 8}};
+    EXPECT_EQ(applyRule(rule, 2, 5, 10), 8);
+    EXPECT_EQ(applyRule(rule, 8, 2, 10), 5);
+    EXPECT_EQ(applyRule(rule, 2, 2, 10), -1);
+    EXPECT_EQ(applyRule(rule, 2, 3, 10), -1);
+}
+
+TEST(RavenRules, RuleHoldsMatchesApply)
+{
+    AttributeRule rule{RuleType::Progression, 1, {}};
+    EXPECT_TRUE(ruleHolds(rule, 1, 2, 3, 10));
+    EXPECT_FALSE(ruleHolds(rule, 1, 2, 4, 10));
+}
+
+TEST(RavenRules, DistributeThreeEqualityUpToRotation)
+{
+    AttributeRule a{RuleType::DistributeThree, 0, {1, 2, 3}};
+    AttributeRule b{RuleType::DistributeThree, 0, {2, 3, 1}};
+    AttributeRule c{RuleType::DistributeThree, 0, {2, 1, 3}};
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c); // a reflection, not a rotation
+}
+
+TEST(RavenRules, EnumerateCoversAllFamilies)
+{
+    auto rules = enumerateRules(10);
+    std::set<RuleType> types;
+    size_t d3 = 0;
+    for (const auto &r : rules) {
+        types.insert(r.type);
+        if (r.type == RuleType::DistributeThree)
+            d3++;
+    }
+    EXPECT_EQ(types.size(), 4u);
+    EXPECT_EQ(d3, 120u); // C(10,3)
+    // 1 constant + 4 progressions + 2 arithmetic + 120 triples.
+    EXPECT_EQ(rules.size(), 127u);
+}
+
+TEST(RavenRules, EnumerateRespectsSmallDomains)
+{
+    auto rules = enumerateRules(1);
+    EXPECT_EQ(rules.size(), 1u);
+    EXPECT_EQ(rules[0].type, RuleType::Constant);
+}
+
+TEST(RavenGenerator, AttributeDomains)
+{
+    EXPECT_EQ(attributeDomain(AttributeId::Number, 3), 9);
+    EXPECT_EQ(attributeDomain(AttributeId::Number, 1), 1);
+    EXPECT_EQ(attributeDomain(AttributeId::Type, 2), 5);
+    EXPECT_EQ(attributeDomain(AttributeId::Size, 2), 6);
+    EXPECT_EQ(attributeDomain(AttributeId::Color, 2), 10);
+}
+
+class RavenPuzzle : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(RavenPuzzle, GeneratedRulesHoldOnAllRows)
+{
+    RavenGenerator gen(GetParam(), 1234);
+    for (int trial = 0; trial < 20; trial++) {
+        RpmPuzzle puzzle = gen.generate();
+        for (size_t a = 0; a < numAttributes; a++) {
+            int domain =
+                attributeDomain(allAttributes[a], puzzle.grid);
+            // Rows 0 and 1 are fully in context; row 2 ends at the
+            // answer.
+            const PanelSpec &answer =
+                puzzle.candidates[static_cast<size_t>(
+                    puzzle.answerIndex)];
+            std::array<std::array<int, 3>, 3> rows;
+            for (int r = 0; r < 3; r++) {
+                for (int c = 0; c < 3; c++) {
+                    int cell = r * 3 + c;
+                    rows[static_cast<size_t>(r)]
+                        [static_cast<size_t>(c)] =
+                            cell < 8
+                                ? puzzle.context[static_cast<size_t>(
+                                                     cell)]
+                                      .values[a]
+                                : answer.values[a];
+                }
+            }
+            for (int r = 0; r < 3; r++) {
+                EXPECT_TRUE(ruleHolds(
+                    puzzle.rules[a], rows[static_cast<size_t>(r)][0],
+                    rows[static_cast<size_t>(r)][1],
+                    rows[static_cast<size_t>(r)][2], domain))
+                    << "grid=" << GetParam() << " attr=" << a
+                    << " rule=" << puzzle.rules[a].str();
+            }
+        }
+    }
+}
+
+TEST_P(RavenPuzzle, CandidatesAreDistinctAndContainAnswer)
+{
+    RavenGenerator gen(GetParam(), 99);
+    RpmPuzzle puzzle = gen.generate();
+    EXPECT_EQ(puzzle.candidates.size(), 8u);
+    EXPECT_GE(puzzle.answerIndex, 0);
+    EXPECT_LT(puzzle.answerIndex, 8);
+    std::set<std::array<int, numAttributes>> values;
+    for (const auto &cand : puzzle.candidates)
+        values.insert(cand.values);
+    EXPECT_EQ(values.size(), 8u);
+}
+
+TEST_P(RavenPuzzle, PanelsHaveConsistentSlots)
+{
+    RavenGenerator gen(GetParam(), 7);
+    RpmPuzzle puzzle = gen.generate();
+    int slots = puzzle.grid * puzzle.grid;
+    auto check = [&](const PanelSpec &p) {
+        EXPECT_EQ(static_cast<int>(p.slots.size()),
+                  p.value(AttributeId::Number) + 1);
+        for (int s : p.slots) {
+            EXPECT_GE(s, 0);
+            EXPECT_LT(s, slots);
+        }
+    };
+    for (const auto &p : puzzle.context)
+        check(p);
+    for (const auto &p : puzzle.candidates)
+        check(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, RavenPuzzle, testing::Values(1, 2, 3));
+
+TEST(RavenRender, ImageReflectsAttributes)
+{
+    RavenGenerator gen(2, 5);
+    PanelSpec panel;
+    panel.grid = 2;
+    panel.values = {3, 0, 5, 9}; // 4 objects, squares, largest, brightest
+    panel.slots = {0, 1, 2, 3};
+    auto img = gen.render(panel);
+    ASSERT_EQ(img.shape(),
+              (nsbench::tensor::Shape{
+                  1, RavenGenerator::imageSize,
+                  RavenGenerator::imageSize}));
+
+    float total = 0.0f;
+    for (float v : img.data())
+        total += v;
+    EXPECT_GT(total, 0.0f);
+
+    // Fewer, smaller, darker objects -> less total intensity.
+    PanelSpec small;
+    small.grid = 2;
+    small.values = {0, 0, 0, 0};
+    small.slots = {0};
+    auto img2 = gen.render(small);
+    float total2 = 0.0f;
+    for (float v : img2.data())
+        total2 += v;
+    EXPECT_LT(total2, total * 0.3f);
+}
+
+TEST(RavenRender, EmptyBackgroundIsZero)
+{
+    RavenGenerator gen(1, 5);
+    PanelSpec panel;
+    panel.grid = 1;
+    panel.values = {0, 1, 2, 5};
+    panel.slots = {0};
+    auto img = gen.render(panel);
+    // Corners stay background for a centered small disk.
+    int64_t last = RavenGenerator::imageSize - 1;
+    EXPECT_EQ(img(0, 0, 0), 0.0f);
+    EXPECT_EQ(img(0, last, last), 0.0f);
+}
+
+TEST(RavenGenerator, DeterministicAcrossSeeds)
+{
+    RavenGenerator a(2, 42), b(2, 42);
+    RpmPuzzle pa = a.generate();
+    RpmPuzzle pb = b.generate();
+    EXPECT_EQ(pa.answerIndex, pb.answerIndex);
+    for (size_t i = 0; i < 8; i++)
+        EXPECT_EQ(pa.context[i].values, pb.context[i].values);
+}
+
+} // namespace

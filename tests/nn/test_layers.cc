@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace nsbench::nn;
+using nsbench::tensor::Shape;
+using nsbench::tensor::Tensor;
+using nsbench::util::Rng;
+
+TEST(LinearLayer, ShapeAndDeterminism)
+{
+    Rng rng1(42), rng2(42);
+    LinearLayer a(8, 4, rng1);
+    LinearLayer b(8, 4, rng2);
+    Rng data_rng(1);
+    Tensor x = Tensor::randn({3, 8}, data_rng);
+    Tensor ya = a.forward(x);
+    Tensor yb = b.forward(x);
+    ASSERT_EQ(ya.shape(), (Shape{3, 4}));
+    for (int64_t i = 0; i < ya.numel(); i++)
+        EXPECT_EQ(ya.flat(i), yb.flat(i));
+}
+
+TEST(LinearLayer, XavierBound)
+{
+    Rng rng(7);
+    LinearLayer layer(100, 50, rng);
+    float bound = std::sqrt(6.0f / 150.0f);
+    for (float w : layer.weight().data()) {
+        EXPECT_GE(w, -bound);
+        EXPECT_LE(w, bound);
+    }
+}
+
+TEST(LinearLayer, ParamBytes)
+{
+    Rng rng(1);
+    LinearLayer with_bias(8, 4, rng, true);
+    EXPECT_EQ(with_bias.paramBytes(), (8 * 4 + 4) * 4u);
+    LinearLayer no_bias(8, 4, rng, false);
+    EXPECT_EQ(no_bias.paramBytes(), 8 * 4 * 4u);
+}
+
+TEST(Conv2dLayer, OutputShape)
+{
+    Rng rng(3);
+    Conv2dLayer layer(3, 8, 3, rng, 1, 1);
+    Tensor x = Tensor::randn({2, 3, 16, 16}, rng);
+    Tensor y = layer.forward(x);
+    EXPECT_EQ(y.shape(), (Shape{2, 8, 16, 16}));
+    EXPECT_EQ(layer.paramBytes(), (8 * 3 * 3 * 3 + 8) * 4u);
+}
+
+TEST(ActivationLayer, AppliesNonlinearity)
+{
+    Tensor x({3}, {-1.0f, 0.0f, 2.0f});
+    EXPECT_EQ(ActivationLayer(Activation::Relu).forward(x).flat(0),
+              0.0f);
+    EXPECT_NEAR(
+        ActivationLayer(Activation::Sigmoid).forward(x).flat(1), 0.5f,
+        1e-6);
+    EXPECT_NEAR(ActivationLayer(Activation::Tanh).forward(x).flat(2),
+                std::tanh(2.0f), 1e-6);
+    EXPECT_EQ(
+        ActivationLayer(Activation::Identity).forward(x).flat(0),
+        -1.0f);
+}
+
+TEST(FlattenLayer, CollapsesTrailingDims)
+{
+    Tensor x = Tensor::ones({2, 3, 4, 5});
+    Tensor y = FlattenLayer().forward(x);
+    EXPECT_EQ(y.shape(), (Shape{2, 60}));
+}
+
+TEST(Sequential, ComposesAndCountsParams)
+{
+    Rng rng(5);
+    Sequential net;
+    net.add(std::make_unique<LinearLayer>(4, 8, rng));
+    net.add(std::make_unique<ActivationLayer>(Activation::Relu));
+    net.add(std::make_unique<LinearLayer>(8, 2, rng));
+    Tensor x = Tensor::randn({5, 4}, rng);
+    Tensor y = net.forward(x);
+    EXPECT_EQ(y.shape(), (Shape{5, 2}));
+    EXPECT_EQ(net.paramBytes(), ((4 * 8 + 8) + (8 * 2 + 2)) * 4u);
+    EXPECT_EQ(net.size(), 3u);
+    EXPECT_NE(net.describe().find("linear(4->8)"), std::string::npos);
+}
+
+TEST(MakeMlp, StructureAndOutput)
+{
+    Rng rng(9);
+    auto mlp = makeMlp({10, 16, 16, 3}, Activation::Tanh, rng);
+    // 3 linear layers + 2 activations.
+    EXPECT_EQ(mlp->size(), 5u);
+    Tensor x = Tensor::randn({4, 10}, rng);
+    Tensor y = mlp->forward(x);
+    EXPECT_EQ(y.shape(), (Shape{4, 3}));
+}
+
+TEST(MakeConvNet, EndsInProbabilities)
+{
+    Rng rng(11);
+    auto net = makeConvNet(1, 16,
+                           {{4, 3, 1, 1, true}, {8, 3, 1, 1, true}},
+                           {32, 5}, rng);
+    Tensor x = Tensor::randn({2, 1, 16, 16}, rng);
+    Tensor y = net->forward(x);
+    ASSERT_EQ(y.shape(), (Shape{2, 5}));
+    for (int64_t r = 0; r < 2; r++) {
+        float sum = 0.0f;
+        for (int64_t c = 0; c < 5; c++) {
+            EXPECT_GE(y(r, c), 0.0f);
+            sum += y(r, c);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5);
+    }
+}
+
+TEST(MakeConvNetDeath, CollapsedSpatialExtent)
+{
+    Rng rng(1);
+    EXPECT_DEATH(makeConvNet(1, 4, {{2, 5}}, {2}, rng), "collapsed");
+}
+
+TEST(MakeMlpDeath, TooFewWidths)
+{
+    Rng rng(1);
+    EXPECT_DEATH(makeMlp({4}, Activation::Relu, rng), "at least");
+}
+
+} // namespace

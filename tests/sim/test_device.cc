@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "sim/device.hh"
+#include "sim/projection.hh"
+#include "sim/roofline.hh"
+
+namespace
+{
+
+using namespace nsbench::sim;
+using nsbench::core::OpCategory;
+using nsbench::core::OpStats;
+using nsbench::core::Phase;
+using nsbench::core::PhaseScope;
+using nsbench::core::Profiler;
+
+TEST(Device, CatalogSane)
+{
+    EXPECT_EQ(allDevices().size(), 4u);
+    for (const auto &d : allDevices()) {
+        EXPECT_FALSE(d.name.empty());
+        EXPECT_GT(d.peakGflops, 0.0);
+        EXPECT_GT(d.memBandwidthGBs, 0.0);
+        for (double eff : d.categoryEfficiency) {
+            EXPECT_GT(eff, 0.0);
+            EXPECT_LE(eff, 1.0);
+        }
+    }
+}
+
+TEST(Device, GpuOutclassesEdge)
+{
+    EXPECT_GT(rtx2080ti().peakGflops, 10 * jetsonTx2().peakGflops);
+    EXPECT_GT(rtx2080ti().memBandwidthGBs,
+              5 * xavierNx().memBandwidthGBs);
+}
+
+TEST(Device, SymbolicCategoriesAreInefficentOnGpu)
+{
+    const auto &gpu = rtx2080ti();
+    EXPECT_GT(gpu.efficiency(OpCategory::MatMul), 0.5);
+    EXPECT_LT(gpu.efficiency(OpCategory::VectorElementwise), 0.1);
+    EXPECT_LT(gpu.efficiency(OpCategory::Other), 0.1);
+}
+
+TEST(Roofline, AttainableClampsAtPeak)
+{
+    const auto &gpu = rtx2080ti();
+    EXPECT_DOUBLE_EQ(attainableGflops(gpu, 1e9), gpu.peakGflops);
+    // At intensity 1 the GPU is bandwidth-limited.
+    EXPECT_DOUBLE_EQ(attainableGflops(gpu, 1.0),
+                     gpu.memBandwidthGBs);
+    EXPECT_TRUE(isMemoryBound(gpu, 1.0));
+    EXPECT_FALSE(isMemoryBound(gpu, 1000.0));
+}
+
+TEST(Roofline, RidgePointConsistency)
+{
+    for (const auto &d : allDevices()) {
+        double ridge = d.ridgeIntensity();
+        EXPECT_NEAR(attainableGflops(d, ridge), d.peakGflops,
+                    d.peakGflops * 1e-9);
+        EXPECT_TRUE(isMemoryBound(d, ridge * 0.5));
+        EXPECT_FALSE(isMemoryBound(d, ridge * 2.0));
+    }
+}
+
+TEST(Roofline, PlacesProfiledPhases)
+{
+    Profiler prof;
+    {
+        PhaseScope n(Phase::Neural, "n", prof);
+        // High-intensity op: compute bound.
+        prof.recordOp("matmul", OpCategory::MatMul, 1.0, 1e9, 1e6,
+                      1e6);
+    }
+    {
+        PhaseScope s(Phase::Symbolic, "s", prof);
+        // Low-intensity op: memory bound.
+        prof.recordOp("bind", OpCategory::VectorElementwise, 1.0, 1e6,
+                      4e6, 4e6);
+    }
+    auto points = rooflineFromProfile(rtx2080ti(), prof, "W");
+    ASSERT_GE(points.size(), 2u);
+    bool found_neural = false, found_symbolic = false;
+    for (const auto &pt : points) {
+        if (pt.label == "W/neural") {
+            found_neural = true;
+            EXPECT_FALSE(pt.memoryBound);
+            EXPECT_NEAR(pt.intensity, 500.0, 1.0);
+        }
+        if (pt.label == "W/symbolic") {
+            found_symbolic = true;
+            EXPECT_TRUE(pt.memoryBound);
+        }
+    }
+    EXPECT_TRUE(found_neural);
+    EXPECT_TRUE(found_symbolic);
+}
+
+TEST(Projection, MonotoneInDeviceCapability)
+{
+    // The same op stream never runs faster on a strictly weaker
+    // device.
+    Profiler prof;
+    {
+        PhaseScope n(Phase::Neural, "n", prof);
+        prof.recordOp("conv2d", OpCategory::Convolution, 1.0, 1e10,
+                      1e8, 1e8);
+        prof.recordOp("bind", OpCategory::VectorElementwise, 1.0,
+                      1e8, 1e9, 1e8);
+    }
+    double rtx = projectProfile(rtx2080ti(), prof).totalSeconds;
+    double nx = projectProfile(xavierNx(), prof).totalSeconds;
+    double tx2 = projectProfile(jetsonTx2(), prof).totalSeconds;
+    EXPECT_LT(rtx, nx);
+    EXPECT_LT(rtx, tx2);
+}
+
+TEST(Projection, AdditiveOverOps)
+{
+    // Projecting a merged stream equals the sum of projecting the
+    // parts (same phase/category, overheads included).
+    Profiler one, two;
+    {
+        PhaseScope s(Phase::Symbolic, "s", one);
+        one.recordOp("a", OpCategory::Other, 1.0, 1e7, 1e7, 1e7);
+    }
+    {
+        PhaseScope s(Phase::Symbolic, "s", two);
+        two.recordOp("a", OpCategory::Other, 1.0, 1e7, 1e7, 1e7);
+        two.recordOp("a", OpCategory::Other, 1.0, 1e7, 1e7, 1e7);
+    }
+    double t1 = projectProfile(rtx2080ti(), one).totalSeconds;
+    double t2 = projectProfile(rtx2080ti(), two).totalSeconds;
+    EXPECT_NEAR(t2, 2.0 * t1, 1e-9);
+}
+
+TEST(Projection, ComputeVsMemoryBound)
+{
+    const auto &gpu = rtx2080ti();
+    // Pure compute op at MatMul efficiency 0.9.
+    OpStats mm;
+    mm.invocations = 1;
+    mm.flops = gpu.peakGflops * 0.9 * 1e9; // exactly one second
+    mm.bytesRead = 1.0;
+    double t = projectOp(gpu, OpCategory::MatMul, mm);
+    EXPECT_NEAR(t, 1.0 + gpu.launchOverheadUs * 1e-6, 1e-3);
+
+    // Pure streaming op: bandwidth-limited.
+    OpStats mv;
+    mv.invocations = 1;
+    mv.bytesRead = gpu.memBandwidthGBs * 1e9 / 2.0;
+    mv.bytesWritten = gpu.memBandwidthGBs * 1e9 / 2.0;
+    double t2 = projectOp(gpu, OpCategory::DataMovement, mv);
+    EXPECT_NEAR(t2, 1.0 + gpu.launchOverheadUs * 1e-6, 1e-3);
+}
+
+TEST(Projection, LaunchOverheadDominatesManySmallOps)
+{
+    const auto &gpu = rtx2080ti();
+    OpStats tiny;
+    tiny.invocations = 100000;
+    tiny.flops = 1000.0;
+    tiny.bytesRead = 1000.0;
+    double t = projectOp(gpu, OpCategory::Other, tiny);
+    EXPECT_GT(t, 0.4); // 100k x 5us = 0.5 s of pure overhead
+}
+
+TEST(Projection, EdgeSlowerThanGpuOnProfile)
+{
+    Profiler prof;
+    {
+        PhaseScope n(Phase::Neural, "n", prof);
+        prof.recordOp("conv2d", OpCategory::Convolution, 1.0, 5e10,
+                      1e8, 1e8);
+    }
+    {
+        PhaseScope s(Phase::Symbolic, "s", prof);
+        prof.recordOp("circular_conv", OpCategory::VectorElementwise,
+                      5.0, 1e9, 5e9, 1e8);
+    }
+    auto gpu = projectProfile(rtx2080ti(), prof);
+    auto tx2 = projectProfile(jetsonTx2(), prof);
+    auto nx = projectProfile(xavierNx(), prof);
+    EXPECT_GT(tx2.totalSeconds, gpu.totalSeconds * 3);
+    EXPECT_GT(tx2.totalSeconds, nx.totalSeconds);
+    // Symbolic share stays substantial across devices (Fig. 2b/c);
+    // on the GPU the derated symbolic kernels dominate outright.
+    EXPECT_GT(gpu.symbolicFraction(), 0.5);
+    EXPECT_GT(tx2.symbolicFraction(), 0.3);
+    EXPECT_NEAR(gpu.symbolicFraction() + gpu.neuralFraction(), 1.0,
+                1e-9);
+}
+
+} // namespace

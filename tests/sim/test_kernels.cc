@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "sim/kernels.hh"
+
+namespace
+{
+
+using namespace nsbench::sim;
+
+class KernelTest : public testing::Test
+{
+  protected:
+    MachineModel machine = MachineModel::gpuLike();
+};
+
+TEST_F(KernelTest, SgemmIsComputeBound)
+{
+    auto k = runSgemmKernel(machine, 256, 256, 256, 32);
+    EXPECT_DOUBLE_EQ(k.flops, 2.0 * 256 * 256 * 256);
+    // The neural kernel keeps ALUs busy and DRAM quiet (Tab. IV).
+    EXPECT_GT(k.aluUtilPct, 60.0);
+    EXPECT_LT(k.dramBwUtilPct, 30.0);
+    EXPECT_GT(k.l2HitRatePct, 50.0);
+}
+
+TEST_F(KernelTest, ReluHasLowAluHighHitRates)
+{
+    auto k = runReluKernel(machine, 512 * 1024);
+    EXPECT_LT(k.aluUtilPct, 60.0);
+    // L2-warm activations: little DRAM traffic.
+    EXPECT_LT(k.dramBwUtilPct, 40.0);
+    EXPECT_GT(k.l2HitRatePct, 60.0);
+}
+
+TEST_F(KernelTest, VsaBundleIsDramBound)
+{
+    auto k = runVsaBundleKernel(machine, 16, 1 << 20);
+    // The symbolic kernel: single-digit ALU use, saturated DRAM.
+    EXPECT_LT(k.aluUtilPct, 12.0);
+    EXPECT_GT(k.dramBwUtilPct, 70.0);
+}
+
+TEST_F(KernelTest, GatherIsIrregularAndMemoryBound)
+{
+    auto k = runGatherKernel(machine, 20000, 100000, 32);
+    EXPECT_LT(k.aluUtilPct, 12.0);
+    EXPECT_GT(k.dramBwUtilPct, 50.0);
+    // Random rows mostly miss both levels.
+    EXPECT_LT(k.l2HitRatePct, 70.0);
+}
+
+TEST_F(KernelTest, NeuralVsSymbolicContrast)
+{
+    auto sgemm = runSgemmKernel(machine, 128, 128, 128, 32);
+    auto vsa = runVsaBundleKernel(machine, 16, 1 << 20);
+    // The paper's Tab. IV contrast: order-of-magnitude ALU gap,
+    // inverted DRAM pressure.
+    EXPECT_GT(sgemm.aluUtilPct, 5.0 * vsa.aluUtilPct);
+    EXPECT_GT(vsa.dramBwUtilPct, 2.0 * sgemm.dramBwUtilPct);
+}
+
+TEST_F(KernelTest, UtilizationsAreBoundedPercentages)
+{
+    for (const auto &k :
+         {runSgemmKernel(machine, 64, 64, 64, 32),
+          runReluKernel(machine, 65536),
+          runVsaBundleKernel(machine, 4, 1 << 16),
+          runGatherKernel(machine, 2000, 10000, 32)}) {
+        for (double pct :
+             {k.computeThroughputPct, k.aluUtilPct, k.l1ThroughputPct,
+              k.l2ThroughputPct, k.l1HitRatePct, k.l2HitRatePct,
+              k.dramBwUtilPct}) {
+            EXPECT_GE(pct, 0.0) << k.name;
+            EXPECT_LE(pct, 100.0 + 1e-9) << k.name;
+        }
+        EXPECT_GT(k.cycles, 0.0);
+        EXPECT_GT(k.memAccesses, 0u);
+    }
+}
+
+TEST_F(KernelTest, SgemmDeathOnBadTiling)
+{
+    EXPECT_DEATH(runSgemmKernel(machine, 100, 128, 128, 32),
+                 "tile multiples");
+}
+
+} // namespace

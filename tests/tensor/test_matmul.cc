@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "core/profiler.hh"
+#include "tensor/ops.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace nsbench::tensor;
+using nsbench::core::globalProfiler;
+using nsbench::core::OpCategory;
+using nsbench::core::Phase;
+using nsbench::util::Rng;
+
+TEST(MatMul, Known2x2)
+{
+    Tensor a({2, 2}, {1, 2, 3, 4});
+    Tensor b({2, 2}, {5, 6, 7, 8});
+    Tensor c = matmul(a, b);
+    EXPECT_EQ(c(0, 0), 19.0f);
+    EXPECT_EQ(c(0, 1), 22.0f);
+    EXPECT_EQ(c(1, 0), 43.0f);
+    EXPECT_EQ(c(1, 1), 50.0f);
+}
+
+TEST(MatMul, RectangularShapes)
+{
+    Tensor a({1, 3}, {1, 2, 3});
+    Tensor b({3, 2}, {1, 0, 0, 1, 1, 1});
+    Tensor c = matmul(a, b);
+    ASSERT_EQ(c.shape(), (Shape{1, 2}));
+    EXPECT_EQ(c(0, 0), 4.0f);
+    EXPECT_EQ(c(0, 1), 5.0f);
+}
+
+TEST(MatMul, IdentityIsNoOp)
+{
+    Rng rng(3);
+    Tensor a = Tensor::randn({4, 4}, rng);
+    Tensor eye = Tensor::zeros({4, 4});
+    for (int64_t i = 0; i < 4; i++)
+        eye(i, i) = 1.0f;
+    Tensor c = matmul(a, eye);
+    for (int64_t i = 0; i < 16; i++)
+        EXPECT_NEAR(c.flat(i), a.flat(i), 1e-6);
+}
+
+TEST(MatMul, MatchesNaiveReference)
+{
+    Rng rng(5);
+    Tensor a = Tensor::randn({7, 5}, rng);
+    Tensor b = Tensor::randn({5, 9}, rng);
+    Tensor c = matmul(a, b);
+    for (int64_t i = 0; i < 7; i++) {
+        for (int64_t j = 0; j < 9; j++) {
+            float ref = 0.0f;
+            for (int64_t k = 0; k < 5; k++)
+                ref += a(i, k) * b(k, j);
+            EXPECT_NEAR(c(i, j), ref, 1e-4);
+        }
+    }
+}
+
+TEST(MatMul, FlopAccounting)
+{
+    auto &prof = globalProfiler();
+    prof.reset();
+    {
+        nsbench::core::PhaseScope scope(Phase::Neural, "t");
+        Rng rng(1);
+        Tensor a = Tensor::randn({3, 4}, rng);
+        Tensor b = Tensor::randn({4, 5}, rng);
+        matmul(a, b);
+    }
+    auto stats = prof.categoryTotals(Phase::Neural, OpCategory::MatMul);
+    EXPECT_EQ(stats.invocations, 1u);
+    EXPECT_DOUBLE_EQ(stats.flops, 2.0 * 3 * 4 * 5);
+    EXPECT_DOUBLE_EQ(stats.bytesRead, (3 * 4 + 4 * 5) * 4.0);
+    EXPECT_DOUBLE_EQ(stats.bytesWritten, 3 * 5 * 4.0);
+    prof.reset();
+}
+
+TEST(Linear, MatchesMatmulTransposePlusBias)
+{
+    Rng rng(11);
+    Tensor x = Tensor::randn({4, 6}, rng);
+    Tensor w = Tensor::randn({3, 6}, rng);
+    Tensor bias({3}, {0.5f, -0.5f, 1.0f});
+    Tensor y = linear(x, w, bias);
+    ASSERT_EQ(y.shape(), (Shape{4, 3}));
+    Tensor ref = matmul(x, transpose2d(w));
+    for (int64_t i = 0; i < 4; i++) {
+        for (int64_t j = 0; j < 3; j++)
+            EXPECT_NEAR(y(i, j), ref(i, j) + bias(j), 1e-4);
+    }
+}
+
+TEST(Linear, EmptyBiasSkipsBias)
+{
+    Rng rng(12);
+    Tensor x = Tensor::randn({2, 3}, rng);
+    Tensor w = Tensor::randn({4, 3}, rng);
+    Tensor y = linear(x, w, Tensor());
+    Tensor ref = matmul(x, transpose2d(w));
+    for (int64_t i = 0; i < y.numel(); i++)
+        EXPECT_NEAR(y.flat(i), ref.flat(i), 1e-4);
+}
+
+TEST(Dot, KnownValue)
+{
+    Tensor a({3}, {1, 2, 3});
+    Tensor b({3}, {4, -5, 6});
+    EXPECT_EQ(dot(a, b), 12.0f);
+}
+
+TEST(MatMulDeath, InnerDimensionMismatch)
+{
+    Tensor a({2, 3});
+    Tensor b({4, 2});
+    EXPECT_DEATH(matmul(a, b), "inner dimension");
+}
+
+TEST(MatMulDeath, RankCheck)
+{
+    Tensor a({2, 3, 4});
+    Tensor b({4, 2});
+    EXPECT_DEATH(matmul(a, b), "rank-2");
+    EXPECT_DEATH(dot(a, b), "rank-1");
+}
+
+} // namespace

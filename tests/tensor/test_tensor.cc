@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/profiler.hh"
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace nsbench::tensor;
+using nsbench::core::globalProfiler;
+using nsbench::util::Rng;
+
+TEST(Shape, NumelAndStr)
+{
+    EXPECT_EQ(shapeNumel({}), 1);
+    EXPECT_EQ(shapeNumel({3}), 3);
+    EXPECT_EQ(shapeNumel({2, 3, 4}), 24);
+    EXPECT_EQ(shapeNumel({5, 0}), 0);
+    EXPECT_EQ(shapeStr({2, 3}), "[2, 3]");
+    EXPECT_EQ(shapeStr({}), "[]");
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t({2, 3});
+    EXPECT_EQ(t.numel(), 6);
+    EXPECT_EQ(t.dim(), 2u);
+    for (float v : t.data())
+        EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, ValueConstructorAndIndexing)
+{
+    Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+    EXPECT_EQ(t(0, 0), 1.0f);
+    EXPECT_EQ(t(0, 2), 3.0f);
+    EXPECT_EQ(t(1, 0), 4.0f);
+    EXPECT_EQ(t(1, 2), 6.0f);
+    t(1, 1) = 42.0f;
+    EXPECT_EQ(t.flat(4), 42.0f);
+}
+
+TEST(Tensor, NegativeSizeIndexing)
+{
+    Tensor t({2, 3, 4});
+    EXPECT_EQ(t.size(-1), 4);
+    EXPECT_EQ(t.size(-3), 2);
+    EXPECT_EQ(t.size(1), 3);
+}
+
+TEST(Tensor, FactoryFills)
+{
+    EXPECT_EQ(Tensor::ones({3}).flat(1), 1.0f);
+    EXPECT_EQ(Tensor::full({2}, 2.5f).flat(0), 2.5f);
+    Rng rng(1);
+    Tensor r = Tensor::rand({100}, rng, 2.0f, 3.0f);
+    for (float v : r.data()) {
+        EXPECT_GE(v, 2.0f);
+        EXPECT_LT(v, 3.0f);
+    }
+    Tensor b = Tensor::bipolar({100}, rng);
+    for (float v : b.data())
+        EXPECT_TRUE(v == 1.0f || v == -1.0f);
+    Tensor bern = Tensor::bernoulli({100}, rng, 1.0);
+    for (float v : bern.data())
+        EXPECT_EQ(v, 1.0f);
+}
+
+TEST(Tensor, ReshapeSharesStorage)
+{
+    Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+    Tensor r = t.reshaped({3, 2});
+    EXPECT_EQ(r(2, 1), 6.0f);
+    r(0, 0) = 99.0f;
+    EXPECT_EQ(t(0, 0), 99.0f); // aliasing is intended
+}
+
+TEST(Tensor, CloneIsDeep)
+{
+    Tensor t({2}, {1, 2});
+    Tensor c = t.clone();
+    c(0) = 7.0f;
+    EXPECT_EQ(t(0), 1.0f);
+    EXPECT_EQ(c(0), 7.0f);
+}
+
+TEST(Tensor, CopyHandleAliases)
+{
+    Tensor t({2}, {1, 2});
+    Tensor alias = t;
+    alias(1) = 5.0f;
+    EXPECT_EQ(t(1), 5.0f);
+}
+
+TEST(Tensor, AllocationTracked)
+{
+    auto &prof = globalProfiler();
+    prof.reset();
+    {
+        Tensor t({256}); // 1 KiB
+        EXPECT_EQ(prof.currentBytes(), 1024u);
+        Tensor view = t.reshaped({16, 16});
+        EXPECT_EQ(prof.currentBytes(), 1024u); // no new storage
+        Tensor deep = t.clone();
+        EXPECT_EQ(prof.currentBytes(), 2048u);
+    }
+    EXPECT_EQ(prof.currentBytes(), 0u);
+    EXPECT_EQ(prof.peakBytes(), 2048u);
+    prof.reset();
+}
+
+TEST(TensorDeath, ShapeMismatchOnValues)
+{
+    EXPECT_DEATH(Tensor({2, 2}, {1.0f, 2.0f}), "value count");
+}
+
+TEST(TensorDeath, BadReshape)
+{
+    Tensor t({4});
+    EXPECT_DEATH(t.reshaped({3}), "element count mismatch");
+}
+
+TEST(TensorDeath, IndexOutOfRange)
+{
+    Tensor t({2, 2});
+    EXPECT_DEATH(t.at({2, 0}), "out of range");
+    EXPECT_DEATH(t.at({0}), "rank mismatch");
+}
+
+} // namespace

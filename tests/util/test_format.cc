@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "util/format.hh"
+
+namespace
+{
+
+using namespace nsbench::util;
+
+TEST(Format, HumanBytes)
+{
+    EXPECT_EQ(humanBytes(0), "0 B");
+    EXPECT_EQ(humanBytes(512), "512 B");
+    EXPECT_EQ(humanBytes(1024), "1.00 KiB");
+    EXPECT_EQ(humanBytes(1536), "1.50 KiB");
+    EXPECT_EQ(humanBytes(3u * 1024 * 1024), "3.00 MiB");
+    EXPECT_EQ(humanBytes(5ull * 1024 * 1024 * 1024), "5.00 GiB");
+}
+
+TEST(Format, HumanSeconds)
+{
+    EXPECT_EQ(humanSeconds(3e-9), "3.0 ns");
+    EXPECT_EQ(humanSeconds(4.2e-6), "4.2 us");
+    EXPECT_EQ(humanSeconds(0.0125), "12.50 ms");
+    EXPECT_EQ(humanSeconds(2.5), "2.50 s");
+    EXPECT_EQ(humanSeconds(660.0), "11.0 min");
+}
+
+TEST(Format, HumanCount)
+{
+    EXPECT_EQ(humanCount(950.0, "FLOP"), "950.00 FLOP");
+    EXPECT_EQ(humanCount(2.5e3, "FLOP"), "2.50 KFLOP");
+    EXPECT_EQ(humanCount(3.1e9, "FLOP"), "3.10 GFLOP");
+}
+
+TEST(Format, PercentStr)
+{
+    EXPECT_EQ(percentStr(0.454), "45.4%");
+    EXPECT_EQ(percentStr(1.0, 0), "100%");
+    EXPECT_EQ(percentStr(0.92115, 2), "92.12%");
+}
+
+TEST(Format, FixedStr)
+{
+    EXPECT_EQ(fixedStr(3.14159, 2), "3.14");
+    EXPECT_EQ(fixedStr(2.0, 0), "2");
+}
+
+} // namespace

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace nsbench::util;
+
+TEST(Logging, ThresholdRoundTrip)
+{
+    LogLevel before = logThreshold();
+    setLogThreshold(LogLevel::Debug);
+    EXPECT_EQ(logThreshold(), LogLevel::Debug);
+    setLogThreshold(before);
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    warn("test warning");
+    inform("test info");
+    SUCCEED();
+}
+
+TEST(Logging, PanicIfFalseIsNoOp)
+{
+    panicIf(false, "must not fire");
+    fatalIf(false, "must not fire");
+    SUCCEED();
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("intentional"), "intentional");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config"), testing::ExitedWithCode(1),
+                "bad config");
+}
+
+TEST(LoggingDeath, PanicIfTrueFires)
+{
+    EXPECT_DEATH(panicIf(true, "condition hit"), "condition hit");
+}
+
+} // namespace

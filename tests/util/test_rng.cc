@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hh"
+
+namespace
+{
+
+using namespace nsbench::util;
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.uniformInt(0, 1000000), b.uniformInt(0, 1000000));
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; i++) {
+        if (a.uniformInt(0, 1 << 30) == b.uniformInt(0, 1 << 30))
+            same++;
+    }
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; i++) {
+        float v = rng.uniform(-2.0f, 3.0f);
+        EXPECT_GE(v, -2.0f);
+        EXPECT_LT(v, 3.0f);
+    }
+}
+
+TEST(Rng, UniformIntInclusive)
+{
+    Rng rng(9);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 500; i++) {
+        int64_t v = rng.uniformInt(0, 3);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(11);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; i++) {
+        double v = rng.normal(1.0f, 2.0f);
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 1.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, BipolarBalance)
+{
+    Rng rng(13);
+    int plus = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; i++) {
+        float v = rng.bipolar();
+        EXPECT_TRUE(v == 1.0f || v == -1.0f);
+        if (v > 0)
+            plus++;
+    }
+    EXPECT_NEAR(static_cast<double>(plus) / n, 0.5, 0.05);
+}
+
+TEST(Rng, CategoricalRespectsWeights)
+{
+    Rng rng(17);
+    std::vector<double> w{0.0, 1.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    const int n = 12000;
+    for (int i = 0; i < n; i++)
+        counts[rng.categorical(w)]++;
+    EXPECT_EQ(counts[0], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.4);
+}
+
+TEST(Rng, ChoiceAndShuffleCoverage)
+{
+    Rng rng(19);
+    std::vector<int> v{1, 2, 3, 4, 5};
+    std::set<int> picked;
+    for (int i = 0; i < 200; i++)
+        picked.insert(rng.choice(v));
+    EXPECT_EQ(picked.size(), 5u);
+
+    std::vector<int> shuffled = v;
+    rng.shuffle(shuffled);
+    std::multiset<int> a(v.begin(), v.end());
+    std::multiset<int> b(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(RngDeath, EmptyChoicePanics)
+{
+    Rng rng(1);
+    std::vector<int> empty;
+    EXPECT_DEATH(rng.choice(empty), "empty");
+}
+
+} // namespace

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hh"
+
+namespace
+{
+
+using namespace nsbench::util;
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownSequence)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    // Population variance is 4; sample variance 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStat, SingleSampleVarianceIsZero)
+{
+    RunningStat s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+}
+
+TEST(Histogram, BinsAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);   // bin 0
+    h.add(9.5);   // bin 4
+    h.add(-3.0);  // clamps to bin 0
+    h.add(42.0);  // clamps to bin 4
+    h.add(5.0);   // bin 2 (exact edge rounds into upper bin)
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(2), 1u);
+    EXPECT_EQ(h.binCount(4), 2u);
+}
+
+TEST(Histogram, BinCenters)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.binCenter(4), 9.0);
+}
+
+TEST(HistogramDeath, RejectsBadRange)
+{
+    EXPECT_DEATH(Histogram(1.0, 1.0, 4), "hi must exceed lo");
+    EXPECT_DEATH(Histogram(0.0, 1.0, 0), "at least one bin");
+}
+
+TEST(Percentile, EmptyReturnsZero)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, MedianAndExtremes)
+{
+    std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+}
+
+TEST(Percentile, Interpolates)
+{
+    std::vector<double> v{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+} // namespace

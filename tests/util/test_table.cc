@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace
+{
+
+using namespace nsbench::util;
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("name    value"), std::string::npos);
+    EXPECT_NE(out.find("longer  22"), std::string::npos);
+    EXPECT_NE(out.find("------"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"k", "v"});
+    t.addRow({"plain", "has,comma"});
+    t.addRow({"quote\"inside", "x"});
+    std::ostringstream os;
+    t.printCsv(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("k,v\n"), std::string::npos);
+    EXPECT_NE(out.find("plain,\"has,comma\"\n"), std::string::npos);
+    EXPECT_NE(out.find("\"quote\"\"inside\",x\n"), std::string::npos);
+}
+
+TEST(Table, CsvQuoteRules)
+{
+    EXPECT_EQ(csvQuote("simple"), "simple");
+    EXPECT_EQ(csvQuote("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvQuote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvQuote("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(TableDeath, RowSizeMismatch)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "cell count");
+}
+
+TEST(TableDeath, NoColumns)
+{
+    EXPECT_DEATH(Table(std::vector<std::string>{}), "at least one");
+}
+
+} // namespace

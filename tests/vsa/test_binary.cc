@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "vsa/binary.hh"
+#include "vsa/ops.hh"
+
+namespace
+{
+
+using namespace nsbench::vsa;
+using nsbench::tensor::Tensor;
+using nsbench::util::Rng;
+
+TEST(BinaryVector, BitAccessAndPacking)
+{
+    BinaryVector v(100);
+    EXPECT_EQ(v.dim(), 100);
+    EXPECT_EQ(v.words().size(), 2u);
+    EXPECT_EQ(v.bytes(), 16u);
+    v.setBit(0, true);
+    v.setBit(63, true);
+    v.setBit(64, true);
+    v.setBit(99, true);
+    EXPECT_TRUE(v.bit(0));
+    EXPECT_TRUE(v.bit(63));
+    EXPECT_TRUE(v.bit(64));
+    EXPECT_TRUE(v.bit(99));
+    EXPECT_FALSE(v.bit(1));
+    v.setBit(63, false);
+    EXPECT_FALSE(v.bit(63));
+}
+
+TEST(BinaryVector, PackedIsThirtyTwoTimesSmallerThanFp32)
+{
+    Rng rng(1);
+    BinaryVector v = BinaryVector::random(2048, rng);
+    EXPECT_EQ(v.bytes() * 32, 2048u * 4);
+}
+
+TEST(BinaryVector, TensorRoundTrip)
+{
+    Rng rng(2);
+    Tensor bipolar = Tensor::bipolar({70}, rng);
+    BinaryVector v = BinaryVector::fromTensor(bipolar);
+    Tensor back = v.toBipolarTensor();
+    for (int64_t i = 0; i < 70; i++)
+        EXPECT_EQ(back(i), bipolar(i));
+}
+
+TEST(BinaryOps, XorBindSelfInverse)
+{
+    Rng rng(3);
+    BinaryVector a = BinaryVector::random(512, rng);
+    BinaryVector b = BinaryVector::random(512, rng);
+    BinaryVector bound = xorBind(a, b);
+    EXPECT_EQ(xorBind(bound, b), a);
+    EXPECT_EQ(xorBind(bound, a), b);
+    // Bound vector is quasi-orthogonal to its factors.
+    EXPECT_NEAR(binarySimilarity(bound, a), 0.5, 0.08);
+}
+
+TEST(BinaryOps, RandomVectorsHalfSimilar)
+{
+    Rng rng(4);
+    BinaryVector a = BinaryVector::random(4096, rng);
+    BinaryVector b = BinaryVector::random(4096, rng);
+    EXPECT_NEAR(binarySimilarity(a, b), 0.5, 0.05);
+    EXPECT_EQ(hammingDistance(a, a), 0);
+    EXPECT_NEAR(binarySimilarity(a, a), 1.0, 1e-12);
+}
+
+TEST(BinaryOps, MajorityPreservesMembers)
+{
+    Rng rng(5);
+    std::vector<BinaryVector> members;
+    for (int i = 0; i < 5; i++)
+        members.push_back(BinaryVector::random(2048, rng));
+    BinaryVector bundle = majorityBundle(members);
+    BinaryVector outsider = BinaryVector::random(2048, rng);
+    for (const auto &m : members) {
+        EXPECT_GT(binarySimilarity(bundle, m), 0.6);
+        EXPECT_GT(binarySimilarity(bundle, m),
+                  binarySimilarity(bundle, outsider) + 0.05);
+    }
+}
+
+TEST(BinaryOps, MajorityExactSmallCase)
+{
+    BinaryVector a(4), b(4), c(4);
+    a.setBit(0, true);
+    a.setBit(1, true);
+    b.setBit(1, true);
+    c.setBit(1, true);
+    c.setBit(2, true);
+    BinaryVector m = majorityBundle({a, b, c});
+    EXPECT_FALSE(m.bit(0)); // 1 of 3
+    EXPECT_TRUE(m.bit(1));  // 3 of 3
+    EXPECT_FALSE(m.bit(2)); // 1 of 3
+    EXPECT_FALSE(m.bit(3)); // 0 of 3
+
+    // Even count with a tie obeys the tie rule.
+    BinaryVector d(4);
+    d.setBit(0, true);
+    BinaryVector tie_hi = majorityBundle({a, d}, true);
+    EXPECT_TRUE(tie_hi.bit(1)); // 1 of 2, tie -> 1
+    BinaryVector tie_lo = majorityBundle({a, d}, false);
+    EXPECT_FALSE(tie_lo.bit(1));
+}
+
+TEST(BinaryOps, RotationRoundTripAndDecorrelation)
+{
+    Rng rng(6);
+    BinaryVector a = BinaryVector::random(1000, rng);
+    BinaryVector r = rotateBits(a, 137);
+    EXPECT_NEAR(binarySimilarity(r, a), 0.5, 0.06);
+    EXPECT_EQ(rotateBits(r, -137), a);
+    EXPECT_EQ(rotateBits(a, 1000), a); // modular
+}
+
+TEST(BinaryCodebook, CleanupRecoversNoisyAtoms)
+{
+    Rng rng(7);
+    BinaryCodebook book(64, 2048, rng);
+    EXPECT_EQ(book.bytes(), 64u * 2048 / 8);
+    for (int64_t e : {0L, 31L, 63L}) {
+        BinaryVector noisy = book.atom(e);
+        // Flip 25% of the bits.
+        for (int64_t i = 0; i < noisy.dim(); i += 4)
+            noisy.setBit(i, !noisy.bit(i));
+        auto result = book.cleanup(noisy);
+        EXPECT_EQ(result.index, e);
+        EXPECT_NEAR(result.similarity, 0.75f, 0.02f);
+    }
+}
+
+TEST(BinaryCodebook, BindCleanupPipeline)
+{
+    // The classic VSA key-value demo, fully in packed binary form.
+    Rng rng(8);
+    BinaryCodebook values(32, 2048, rng);
+    BinaryVector key = BinaryVector::random(2048, rng);
+    BinaryVector record = xorBind(key, values.atom(17));
+    BinaryVector retrieved = xorBind(record, key);
+    EXPECT_EQ(values.cleanup(retrieved).index, 17);
+}
+
+TEST(BinaryOpsDeath, Validations)
+{
+    Rng rng(9);
+    BinaryVector a = BinaryVector::random(64, rng);
+    BinaryVector b = BinaryVector::random(128, rng);
+    EXPECT_DEATH(xorBind(a, b), "dimension mismatch");
+    EXPECT_DEATH(hammingDistance(a, b), "dimension mismatch");
+    EXPECT_DEATH(a.bit(64), "out of range");
+    EXPECT_DEATH(majorityBundle({}), "no vectors");
+}
+
+} // namespace

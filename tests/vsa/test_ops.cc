@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vsa/fft.hh"
+#include "vsa/ops.hh"
+
+namespace
+{
+
+using namespace nsbench::vsa;
+using nsbench::tensor::Tensor;
+using nsbench::util::Rng;
+
+TEST(VsaOps, RandomHypervectorIsBipolar)
+{
+    Rng rng(1);
+    Tensor hv = randomHypervector(256, rng);
+    EXPECT_EQ(hv.numel(), 256);
+    for (float v : hv.data())
+        EXPECT_TRUE(v == 1.0f || v == -1.0f);
+}
+
+TEST(VsaOps, BindIsSelfInverseForBipolar)
+{
+    Rng rng(2);
+    Tensor a = randomHypervector(512, rng);
+    Tensor b = randomHypervector(512, rng);
+    Tensor bound = bind(a, b);
+    Tensor recovered = unbind(bound, b);
+    EXPECT_FLOAT_EQ(cosineSimilarity(recovered, a), 1.0f);
+    EXPECT_FLOAT_EQ(hammingSimilarity(recovered, a), 1.0f);
+}
+
+TEST(VsaOps, BindingDecorrelates)
+{
+    Rng rng(3);
+    Tensor a = randomHypervector(2048, rng);
+    Tensor b = randomHypervector(2048, rng);
+    Tensor bound = bind(a, b);
+    // The bound vector is quasi-orthogonal to both factors.
+    EXPECT_LT(std::abs(cosineSimilarity(bound, a)), 0.1f);
+    EXPECT_LT(std::abs(cosineSimilarity(bound, b)), 0.1f);
+}
+
+TEST(VsaOps, RandomVectorsQuasiOrthogonal)
+{
+    Rng rng(4);
+    Tensor a = randomHypervector(4096, rng);
+    Tensor b = randomHypervector(4096, rng);
+    EXPECT_LT(std::abs(cosineSimilarity(a, b)), 0.08f);
+    EXPECT_NEAR(hammingSimilarity(a, b), 0.5f, 0.05f);
+}
+
+TEST(VsaOps, BundlePreservesMemberSimilarity)
+{
+    Rng rng(5);
+    std::vector<Tensor> members;
+    for (int i = 0; i < 5; i++)
+        members.push_back(randomHypervector(2048, rng));
+    Tensor super = bundleMajority(members);
+    Tensor outsider = randomHypervector(2048, rng);
+    for (const auto &m : members) {
+        EXPECT_GT(cosineSimilarity(super, m), 0.2f);
+        EXPECT_GT(cosineSimilarity(super, m),
+                  std::abs(cosineSimilarity(super, outsider)) + 0.1f);
+    }
+}
+
+TEST(VsaOps, BundleIsElementwiseSum)
+{
+    Tensor a({3}, {1, -1, 1});
+    Tensor b({3}, {1, 1, -1});
+    Tensor s = bundle({a, b});
+    EXPECT_EQ(s(0), 2.0f);
+    EXPECT_EQ(s(1), 0.0f);
+    EXPECT_EQ(s(2), 0.0f);
+    Tensor m = bundleMajority({a, b});
+    EXPECT_EQ(m(0), 1.0f);
+    EXPECT_EQ(m(1), 1.0f); // ties break to +1
+}
+
+TEST(VsaOps, PermuteShiftRoundTrip)
+{
+    Rng rng(6);
+    Tensor a = randomHypervector(128, rng);
+    Tensor p = permuteShift(a, 13);
+    EXPECT_LT(std::abs(cosineSimilarity(p, a)), 0.3f);
+    Tensor back = permuteShift(p, -13);
+    EXPECT_FLOAT_EQ(cosineSimilarity(back, a), 1.0f);
+}
+
+TEST(VsaOps, PermuteShiftExactPlacement)
+{
+    Tensor a({4}, {1, 2, 3, 4});
+    Tensor p = permuteShift(a, 1);
+    EXPECT_EQ(p(0), 4.0f);
+    EXPECT_EQ(p(1), 1.0f);
+    EXPECT_EQ(p(3), 3.0f);
+    // Shifts are modular.
+    Tensor q = permuteShift(a, 5);
+    for (int64_t i = 0; i < 4; i++)
+        EXPECT_EQ(q(i), p(i));
+}
+
+TEST(VsaOps, CircularConvolutionKnownValues)
+{
+    Tensor a({3}, {1, 2, 3});
+    Tensor b({3}, {4, 5, 6});
+    Tensor c = circularConvolve(a, b);
+    // c[k] = sum_j a[j] b[(k-j) mod 3]
+    EXPECT_FLOAT_EQ(c(0), 1 * 4 + 2 * 6 + 3 * 5); // 31
+    EXPECT_FLOAT_EQ(c(1), 1 * 5 + 2 * 4 + 3 * 6); // 31
+    EXPECT_FLOAT_EQ(c(2), 1 * 6 + 2 * 5 + 3 * 4); // 28
+}
+
+TEST(VsaOps, CircularConvolutionCommutes)
+{
+    Rng rng(7);
+    Tensor a = Tensor::randn({64}, rng);
+    Tensor b = Tensor::randn({64}, rng);
+    Tensor ab = circularConvolve(a, b);
+    Tensor ba = circularConvolve(b, a);
+    for (int64_t i = 0; i < 64; i++)
+        EXPECT_NEAR(ab(i), ba(i), 1e-3);
+}
+
+TEST(VsaOps, CircularCorrelationUnbindsHrr)
+{
+    Rng rng(8);
+    // Unit-norm random vectors make correlation an approximate inverse.
+    Tensor a = Tensor::randn({1024}, rng, 0.0f,
+                             1.0f / std::sqrt(1024.0f));
+    Tensor b = Tensor::randn({1024}, rng, 0.0f,
+                             1.0f / std::sqrt(1024.0f));
+    Tensor bound = circularConvolve(a, b);
+    Tensor recovered = circularCorrelate(b, bound);
+    EXPECT_GT(cosineSimilarity(recovered, a), 0.6f);
+}
+
+TEST(VsaOps, FftMatchesNaiveConvolution)
+{
+    Rng rng(9);
+    Tensor a = Tensor::randn({256}, rng);
+    Tensor b = Tensor::randn({256}, rng);
+    Tensor naive = circularConvolve(a, b);
+    Tensor fast = fftCircularConvolve(a, b);
+    for (int64_t i = 0; i < 256; i++)
+        EXPECT_NEAR(naive(i), fast(i), 1e-2);
+}
+
+TEST(Fft, RoundTrip)
+{
+    std::vector<std::complex<double>> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto orig = v;
+    fft(v, false);
+    fft(v, true);
+    for (size_t i = 0; i < v.size(); i++) {
+        EXPECT_NEAR(v[i].real(), orig[i].real(), 1e-9);
+        EXPECT_NEAR(v[i].imag(), 0.0, 1e-9);
+    }
+}
+
+TEST(Fft, PowerOfTwoCheck)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(12));
+}
+
+TEST(VsaOps, UnitaryVectorHasUnitNormAndUnitSpectrum)
+{
+    Rng rng(21);
+    Tensor u = unitaryVector(512, rng);
+    double norm = 0.0;
+    for (float v : u.data())
+        norm += static_cast<double>(v) * v;
+    EXPECT_NEAR(norm, 1.0, 1e-6);
+    // Convolving two unitary vectors preserves the norm exactly.
+    Tensor w = unitaryVector(512, rng);
+    Tensor c = circularConvolve(u, w);
+    double cnorm = 0.0;
+    for (float v : c.data())
+        cnorm += static_cast<double>(v) * v;
+    EXPECT_NEAR(cnorm, 1.0, 1e-4);
+}
+
+TEST(VsaOps, ConvPowerGroupLaws)
+{
+    Rng rng(22);
+    Tensor base = unitaryVector(256, rng);
+    // Power 0 is the convolution identity.
+    Tensor p0 = convPower(base, 0);
+    Tensor conv_with_identity = circularConvolve(base, p0);
+    EXPECT_GT(cosineSimilarity(conv_with_identity, base), 0.999f);
+    // p(a) (*) p(b) = p(a+b).
+    Tensor p2 = convPower(base, 2);
+    Tensor p3 = convPower(base, 3);
+    Tensor p5 = convPower(base, 5);
+    Tensor prod = circularConvolve(p2, p3);
+    EXPECT_GT(cosineSimilarity(prod, p5), 0.999f);
+    // Negative powers invert.
+    Tensor pm2 = convPower(base, -2);
+    Tensor identity = circularConvolve(p2, pm2);
+    EXPECT_GT(cosineSimilarity(identity, p0), 0.999f);
+}
+
+TEST(VsaOps, ConvPowersAreQuasiOrthogonal)
+{
+    Rng rng(23);
+    Tensor base = unitaryVector(2048, rng);
+    Tensor p1 = convPower(base, 1);
+    Tensor p2 = convPower(base, 2);
+    Tensor p7 = convPower(base, 7);
+    EXPECT_LT(std::abs(cosineSimilarity(p1, p2)), 0.1f);
+    EXPECT_LT(std::abs(cosineSimilarity(p1, p7)), 0.1f);
+    EXPECT_LT(std::abs(cosineSimilarity(p2, p7)), 0.1f);
+}
+
+class ConvPowerSweep : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(ConvPowerSweep, FractionalPowerEncodingRoundTrip)
+{
+    // Encoding value v as base^(v+1) and shifting by d lands exactly
+    // on base^(v+d+1) — the algebra NVSA's progression rules use.
+    Rng rng(24);
+    Tensor base = unitaryVector(1024, rng);
+    int v = GetParam();
+    Tensor atom = convPower(base, v + 1);
+    for (int d : {-2, -1, 1, 2}) {
+        if (v + d < 0)
+            continue;
+        Tensor shifted =
+            circularConvolve(atom, convPower(base, d));
+        Tensor expected = convPower(base, v + d + 1);
+        EXPECT_GT(cosineSimilarity(shifted, expected), 0.999f)
+            << "v=" << v << " d=" << d;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, ConvPowerSweep,
+                         testing::Values(0, 2, 5, 8));
+
+TEST(VsaOpsDeath, DimensionChecks)
+{
+    Rng rng(1);
+    Tensor a = randomHypervector(8, rng);
+    Tensor b = randomHypervector(16, rng);
+    EXPECT_DEATH(bind(a, b), "equal-dimension");
+    EXPECT_DEATH(bundle({}), "no vectors");
+    Tensor c = randomHypervector(12, rng);
+    Tensor d = randomHypervector(12, rng);
+    EXPECT_DEATH(fftCircularConvolve(c, d), "power of 2");
+}
+
+} // namespace

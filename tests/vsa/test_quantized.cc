@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vsa/ops.hh"
+#include "vsa/quantized.hh"
+
+namespace
+{
+
+using namespace nsbench::vsa;
+using nsbench::tensor::Tensor;
+using nsbench::util::Rng;
+
+TEST(QuantizedCodebook, QuarterTheMemory)
+{
+    Rng rng(1);
+    Codebook fp32(128, 1024, rng);
+    QuantizedCodebook int8(fp32);
+    EXPECT_EQ(int8.entries(), 128);
+    EXPECT_EQ(int8.dim(), 1024);
+    EXPECT_LT(int8.bytes(), fp32.bytes() / 3);
+}
+
+TEST(QuantizedCodebook, BipolarAtomsQuantizeExactly)
+{
+    // Bipolar atoms have only two magnitudes, so INT8 is lossless.
+    Rng rng(2);
+    Codebook fp32(16, 256, rng);
+    QuantizedCodebook int8(fp32);
+    for (int64_t e : {0L, 7L, 15L}) {
+        Tensor original = fp32.atom(e);
+        Tensor restored = int8.dequantizeAtom(e);
+        for (int64_t i = 0; i < 256; i++)
+            EXPECT_NEAR(restored(i), original(i), 1e-6);
+    }
+}
+
+TEST(QuantizedCodebook, CleanupMatchesFp32OnCleanQueries)
+{
+    Rng rng(3);
+    Codebook fp32(64, 1024, rng);
+    QuantizedCodebook int8(fp32);
+    for (int64_t e = 0; e < 64; e += 7) {
+        auto exact = int8.cleanup(fp32.atom(e));
+        EXPECT_EQ(exact.index, e);
+        EXPECT_NEAR(exact.similarity, 1.0f, 1e-3);
+    }
+}
+
+class QuantizedNoise : public testing::TestWithParam<double>
+{
+};
+
+TEST_P(QuantizedNoise, RobustnessTracksFp32)
+{
+    double flip = GetParam();
+    Rng rng(4);
+    Codebook fp32(48, 2048, rng);
+    QuantizedCodebook int8(fp32);
+
+    int agree = 0, fp32_correct = 0, int8_correct = 0;
+    const int trials = 40;
+    for (int t = 0; t < trials; t++) {
+        auto idx = rng.uniformInt(0, 47);
+        Tensor noisy = fp32.atom(idx);
+        auto data = noisy.data();
+        for (float &v : data) {
+            if (rng.bernoulli(flip))
+                v = -v;
+        }
+        auto a = fp32.cleanup(noisy);
+        auto b = int8.cleanup(noisy);
+        if (a.index == b.index)
+            agree++;
+        if (a.index == idx)
+            fp32_correct++;
+        if (b.index == idx)
+            int8_correct++;
+    }
+    // INT8 matches FP32 decisions nearly always and loses almost no
+    // accuracy — the Recommendation 3 claim.
+    EXPECT_GE(agree, trials * 9 / 10);
+    EXPECT_GE(int8_correct, fp32_correct - 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, QuantizedNoise,
+                         testing::Values(0.1, 0.25, 0.35));
+
+TEST(QuantizedCodebook, WorksOnRealValuedAtoms)
+{
+    // Fractional-power atoms are real-valued, not bipolar.
+    Rng rng(5);
+    Tensor base = unitaryVector(512, rng);
+    Tensor atoms({8, 512});
+    for (int v = 0; v < 8; v++) {
+        Tensor atom = convPower(base, v + 1);
+        for (int64_t i = 0; i < 512; i++)
+            atoms(v, i) = atom(i);
+    }
+    Codebook fp32(std::move(atoms));
+    QuantizedCodebook int8(fp32);
+    for (int64_t e = 0; e < 8; e++) {
+        auto res = int8.cleanup(fp32.atom(e));
+        EXPECT_EQ(res.index, e);
+        EXPECT_GT(res.similarity, 0.98f);
+    }
+}
+
+TEST(QuantizedCodebookDeath, DimensionMismatch)
+{
+    Rng rng(6);
+    Codebook fp32(8, 64, rng);
+    QuantizedCodebook int8(fp32);
+    Tensor wrong = Tensor::zeros({32});
+    EXPECT_DEATH(int8.cleanup(wrong), "dimension mismatch");
+    EXPECT_DEATH(int8.dequantizeAtom(9), "out of range");
+}
+
+} // namespace

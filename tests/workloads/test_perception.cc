@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "data/raven.hh"
+#include "workloads/perception.hh"
+
+namespace
+{
+
+using namespace nsbench;
+using namespace nsbench::workloads;
+using data::AttributeId;
+using data::RavenGenerator;
+
+class PerceptionTest : public testing::TestWithParam<int>
+{
+  protected:
+    int grid() const { return GetParam(); }
+};
+
+TEST_P(PerceptionTest, RecoversPanelAttributes)
+{
+    RavenGenerator gen(grid(), 77);
+    RavenPerception perception(grid(), 77);
+
+    int checked = 0, number_ok = 0, type_ok = 0, size_ok = 0,
+        color_ok = 0;
+    for (int trial = 0; trial < 5; trial++) {
+        data::RpmPuzzle puzzle = gen.generate();
+        for (const auto &panel : puzzle.context) {
+            auto belief = perception.perceive(gen.render(panel));
+            checked++;
+            auto mode = [](const tensor::Tensor &pmf) {
+                int best = 0;
+                for (int64_t v = 1; v < pmf.numel(); v++) {
+                    if (pmf(v) > pmf(best))
+                        best = static_cast<int>(v);
+                }
+                return best;
+            };
+            if (mode(belief.pmfs[0]) ==
+                panel.value(AttributeId::Number))
+                number_ok++;
+            if (mode(belief.pmfs[1]) ==
+                panel.value(AttributeId::Type))
+                type_ok++;
+            if (mode(belief.pmfs[2]) ==
+                panel.value(AttributeId::Size))
+                size_ok++;
+            if (mode(belief.pmfs[3]) ==
+                panel.value(AttributeId::Color))
+                color_ok++;
+        }
+    }
+    // The template estimator should be essentially exact on the
+    // renderer's own output.
+    EXPECT_EQ(number_ok, checked);
+    EXPECT_GE(type_ok, checked * 9 / 10);
+    EXPECT_GE(size_ok, checked * 7 / 10);
+    EXPECT_GE(color_ok, checked * 9 / 10);
+}
+
+TEST_P(PerceptionTest, PmfsAreNormalized)
+{
+    RavenGenerator gen(grid(), 5);
+    RavenPerception perception(grid(), 5);
+    data::RpmPuzzle puzzle = gen.generate();
+    auto belief = perception.perceive(gen.render(puzzle.context[0]));
+    for (const auto &pmf : belief.pmfs) {
+        float sum = 0.0f;
+        for (int64_t v = 0; v < pmf.numel(); v++) {
+            EXPECT_GE(pmf(v), 0.0f);
+            sum += pmf(v);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-4);
+    }
+    EXPECT_FALSE(belief.cellBeliefs.empty());
+}
+
+TEST_P(PerceptionTest, BatchMatchesSingle)
+{
+    RavenGenerator gen(grid(), 9);
+    RavenPerception perception(grid(), 9);
+    data::RpmPuzzle puzzle = gen.generate();
+    std::vector<tensor::Tensor> images;
+    for (int i = 0; i < 4; i++)
+        images.push_back(
+            gen.render(puzzle.context[static_cast<size_t>(i)]));
+    auto batch = perception.perceiveBatch(images);
+    ASSERT_EQ(batch.size(), 4u);
+    for (int i = 0; i < 4; i++) {
+        auto single =
+            perception.perceive(images[static_cast<size_t>(i)]);
+        for (size_t a = 0; a < data::numAttributes; a++) {
+            ASSERT_EQ(batch[static_cast<size_t>(i)].pmfs[a].numel(),
+                      single.pmfs[a].numel());
+            for (int64_t v = 0; v < single.pmfs[a].numel(); v++) {
+                EXPECT_FLOAT_EQ(
+                    batch[static_cast<size_t>(i)].pmfs[a](v),
+                    single.pmfs[a](v));
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, PerceptionTest,
+                         testing::Values(1, 2, 3));
+
+} // namespace

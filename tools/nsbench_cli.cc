@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The `nsbench` command-line front end.
+ *
+ * Subcommands:
+ *   list                      registered workloads
+ *   devices                   modeled devices
+ *   run <workload> [options]  profile one workload and print reports
+ *
+ * Options for `run`:
+ *   --seed N       RNG seed (default 42)
+ *   --runs N       repeat the profiled run N times (default 1)
+ *   --csv          emit CSV instead of aligned tables
+ *   --device NAME  also project the op stream onto one device
+ *                  ("all" projects onto every modeled device)
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/profiler.hh"
+#include "core/report.hh"
+#include "core/workload.hh"
+#include "sim/device.hh"
+#include "sim/projection.hh"
+#include "util/format.hh"
+#include "util/stats.hh"
+#include "util/timer.hh"
+#include "workloads/register.hh"
+
+namespace
+{
+
+using namespace nsbench;
+
+int
+usage()
+{
+    std::cerr
+        << "usage: nsbench <command>\n"
+           "  nsbench list\n"
+           "  nsbench devices\n"
+           "  nsbench run <workload> [--seed N] [--runs N] [--csv]\n"
+           "              [--device NAME|all]\n";
+    return 2;
+}
+
+void
+printTable(const util::Table &table, bool csv)
+{
+    if (csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+}
+
+int
+cmdList()
+{
+    auto &registry = core::WorkloadRegistry::global();
+    util::Table table({"workload", "paradigm", "task"});
+    for (const auto &name : registry.names()) {
+        auto w = registry.create(name);
+        table.addRow({w->name(),
+                      std::string(core::paradigmName(w->paradigm())),
+                      w->taskDescription()});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdDevices()
+{
+    util::Table table({"device", "peak GFLOP/s", "bandwidth GB/s",
+                       "ridge FLOP/B", "launch us", "TDP W"});
+    for (const auto &d : sim::allDevices()) {
+        table.addRow({d.name, util::fixedStr(d.peakGflops, 0),
+                      util::fixedStr(d.memBandwidthGBs, 1),
+                      util::fixedStr(d.ridgeIntensity(), 1),
+                      util::fixedStr(d.launchOverheadUs, 1),
+                      util::fixedStr(d.tdpWatts, 0)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    std::string name = argv[0];
+    uint64_t seed = 42;
+    int runs = 1;
+    bool csv = false;
+    std::string device_name;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seed") {
+            seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--runs") {
+            runs = std::atoi(next());
+        } else if (arg == "--csv") {
+            csv = true;
+        } else if (arg == "--device") {
+            device_name = next();
+        } else {
+            std::cerr << "unknown option " << arg << "\n";
+            return usage();
+        }
+    }
+
+    auto &registry = core::WorkloadRegistry::global();
+    if (!registry.contains(name)) {
+        std::cerr << "unknown workload '" << name
+                  << "'; try `nsbench list`\n";
+        return 1;
+    }
+    if (runs < 1) {
+        std::cerr << "--runs must be positive\n";
+        return 2;
+    }
+
+    auto workload = registry.create(name);
+    workload->setUp(seed);
+
+    auto &prof = core::globalProfiler();
+    prof.reset();
+    util::RunningStat wall;
+    double score = 0.0;
+    for (int r = 0; r < runs; r++) {
+        util::WallTimer timer;
+        score = workload->run();
+        wall.add(timer.elapsed());
+    }
+
+    if (!csv) {
+        std::cout << "workload: " << workload->name() << " ("
+                  << core::paradigmName(workload->paradigm())
+                  << ")\ntask:     " << workload->taskDescription()
+                  << "\nscore:    " << util::fixedStr(score, 3)
+                  << "\nwall:     " << util::humanSeconds(wall.mean())
+                  << " mean over " << runs << " run(s)"
+                  << (runs > 1 ? " (stddev " +
+                                     util::humanSeconds(wall.stddev()) +
+                                     ")"
+                               : "")
+                  << "\nstorage:  "
+                  << util::humanBytes(workload->storageBytes())
+                  << "\n\n";
+    }
+
+    printTable(core::phaseBreakdownTable(prof), csv);
+    std::cout << "\n";
+    printTable(core::regionTable(prof), csv);
+    std::cout << "\n";
+    printTable(core::topOpsTable(prof, 12), csv);
+    std::cout << "\n";
+    printTable(core::memoryTable(prof), csv);
+    if (!prof.sparsityRecords().empty()) {
+        std::cout << "\n";
+        printTable(core::sparsityTable(prof), csv);
+    }
+
+    auto project = [&](const sim::DeviceSpec &device) {
+        auto proj = sim::projectProfile(device, prof);
+        std::cout << device.name << ": "
+                  << util::humanSeconds(proj.totalSeconds)
+                  << " projected (neural "
+                  << util::percentStr(proj.neuralFraction())
+                  << ", symbolic "
+                  << util::percentStr(proj.symbolicFraction())
+                  << ")\n";
+    };
+    if (!device_name.empty()) {
+        std::cout << "\n";
+        bool found = false;
+        for (const auto &d : sim::allDevices()) {
+            if (device_name == "all" || d.name == device_name) {
+                project(d);
+                found = true;
+            }
+        }
+        if (!found) {
+            std::cerr << "unknown device '" << device_name
+                      << "'; try `nsbench devices`\n";
+            return 1;
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    workloads::registerAllWorkloads();
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "devices")
+        return cmdDevices();
+    if (cmd == "run")
+        return cmdRun(argc - 2, argv + 2);
+    return usage();
+}
