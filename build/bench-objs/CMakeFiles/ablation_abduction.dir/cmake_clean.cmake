@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_abduction"
+  "../bench/ablation_abduction.pdb"
+  "CMakeFiles/ablation_abduction.dir/ablation_abduction.cc.o"
+  "CMakeFiles/ablation_abduction.dir/ablation_abduction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_abduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_circular_conv"
+  "../bench/ablation_circular_conv.pdb"
+  "CMakeFiles/ablation_circular_conv.dir/ablation_circular_conv.cc.o"
+  "CMakeFiles/ablation_circular_conv.dir/ablation_circular_conv.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_circular_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

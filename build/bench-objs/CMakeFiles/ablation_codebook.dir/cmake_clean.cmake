@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_codebook"
+  "../bench/ablation_codebook.pdb"
+  "CMakeFiles/ablation_codebook.dir/ablation_codebook.cc.o"
+  "CMakeFiles/ablation_codebook.dir/ablation_codebook.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_codebook.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/extra_training_profile.cc" "bench-objs/CMakeFiles/extra_training_profile.dir/extra_training_profile.cc.o" "gcc" "bench-objs/CMakeFiles/extra_training_profile.dir/extra_training_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-objs/CMakeFiles/nsbench_benchcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/nsbench_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nsbench_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nsbench_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/vsa/CMakeFiles/nsbench_vsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/nsbench_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nsbench_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nsbench_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nsbench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsbench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extra_training_profile"
+  "../bench/extra_training_profile.pdb"
+  "CMakeFiles/extra_training_profile.dir/extra_training_profile.cc.o"
+  "CMakeFiles/extra_training_profile.dir/extra_training_profile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_training_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2a_latency_split"
+  "../bench/fig2a_latency_split.pdb"
+  "CMakeFiles/fig2a_latency_split.dir/fig2a_latency_split.cc.o"
+  "CMakeFiles/fig2a_latency_split.dir/fig2a_latency_split.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_latency_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

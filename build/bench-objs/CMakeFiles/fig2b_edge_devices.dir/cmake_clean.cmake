@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2b_edge_devices"
+  "../bench/fig2b_edge_devices.pdb"
+  "CMakeFiles/fig2b_edge_devices.dir/fig2b_edge_devices.cc.o"
+  "CMakeFiles/fig2b_edge_devices.dir/fig2b_edge_devices.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_edge_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

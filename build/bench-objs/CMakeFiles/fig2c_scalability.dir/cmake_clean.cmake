@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2c_scalability"
+  "../bench/fig2c_scalability.pdb"
+  "CMakeFiles/fig2c_scalability.dir/fig2c_scalability.cc.o"
+  "CMakeFiles/fig2c_scalability.dir/fig2c_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2c_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

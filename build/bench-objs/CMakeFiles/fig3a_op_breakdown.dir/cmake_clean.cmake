@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3a_op_breakdown"
+  "../bench/fig3a_op_breakdown.pdb"
+  "CMakeFiles/fig3a_op_breakdown.dir/fig3a_op_breakdown.cc.o"
+  "CMakeFiles/fig3a_op_breakdown.dir/fig3a_op_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_op_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3b_memory"
+  "../bench/fig3b_memory.pdb"
+  "CMakeFiles/fig3b_memory.dir/fig3b_memory.cc.o"
+  "CMakeFiles/fig3b_memory.dir/fig3b_memory.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

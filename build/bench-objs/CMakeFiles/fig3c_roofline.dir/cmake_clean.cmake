@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3c_roofline"
+  "../bench/fig3c_roofline.pdb"
+  "CMakeFiles/fig3c_roofline.dir/fig3c_roofline.cc.o"
+  "CMakeFiles/fig3c_roofline.dir/fig3c_roofline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_opgraph"
+  "../bench/fig4_opgraph.pdb"
+  "CMakeFiles/fig4_opgraph.dir/fig4_opgraph.cc.o"
+  "CMakeFiles/fig4_opgraph.dir/fig4_opgraph.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_opgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

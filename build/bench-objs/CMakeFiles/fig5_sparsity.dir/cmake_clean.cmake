@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_sparsity"
+  "../bench/fig5_sparsity.pdb"
+  "CMakeFiles/fig5_sparsity.dir/fig5_sparsity.cc.o"
+  "CMakeFiles/fig5_sparsity.dir/fig5_sparsity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

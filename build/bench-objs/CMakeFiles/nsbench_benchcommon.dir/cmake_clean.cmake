@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsbench_benchcommon.dir/common.cc.o"
+  "CMakeFiles/nsbench_benchcommon.dir/common.cc.o.d"
+  "libnsbench_benchcommon.a"
+  "libnsbench_benchcommon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsbench_benchcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

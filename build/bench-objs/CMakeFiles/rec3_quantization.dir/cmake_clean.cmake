@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/rec3_quantization"
+  "../bench/rec3_quantization.pdb"
+  "CMakeFiles/rec3_quantization.dir/rec3_quantization.cc.o"
+  "CMakeFiles/rec3_quantization.dir/rec3_quantization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rec3_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

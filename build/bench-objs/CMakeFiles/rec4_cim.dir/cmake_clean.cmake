@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/rec4_cim"
+  "../bench/rec4_cim.pdb"
+  "CMakeFiles/rec4_cim.dir/rec4_cim.cc.o"
+  "CMakeFiles/rec4_cim.dir/rec4_cim.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rec4_cim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

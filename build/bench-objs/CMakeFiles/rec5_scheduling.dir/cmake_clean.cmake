@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/rec5_scheduling"
+  "../bench/rec5_scheduling.pdb"
+  "CMakeFiles/rec5_scheduling.dir/rec5_scheduling.cc.o"
+  "CMakeFiles/rec5_scheduling.dir/rec5_scheduling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rec5_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

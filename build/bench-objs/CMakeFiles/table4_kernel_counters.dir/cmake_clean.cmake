@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_kernel_counters"
+  "../bench/table4_kernel_counters.pdb"
+  "CMakeFiles/table4_kernel_counters.dir/table4_kernel_counters.cc.o"
+  "CMakeFiles/table4_kernel_counters.dir/table4_kernel_counters.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_kernel_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_translation.dir/image_translation.cpp.o"
+  "CMakeFiles/image_translation.dir/image_translation.cpp.o.d"
+  "image_translation"
+  "image_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ltn_training.dir/ltn_training.cpp.o"
+  "CMakeFiles/ltn_training.dir/ltn_training.cpp.o.d"
+  "ltn_training"
+  "ltn_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ltn_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raven_solver.dir/raven_solver.cpp.o"
+  "CMakeFiles/raven_solver.dir/raven_solver.cpp.o.d"
+  "raven_solver"
+  "raven_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raven_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem_prover.dir/theorem_prover.cpp.o"
+  "CMakeFiles/theorem_prover.dir/theorem_prover.cpp.o.d"
+  "theorem_prover"
+  "theorem_prover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem_prover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/opgraph.cc" "src/core/CMakeFiles/nsbench_core.dir/opgraph.cc.o" "gcc" "src/core/CMakeFiles/nsbench_core.dir/opgraph.cc.o.d"
+  "/root/repo/src/core/paradigms.cc" "src/core/CMakeFiles/nsbench_core.dir/paradigms.cc.o" "gcc" "src/core/CMakeFiles/nsbench_core.dir/paradigms.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/core/CMakeFiles/nsbench_core.dir/profiler.cc.o" "gcc" "src/core/CMakeFiles/nsbench_core.dir/profiler.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/nsbench_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/nsbench_core.dir/report.cc.o.d"
+  "/root/repo/src/core/taxonomy.cc" "src/core/CMakeFiles/nsbench_core.dir/taxonomy.cc.o" "gcc" "src/core/CMakeFiles/nsbench_core.dir/taxonomy.cc.o.d"
+  "/root/repo/src/core/workload.cc" "src/core/CMakeFiles/nsbench_core.dir/workload.cc.o" "gcc" "src/core/CMakeFiles/nsbench_core.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nsbench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsbench_core.dir/opgraph.cc.o"
+  "CMakeFiles/nsbench_core.dir/opgraph.cc.o.d"
+  "CMakeFiles/nsbench_core.dir/paradigms.cc.o"
+  "CMakeFiles/nsbench_core.dir/paradigms.cc.o.d"
+  "CMakeFiles/nsbench_core.dir/profiler.cc.o"
+  "CMakeFiles/nsbench_core.dir/profiler.cc.o.d"
+  "CMakeFiles/nsbench_core.dir/report.cc.o"
+  "CMakeFiles/nsbench_core.dir/report.cc.o.d"
+  "CMakeFiles/nsbench_core.dir/taxonomy.cc.o"
+  "CMakeFiles/nsbench_core.dir/taxonomy.cc.o.d"
+  "CMakeFiles/nsbench_core.dir/workload.cc.o"
+  "CMakeFiles/nsbench_core.dir/workload.cc.o.d"
+  "libnsbench_core.a"
+  "libnsbench_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsbench_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/familytree.cc" "src/data/CMakeFiles/nsbench_data.dir/familytree.cc.o" "gcc" "src/data/CMakeFiles/nsbench_data.dir/familytree.cc.o.d"
+  "/root/repo/src/data/images.cc" "src/data/CMakeFiles/nsbench_data.dir/images.cc.o" "gcc" "src/data/CMakeFiles/nsbench_data.dir/images.cc.o.d"
+  "/root/repo/src/data/kbgen.cc" "src/data/CMakeFiles/nsbench_data.dir/kbgen.cc.o" "gcc" "src/data/CMakeFiles/nsbench_data.dir/kbgen.cc.o.d"
+  "/root/repo/src/data/raven.cc" "src/data/CMakeFiles/nsbench_data.dir/raven.cc.o" "gcc" "src/data/CMakeFiles/nsbench_data.dir/raven.cc.o.d"
+  "/root/repo/src/data/tabular.cc" "src/data/CMakeFiles/nsbench_data.dir/tabular.cc.o" "gcc" "src/data/CMakeFiles/nsbench_data.dir/tabular.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/nsbench_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/nsbench_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nsbench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsbench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsbench_data.dir/familytree.cc.o"
+  "CMakeFiles/nsbench_data.dir/familytree.cc.o.d"
+  "CMakeFiles/nsbench_data.dir/images.cc.o"
+  "CMakeFiles/nsbench_data.dir/images.cc.o.d"
+  "CMakeFiles/nsbench_data.dir/kbgen.cc.o"
+  "CMakeFiles/nsbench_data.dir/kbgen.cc.o.d"
+  "CMakeFiles/nsbench_data.dir/raven.cc.o"
+  "CMakeFiles/nsbench_data.dir/raven.cc.o.d"
+  "CMakeFiles/nsbench_data.dir/tabular.cc.o"
+  "CMakeFiles/nsbench_data.dir/tabular.cc.o.d"
+  "libnsbench_data.a"
+  "libnsbench_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsbench_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/bounds.cc" "src/logic/CMakeFiles/nsbench_logic.dir/bounds.cc.o" "gcc" "src/logic/CMakeFiles/nsbench_logic.dir/bounds.cc.o.d"
+  "/root/repo/src/logic/fuzzy.cc" "src/logic/CMakeFiles/nsbench_logic.dir/fuzzy.cc.o" "gcc" "src/logic/CMakeFiles/nsbench_logic.dir/fuzzy.cc.o.d"
+  "/root/repo/src/logic/kb.cc" "src/logic/CMakeFiles/nsbench_logic.dir/kb.cc.o" "gcc" "src/logic/CMakeFiles/nsbench_logic.dir/kb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nsbench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsbench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

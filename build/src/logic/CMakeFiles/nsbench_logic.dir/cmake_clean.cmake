@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsbench_logic.dir/bounds.cc.o"
+  "CMakeFiles/nsbench_logic.dir/bounds.cc.o.d"
+  "CMakeFiles/nsbench_logic.dir/fuzzy.cc.o"
+  "CMakeFiles/nsbench_logic.dir/fuzzy.cc.o.d"
+  "CMakeFiles/nsbench_logic.dir/kb.cc.o"
+  "CMakeFiles/nsbench_logic.dir/kb.cc.o.d"
+  "libnsbench_logic.a"
+  "libnsbench_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsbench_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

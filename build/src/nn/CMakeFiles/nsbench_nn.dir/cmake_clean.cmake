@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsbench_nn.dir/autograd.cc.o"
+  "CMakeFiles/nsbench_nn.dir/autograd.cc.o.d"
+  "CMakeFiles/nsbench_nn.dir/layers.cc.o"
+  "CMakeFiles/nsbench_nn.dir/layers.cc.o.d"
+  "libnsbench_nn.a"
+  "libnsbench_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsbench_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/nsbench_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/nsbench_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/device.cc" "src/sim/CMakeFiles/nsbench_sim.dir/device.cc.o" "gcc" "src/sim/CMakeFiles/nsbench_sim.dir/device.cc.o.d"
+  "/root/repo/src/sim/kernels.cc" "src/sim/CMakeFiles/nsbench_sim.dir/kernels.cc.o" "gcc" "src/sim/CMakeFiles/nsbench_sim.dir/kernels.cc.o.d"
+  "/root/repo/src/sim/projection.cc" "src/sim/CMakeFiles/nsbench_sim.dir/projection.cc.o" "gcc" "src/sim/CMakeFiles/nsbench_sim.dir/projection.cc.o.d"
+  "/root/repo/src/sim/roofline.cc" "src/sim/CMakeFiles/nsbench_sim.dir/roofline.cc.o" "gcc" "src/sim/CMakeFiles/nsbench_sim.dir/roofline.cc.o.d"
+  "/root/repo/src/sim/schedule.cc" "src/sim/CMakeFiles/nsbench_sim.dir/schedule.cc.o" "gcc" "src/sim/CMakeFiles/nsbench_sim.dir/schedule.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nsbench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsbench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsbench_sim.dir/cache.cc.o"
+  "CMakeFiles/nsbench_sim.dir/cache.cc.o.d"
+  "CMakeFiles/nsbench_sim.dir/device.cc.o"
+  "CMakeFiles/nsbench_sim.dir/device.cc.o.d"
+  "CMakeFiles/nsbench_sim.dir/kernels.cc.o"
+  "CMakeFiles/nsbench_sim.dir/kernels.cc.o.d"
+  "CMakeFiles/nsbench_sim.dir/projection.cc.o"
+  "CMakeFiles/nsbench_sim.dir/projection.cc.o.d"
+  "CMakeFiles/nsbench_sim.dir/roofline.cc.o"
+  "CMakeFiles/nsbench_sim.dir/roofline.cc.o.d"
+  "CMakeFiles/nsbench_sim.dir/schedule.cc.o"
+  "CMakeFiles/nsbench_sim.dir/schedule.cc.o.d"
+  "libnsbench_sim.a"
+  "libnsbench_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsbench_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/ops_conv.cc" "src/tensor/CMakeFiles/nsbench_tensor.dir/ops_conv.cc.o" "gcc" "src/tensor/CMakeFiles/nsbench_tensor.dir/ops_conv.cc.o.d"
+  "/root/repo/src/tensor/ops_elementwise.cc" "src/tensor/CMakeFiles/nsbench_tensor.dir/ops_elementwise.cc.o" "gcc" "src/tensor/CMakeFiles/nsbench_tensor.dir/ops_elementwise.cc.o.d"
+  "/root/repo/src/tensor/ops_matmul.cc" "src/tensor/CMakeFiles/nsbench_tensor.dir/ops_matmul.cc.o" "gcc" "src/tensor/CMakeFiles/nsbench_tensor.dir/ops_matmul.cc.o.d"
+  "/root/repo/src/tensor/ops_transform.cc" "src/tensor/CMakeFiles/nsbench_tensor.dir/ops_transform.cc.o" "gcc" "src/tensor/CMakeFiles/nsbench_tensor.dir/ops_transform.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/tensor/CMakeFiles/nsbench_tensor.dir/tensor.cc.o" "gcc" "src/tensor/CMakeFiles/nsbench_tensor.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nsbench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsbench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsbench_tensor.dir/ops_conv.cc.o"
+  "CMakeFiles/nsbench_tensor.dir/ops_conv.cc.o.d"
+  "CMakeFiles/nsbench_tensor.dir/ops_elementwise.cc.o"
+  "CMakeFiles/nsbench_tensor.dir/ops_elementwise.cc.o.d"
+  "CMakeFiles/nsbench_tensor.dir/ops_matmul.cc.o"
+  "CMakeFiles/nsbench_tensor.dir/ops_matmul.cc.o.d"
+  "CMakeFiles/nsbench_tensor.dir/ops_transform.cc.o"
+  "CMakeFiles/nsbench_tensor.dir/ops_transform.cc.o.d"
+  "CMakeFiles/nsbench_tensor.dir/tensor.cc.o"
+  "CMakeFiles/nsbench_tensor.dir/tensor.cc.o.d"
+  "libnsbench_tensor.a"
+  "libnsbench_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsbench_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

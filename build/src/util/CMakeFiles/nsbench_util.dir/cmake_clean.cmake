@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsbench_util.dir/format.cc.o"
+  "CMakeFiles/nsbench_util.dir/format.cc.o.d"
+  "CMakeFiles/nsbench_util.dir/logging.cc.o"
+  "CMakeFiles/nsbench_util.dir/logging.cc.o.d"
+  "CMakeFiles/nsbench_util.dir/stats.cc.o"
+  "CMakeFiles/nsbench_util.dir/stats.cc.o.d"
+  "CMakeFiles/nsbench_util.dir/table.cc.o"
+  "CMakeFiles/nsbench_util.dir/table.cc.o.d"
+  "libnsbench_util.a"
+  "libnsbench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsbench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vsa/binary.cc" "src/vsa/CMakeFiles/nsbench_vsa.dir/binary.cc.o" "gcc" "src/vsa/CMakeFiles/nsbench_vsa.dir/binary.cc.o.d"
+  "/root/repo/src/vsa/codebook.cc" "src/vsa/CMakeFiles/nsbench_vsa.dir/codebook.cc.o" "gcc" "src/vsa/CMakeFiles/nsbench_vsa.dir/codebook.cc.o.d"
+  "/root/repo/src/vsa/fft.cc" "src/vsa/CMakeFiles/nsbench_vsa.dir/fft.cc.o" "gcc" "src/vsa/CMakeFiles/nsbench_vsa.dir/fft.cc.o.d"
+  "/root/repo/src/vsa/ops.cc" "src/vsa/CMakeFiles/nsbench_vsa.dir/ops.cc.o" "gcc" "src/vsa/CMakeFiles/nsbench_vsa.dir/ops.cc.o.d"
+  "/root/repo/src/vsa/quantized.cc" "src/vsa/CMakeFiles/nsbench_vsa.dir/quantized.cc.o" "gcc" "src/vsa/CMakeFiles/nsbench_vsa.dir/quantized.cc.o.d"
+  "/root/repo/src/vsa/resonator.cc" "src/vsa/CMakeFiles/nsbench_vsa.dir/resonator.cc.o" "gcc" "src/vsa/CMakeFiles/nsbench_vsa.dir/resonator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/nsbench_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nsbench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsbench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsbench_vsa.dir/binary.cc.o"
+  "CMakeFiles/nsbench_vsa.dir/binary.cc.o.d"
+  "CMakeFiles/nsbench_vsa.dir/codebook.cc.o"
+  "CMakeFiles/nsbench_vsa.dir/codebook.cc.o.d"
+  "CMakeFiles/nsbench_vsa.dir/fft.cc.o"
+  "CMakeFiles/nsbench_vsa.dir/fft.cc.o.d"
+  "CMakeFiles/nsbench_vsa.dir/ops.cc.o"
+  "CMakeFiles/nsbench_vsa.dir/ops.cc.o.d"
+  "CMakeFiles/nsbench_vsa.dir/quantized.cc.o"
+  "CMakeFiles/nsbench_vsa.dir/quantized.cc.o.d"
+  "CMakeFiles/nsbench_vsa.dir/resonator.cc.o"
+  "CMakeFiles/nsbench_vsa.dir/resonator.cc.o.d"
+  "libnsbench_vsa.a"
+  "libnsbench_vsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsbench_vsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnsbench_vsa.a"
+)

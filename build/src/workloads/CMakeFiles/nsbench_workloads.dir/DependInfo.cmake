@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/lnn.cc" "src/workloads/CMakeFiles/nsbench_workloads.dir/lnn.cc.o" "gcc" "src/workloads/CMakeFiles/nsbench_workloads.dir/lnn.cc.o.d"
+  "/root/repo/src/workloads/ltn.cc" "src/workloads/CMakeFiles/nsbench_workloads.dir/ltn.cc.o" "gcc" "src/workloads/CMakeFiles/nsbench_workloads.dir/ltn.cc.o.d"
+  "/root/repo/src/workloads/nlm.cc" "src/workloads/CMakeFiles/nsbench_workloads.dir/nlm.cc.o" "gcc" "src/workloads/CMakeFiles/nsbench_workloads.dir/nlm.cc.o.d"
+  "/root/repo/src/workloads/nvsa.cc" "src/workloads/CMakeFiles/nsbench_workloads.dir/nvsa.cc.o" "gcc" "src/workloads/CMakeFiles/nsbench_workloads.dir/nvsa.cc.o.d"
+  "/root/repo/src/workloads/perception.cc" "src/workloads/CMakeFiles/nsbench_workloads.dir/perception.cc.o" "gcc" "src/workloads/CMakeFiles/nsbench_workloads.dir/perception.cc.o.d"
+  "/root/repo/src/workloads/prae.cc" "src/workloads/CMakeFiles/nsbench_workloads.dir/prae.cc.o" "gcc" "src/workloads/CMakeFiles/nsbench_workloads.dir/prae.cc.o.d"
+  "/root/repo/src/workloads/register.cc" "src/workloads/CMakeFiles/nsbench_workloads.dir/register.cc.o" "gcc" "src/workloads/CMakeFiles/nsbench_workloads.dir/register.cc.o.d"
+  "/root/repo/src/workloads/vsait.cc" "src/workloads/CMakeFiles/nsbench_workloads.dir/vsait.cc.o" "gcc" "src/workloads/CMakeFiles/nsbench_workloads.dir/vsait.cc.o.d"
+  "/root/repo/src/workloads/zeroc.cc" "src/workloads/CMakeFiles/nsbench_workloads.dir/zeroc.cc.o" "gcc" "src/workloads/CMakeFiles/nsbench_workloads.dir/zeroc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/nsbench_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nsbench_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/vsa/CMakeFiles/nsbench_vsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/nsbench_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nsbench_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nsbench_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nsbench_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsbench_workloads.dir/lnn.cc.o"
+  "CMakeFiles/nsbench_workloads.dir/lnn.cc.o.d"
+  "CMakeFiles/nsbench_workloads.dir/ltn.cc.o"
+  "CMakeFiles/nsbench_workloads.dir/ltn.cc.o.d"
+  "CMakeFiles/nsbench_workloads.dir/nlm.cc.o"
+  "CMakeFiles/nsbench_workloads.dir/nlm.cc.o.d"
+  "CMakeFiles/nsbench_workloads.dir/nvsa.cc.o"
+  "CMakeFiles/nsbench_workloads.dir/nvsa.cc.o.d"
+  "CMakeFiles/nsbench_workloads.dir/perception.cc.o"
+  "CMakeFiles/nsbench_workloads.dir/perception.cc.o.d"
+  "CMakeFiles/nsbench_workloads.dir/prae.cc.o"
+  "CMakeFiles/nsbench_workloads.dir/prae.cc.o.d"
+  "CMakeFiles/nsbench_workloads.dir/register.cc.o"
+  "CMakeFiles/nsbench_workloads.dir/register.cc.o.d"
+  "CMakeFiles/nsbench_workloads.dir/vsait.cc.o"
+  "CMakeFiles/nsbench_workloads.dir/vsait.cc.o.d"
+  "CMakeFiles/nsbench_workloads.dir/zeroc.cc.o"
+  "CMakeFiles/nsbench_workloads.dir/zeroc.cc.o.d"
+  "libnsbench_workloads.a"
+  "libnsbench_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsbench_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_opgraph.cc.o"
+  "CMakeFiles/test_core.dir/core/test_opgraph.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_profiler.cc.o"
+  "CMakeFiles/test_core.dir/core/test_profiler.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_report.cc.o"
+  "CMakeFiles/test_core.dir/core/test_report.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_taxonomy.cc.o"
+  "CMakeFiles/test_core.dir/core/test_taxonomy.cc.o.d"
+  "CMakeFiles/test_core.dir/core/test_workload_registry.cc.o"
+  "CMakeFiles/test_core.dir/core/test_workload_registry.cc.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

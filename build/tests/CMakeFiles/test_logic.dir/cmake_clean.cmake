@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logic.dir/logic/test_bounds.cc.o"
+  "CMakeFiles/test_logic.dir/logic/test_bounds.cc.o.d"
+  "CMakeFiles/test_logic.dir/logic/test_fuzzy.cc.o"
+  "CMakeFiles/test_logic.dir/logic/test_fuzzy.cc.o.d"
+  "CMakeFiles/test_logic.dir/logic/test_kb.cc.o"
+  "CMakeFiles/test_logic.dir/logic/test_kb.cc.o.d"
+  "test_logic"
+  "test_logic.pdb"
+  "test_logic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_cache.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_cache.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_device.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_device.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_kernels.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_kernels.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_schedule.cc.o"
+  "CMakeFiles/test_sim.dir/sim/test_schedule.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensor.dir/tensor/test_conv.cc.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_conv.cc.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_elementwise.cc.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_elementwise.cc.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_matmul.cc.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_matmul.cc.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_tensor.cc.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_tensor.cc.o.d"
+  "CMakeFiles/test_tensor.dir/tensor/test_transform.cc.o"
+  "CMakeFiles/test_tensor.dir/tensor/test_transform.cc.o.d"
+  "test_tensor"
+  "test_tensor.pdb"
+  "test_tensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

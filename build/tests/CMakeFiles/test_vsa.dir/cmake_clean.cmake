@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vsa.dir/vsa/test_binary.cc.o"
+  "CMakeFiles/test_vsa.dir/vsa/test_binary.cc.o.d"
+  "CMakeFiles/test_vsa.dir/vsa/test_codebook.cc.o"
+  "CMakeFiles/test_vsa.dir/vsa/test_codebook.cc.o.d"
+  "CMakeFiles/test_vsa.dir/vsa/test_ops.cc.o"
+  "CMakeFiles/test_vsa.dir/vsa/test_ops.cc.o.d"
+  "CMakeFiles/test_vsa.dir/vsa/test_quantized.cc.o"
+  "CMakeFiles/test_vsa.dir/vsa/test_quantized.cc.o.d"
+  "test_vsa"
+  "test_vsa.pdb"
+  "test_vsa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

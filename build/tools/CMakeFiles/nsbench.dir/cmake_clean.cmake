@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsbench.dir/nsbench_cli.cc.o"
+  "CMakeFiles/nsbench.dir/nsbench_cli.cc.o.d"
+  "nsbench"
+  "nsbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
