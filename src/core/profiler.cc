@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "util/logging.hh"
+#include "util/threadpool.hh"
 
 namespace nsbench::core
 {
@@ -23,11 +24,77 @@ categoryIndex(OpCategory category)
     return static_cast<size_t>(category);
 }
 
+/**
+ * One op event recorded off the owner thread, parked in a thread-local
+ * buffer until the next sync point. Phase and region are captured at
+ * record time so attribution is independent of when the merge runs.
+ */
+struct PendingOp
+{
+    Profiler *profiler;
+    Phase phase;
+    OpCategory category;
+    std::string region;
+    std::string name;
+    double seconds;
+    double flops;
+    double bytesRead;
+    double bytesWritten;
+};
+
+/** Per-thread event buffer; append is lock-free by construction. */
+thread_local std::vector<PendingOp> tlPendingOps;
+
+/** Buffer cap: merge early rather than grow without bound. */
+constexpr size_t kPendingFlushThreshold = 4096;
+
+/**
+ * Registers the profiler flush as the pool's sync hook during static
+ * initialization, before any parallel region can run.
+ */
+[[maybe_unused]] const bool gSyncHookInstalled = [] {
+    util::ThreadPool::setSyncHook(&Profiler::flushThisThread);
+    return true;
+}();
+
 } // namespace
+
+Profiler::Profiler(const Profiler &other)
+{
+    *this = other;
+}
+
+Profiler &
+Profiler::operator=(const Profiler &other)
+{
+    if (this == &other)
+        return *this;
+    std::scoped_lock lock(mu_, other.mu_);
+    enabled_.store(other.enabled_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    owner_ = std::this_thread::get_id();
+    phaseStack_ = other.phaseStack_;
+    ops_ = other.ops_;
+    for (size_t p = 0; p < numPhases; p++) {
+        phaseTotals_[p] = other.phaseTotals_[p];
+        for (size_t c = 0; c < numOpCategories; c++)
+            categoryTotals_[p][c] = other.categoryTotals_[p][c];
+        phasePeakBytes_[p] = other.phasePeakBytes_[p];
+        phaseAllocBytes_[p] = other.phaseAllocBytes_[p];
+    }
+    currentBytes_ = other.currentBytes_;
+    peakBytes_ = other.peakBytes_;
+    sparsity_ = other.sparsity_;
+    sparsityOrder_ = other.sparsityOrder_;
+    regionOrder_ = other.regionOrder_;
+    return *this;
+}
 
 void
 Profiler::reset()
 {
+    std::lock_guard<std::mutex> lock(mu_);
+    owner_ = std::this_thread::get_id();
     phaseStack_.clear();
     ops_.clear();
     for (auto &t : phaseTotals_)
@@ -49,6 +116,7 @@ Profiler::reset()
 void
 Profiler::pushPhase(Phase phase, std::string region)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     if (std::find(regionOrder_.begin(), regionOrder_.end(), region) ==
         regionOrder_.end()) {
         regionOrder_.push_back(region);
@@ -59,6 +127,7 @@ Profiler::pushPhase(Phase phase, std::string region)
 void
 Profiler::popPhase()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     util::panicIf(phaseStack_.empty(),
                   "Profiler::popPhase: phase stack underflow");
     phaseStack_.pop_back();
@@ -79,14 +148,12 @@ Profiler::currentRegion() const
 }
 
 void
-Profiler::recordOp(std::string_view name, OpCategory category,
-                   double seconds, double flops, double bytes_read,
-                   double bytes_written)
+Profiler::applyOpLocked(Phase phase, OpCategory category,
+                        const std::string &region,
+                        const std::string &name, double seconds,
+                        double flops, double bytes_read,
+                        double bytes_written)
 {
-    if (!enabled_)
-        return;
-
-    Phase phase = currentPhase();
     OpStats delta;
     delta.seconds = seconds;
     delta.invocations = 1;
@@ -94,7 +161,7 @@ Profiler::recordOp(std::string_view name, OpCategory category,
     delta.bytesRead = bytes_read;
     delta.bytesWritten = bytes_written;
 
-    Key key{phase, category, currentRegion(), std::string(name)};
+    Key key{phase, category, region, name};
     ops_[key].merge(delta);
     phaseTotals_[phaseIndex(phase)].merge(delta);
     categoryTotals_[phaseIndex(phase)][categoryIndex(category)]
@@ -102,13 +169,72 @@ Profiler::recordOp(std::string_view name, OpCategory category,
 }
 
 void
+Profiler::recordOp(std::string_view name, OpCategory category,
+                   double seconds, double flops, double bytes_read,
+                   double bytes_written)
+{
+    if (!enabled())
+        return;
+
+    // The phase stack is stable here: either we are the owner, or the
+    // owner is blocked inside the parallel region we run in.
+    Phase phase = currentPhase();
+    const std::string &region = currentRegion();
+
+    if (std::this_thread::get_id() == owner_) {
+        std::lock_guard<std::mutex> lock(mu_);
+        applyOpLocked(phase, category, region, std::string(name),
+                      seconds, flops, bytes_read, bytes_written);
+        return;
+    }
+
+    tlPendingOps.push_back({this, phase, category, region,
+                            std::string(name), seconds, flops,
+                            bytes_read, bytes_written});
+    if (tlPendingOps.size() >= kPendingFlushThreshold)
+        flushThisThread();
+}
+
+void
+Profiler::flushThisThread()
+{
+    if (tlPendingOps.empty())
+        return;
+    // Take the buffer first so merges that record ops (they do not,
+    // but stay re-entrant-safe) cannot loop.
+    std::vector<PendingOp> pending;
+    pending.swap(tlPendingOps);
+
+    // Usually every event targets one profiler; group by target and
+    // take each target's mutex once.
+    std::vector<bool> applied(pending.size(), false);
+    for (size_t i = 0; i < pending.size(); i++) {
+        if (applied[i])
+            continue;
+        Profiler *prof = pending[i].profiler;
+        std::lock_guard<std::mutex> lock(prof->mu_);
+        for (size_t j = i; j < pending.size(); j++) {
+            const PendingOp &ev = pending[j];
+            if (applied[j] || ev.profiler != prof)
+                continue;
+            prof->applyOpLocked(ev.phase, ev.category, ev.region,
+                                ev.name, ev.seconds, ev.flops,
+                                ev.bytesRead, ev.bytesWritten);
+            applied[j] = true;
+        }
+    }
+}
+
+void
 Profiler::recordAlloc(uint64_t bytes)
 {
-    if (!enabled_)
+    if (!enabled())
         return;
+    Phase phase = currentPhase();
+    std::lock_guard<std::mutex> lock(mu_);
     currentBytes_ += bytes;
     peakBytes_ = std::max(peakBytes_, currentBytes_);
-    size_t p = phaseIndex(currentPhase());
+    size_t p = phaseIndex(phase);
     phasePeakBytes_[p] = std::max(phasePeakBytes_[p], currentBytes_);
     phaseAllocBytes_[p] += bytes;
 }
@@ -116,8 +242,9 @@ Profiler::recordAlloc(uint64_t bytes)
 void
 Profiler::recordFree(uint64_t bytes)
 {
-    if (!enabled_)
+    if (!enabled())
         return;
+    std::lock_guard<std::mutex> lock(mu_);
     // Frees of tensors allocated while the profiler was disabled (or
     // before a reset) can exceed the tracked balance; clamp rather than
     // wrap.
@@ -127,12 +254,14 @@ Profiler::recordFree(uint64_t bytes)
 uint64_t
 Profiler::peakBytesIn(Phase phase) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     return phasePeakBytes_[phaseIndex(phase)];
 }
 
 uint64_t
 Profiler::allocatedBytesIn(Phase phase) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     return phaseAllocBytes_[phaseIndex(phase)];
 }
 
@@ -140,16 +269,18 @@ void
 Profiler::recordSparsity(std::string_view stage, uint64_t zeros,
                          uint64_t total)
 {
-    if (!enabled_)
+    if (!enabled())
         return;
     util::panicIf(zeros > total,
                   "Profiler::recordSparsity: zeros exceed total");
+    Phase phase = currentPhase();
+    std::lock_guard<std::mutex> lock(mu_);
     std::string key(stage);
     auto it = sparsity_.find(key);
     if (it == sparsity_.end()) {
         SparsityRecord rec;
         rec.stage = key;
-        rec.phase = currentPhase();
+        rec.phase = phase;
         rec.zeros = zeros;
         rec.total = total;
         sparsity_.emplace(key, rec);
@@ -163,6 +294,7 @@ Profiler::recordSparsity(std::string_view stage, uint64_t zeros,
 OpStats
 Profiler::totals() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     OpStats out;
     for (const auto &t : phaseTotals_)
         out.merge(t);
@@ -172,12 +304,14 @@ Profiler::totals() const
 OpStats
 Profiler::phaseTotals(Phase phase) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     return phaseTotals_[phaseIndex(phase)];
 }
 
 OpStats
 Profiler::categoryTotals(Phase phase, OpCategory category) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     return categoryTotals_[phaseIndex(phase)][categoryIndex(category)];
 }
 
@@ -186,8 +320,11 @@ Profiler::opsByTime() const
 {
     // Merge region-distinct entries that share (phase, category, name).
     std::map<std::tuple<Phase, OpCategory, std::string>, OpStats> merged;
-    for (const auto &[key, stats] : ops_)
-        merged[{key.phase, key.category, key.name}].merge(stats);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &[key, stats] : ops_)
+            merged[{key.phase, key.category, key.name}].merge(stats);
+    }
 
     std::vector<NamedOpStats> out;
     out.reserve(merged.size());
@@ -216,9 +353,13 @@ std::vector<NamedOpStats>
 Profiler::opsInRegion(const std::string &region) const
 {
     std::vector<NamedOpStats> out;
-    for (const auto &[key, stats] : ops_) {
-        if (key.region == region)
-            out.push_back({key.name, key.phase, key.category, stats});
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto &[key, stats] : ops_) {
+            if (key.region == region)
+                out.push_back(
+                    {key.name, key.phase, key.category, stats});
+        }
     }
     std::sort(out.begin(), out.end(),
               [](const NamedOpStats &a, const NamedOpStats &b) {
@@ -230,6 +371,7 @@ Profiler::opsInRegion(const std::string &region) const
 OpStats
 Profiler::regionTotals(const std::string &region) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     OpStats out;
     for (const auto &[key, stats] : ops_) {
         if (key.region == region)
@@ -241,6 +383,7 @@ Profiler::regionTotals(const std::string &region) const
 std::vector<SparsityRecord>
 Profiler::sparsityRecords() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::vector<SparsityRecord> out;
     out.reserve(sparsityOrder_.size());
     for (const auto &stage : sparsityOrder_)

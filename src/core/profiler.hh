@@ -12,10 +12,13 @@
 #ifndef NSBENCH_CORE_PROFILER_HH
 #define NSBENCH_CORE_PROFILER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "core/taxonomy.hh"
@@ -93,13 +96,35 @@ struct SparsityRecord
  * instance is available through globalProfiler() and is the default
  * sink for all instrumented operations.
  *
- * Not thread-safe: the suite executes workloads single-threaded, which
- * also keeps the measured op stream deterministic.
+ * Thread-safety model (designed for the util::ThreadPool runtime):
+ *
+ *  - The thread that constructed (or last reset()) the profiler is its
+ *    *owner*. Owner-thread recordOp calls apply directly to the
+ *    aggregates under a mutex that is uncontended in single-threaded
+ *    runs, so the serial hot path is unchanged in cost and ordering.
+ *  - recordOp from any other thread appends to a lock-free
+ *    thread-local event buffer instead. Buffers merge into the global
+ *    aggregates at sync points — the end of every ThreadPool parallel
+ *    region (via the pool's sync hook) and whenever a buffer fills —
+ *    taking the mutex only for the merge. FLOP/byte/invocation
+ *    attribution is therefore exact and scheduling-independent.
+ *  - Phase regions (pushPhase/popPhase) are owner-only: workers read
+ *    the owner's current phase/region, which is stable while the
+ *    owner is blocked inside a parallel region.
+ *  - Query methods take the mutex; call them outside parallel
+ *    regions. Threads not managed by the pool must call
+ *    flushThisThread() before their recorded ops become visible.
  */
 class Profiler
 {
   public:
     Profiler() { reset(); }
+
+    /** Deep copy of the aggregates; the copy is owned by the caller. */
+    Profiler(const Profiler &other);
+
+    /** @copydoc Profiler(const Profiler &) */
+    Profiler &operator=(const Profiler &other);
 
     /** Clears all recorded state, including memory peaks. */
     void reset();
@@ -108,10 +133,17 @@ class Profiler
      * Enables or disables recording. While disabled, recordOp and the
      * memory hooks become no-ops (phase scopes still track).
      */
-    void setEnabled(bool enabled) { enabled_ = enabled; }
+    void setEnabled(bool enabled)
+    {
+        enabled_.store(enabled, std::memory_order_relaxed);
+    }
 
     /** Whether recording is active. */
-    bool enabled() const { return enabled_; }
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Enters a phase region. Ops recorded until the matching popPhase
@@ -150,10 +182,20 @@ class Profiler
     void recordFree(uint64_t bytes);
 
     /** Live tensor bytes right now. */
-    uint64_t currentBytes() const { return currentBytes_; }
+    uint64_t
+    currentBytes() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return currentBytes_;
+    }
 
     /** High-water mark of live tensor bytes. */
-    uint64_t peakBytes() const { return peakBytes_; }
+    uint64_t
+    peakBytes() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return peakBytes_;
+    }
 
     /** High-water mark reached while the given phase was active. */
     uint64_t peakBytesIn(Phase phase) const;
@@ -198,6 +240,14 @@ class Profiler
     /** Returns the process-global profiler all default ops report to. */
     static Profiler &global();
 
+    /**
+     * Merges every op event buffered by the calling thread into its
+     * target profiler(s). The ThreadPool sync hook calls this at the
+     * end of each parallel region; threads outside the pool that
+     * record ops must call it themselves before exiting.
+     */
+    static void flushThisThread();
+
   private:
     struct Key
     {
@@ -225,7 +275,18 @@ class Profiler
         std::string region;
     };
 
-    bool enabled_ = true;
+    /** Applies one op event to the aggregates; mu_ must be held. */
+    void applyOpLocked(Phase phase, OpCategory category,
+                       const std::string &region,
+                       const std::string &name, double seconds,
+                       double flops, double bytes_read,
+                       double bytes_written);
+
+    std::atomic<bool> enabled_{true};
+    /** Thread whose recordOp calls bypass the event buffer. */
+    std::thread::id owner_;
+    /** Guards every aggregate below; uncontended in serial runs. */
+    mutable std::mutex mu_;
     std::vector<PhaseFrame> phaseStack_;
     std::map<Key, OpStats> ops_;
     OpStats phaseTotals_[numPhases];

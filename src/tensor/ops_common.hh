@@ -7,14 +7,42 @@
 #ifndef NSBENCH_TENSOR_OPS_COMMON_HH
 #define NSBENCH_TENSOR_OPS_COMMON_HH
 
+#include <algorithm>
+
 #include "core/profiler.hh"
 #include "tensor/tensor.hh"
 #include "util/logging.hh"
+#include "util/threadpool.hh"
 
 namespace nsbench::tensor::detail
 {
 
 inline constexpr double elemBytes = sizeof(float);
+
+/**
+ * Runs a deterministic chunked reduction: [0, items) is cut into
+ * fixed chunks of `grain` iterations, `partial` fills slot c from its
+ * chunk (in parallel), and `combine` folds the slots in chunk order on
+ * the calling thread. Because the chunk grid depends only on the
+ * grain, the result is identical at every thread count.
+ */
+template <typename Partial, typename Combine>
+void
+chunkedReduce(int64_t items, int64_t grain, Partial partial,
+              Combine combine)
+{
+    grain = std::max<int64_t>(1, grain);
+    int64_t chunks = (items + grain - 1) / grain;
+    util::parallelFor(0, chunks, 1, [&](int64_t c0, int64_t c1) {
+        for (int64_t c = c0; c < c1; c++) {
+            int64_t lo = c * grain;
+            int64_t hi = std::min(items, lo + grain);
+            partial(c, lo, hi);
+        }
+    });
+    for (int64_t c = 0; c < chunks; c++)
+        combine(c);
+}
 
 /** Applies f element-wise over two same-shape tensors. */
 template <typename F>
@@ -31,9 +59,14 @@ ewBinary(const char *name, const Tensor &a, const Tensor &b, F f,
     auto pa = a.data();
     auto pb = b.data();
     auto po = out.data();
-    size_t n = pa.size();
-    for (size_t i = 0; i < n; i++)
-        po[i] = f(pa[i], pb[i]);
+    auto n = static_cast<int64_t>(pa.size());
+    util::parallelFor(0, n, util::grainFor(flops_per_elem),
+                      [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; i++)
+                              po[static_cast<size_t>(i)] =
+                                  f(pa[static_cast<size_t>(i)],
+                                    pb[static_cast<size_t>(i)]);
+                      });
     op.setFlops(static_cast<double>(n) * flops_per_elem);
     op.setBytesRead(2.0 * static_cast<double>(n) * elemBytes);
     op.setBytesWritten(static_cast<double>(n) * elemBytes);
@@ -50,9 +83,13 @@ ewUnary(const char *name, const Tensor &a, F f,
     Tensor out(a.shape());
     auto pa = a.data();
     auto po = out.data();
-    size_t n = pa.size();
-    for (size_t i = 0; i < n; i++)
-        po[i] = f(pa[i]);
+    auto n = static_cast<int64_t>(pa.size());
+    util::parallelFor(0, n, util::grainFor(flops_per_elem),
+                      [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; i++)
+                              po[static_cast<size_t>(i)] =
+                                  f(pa[static_cast<size_t>(i)]);
+                      });
     op.setFlops(static_cast<double>(n) * flops_per_elem);
     op.setBytesRead(static_cast<double>(n) * elemBytes);
     op.setBytesWritten(static_cast<double>(n) * elemBytes);

@@ -43,37 +43,48 @@ conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
                                        x)];
     };
 
-    for (int64_t b = 0; b < n; b++) {
-        for (int64_t oc = 0; oc < o; oc++) {
-            float bias_v = has_bias ? bias.flat(oc) : 0.0f;
-            for (int64_t oy = 0; oy < oh; oy++) {
-                for (int64_t ox = 0; ox < ow; ox++) {
-                    float acc = bias_v;
-                    int64_t iy0 = oy * stride - padding;
-                    int64_t ix0 = ox * stride - padding;
-                    for (int64_t ic = 0; ic < c; ic++) {
-                        for (int64_t ky = 0; ky < kh; ky++) {
-                            int64_t iy = iy0 + ky;
-                            if (iy < 0 || iy >= h)
-                                continue;
-                            for (int64_t kx = 0; kx < kw; kx++) {
-                                int64_t ix = ix0 + kx;
-                                if (ix < 0 || ix >= w)
+    // Parallel over (batch, output-channel) planes: each lane writes
+    // disjoint output planes with serial-identical arithmetic, so the
+    // result is bit-identical at any thread count.
+    double plane_macs = static_cast<double>(oh * ow) *
+                        static_cast<double>(c * kh * kw);
+    util::parallelFor(
+        0, n * o, util::grainFor(2.0 * plane_macs),
+        [&](int64_t p0, int64_t p1) {
+            for (int64_t p = p0; p < p1; p++) {
+                int64_t b = p / o;
+                int64_t oc = p % o;
+                float bias_v = has_bias ? bias.flat(oc) : 0.0f;
+                for (int64_t oy = 0; oy < oh; oy++) {
+                    for (int64_t ox = 0; ox < ow; ox++) {
+                        float acc = bias_v;
+                        int64_t iy0 = oy * stride - padding;
+                        int64_t ix0 = ox * stride - padding;
+                        for (int64_t ic = 0; ic < c; ic++) {
+                            for (int64_t ky = 0; ky < kh; ky++) {
+                                int64_t iy = iy0 + ky;
+                                if (iy < 0 || iy >= h)
                                     continue;
-                                acc += in_at(b, ic, iy, ix) *
-                                       wt[static_cast<size_t>(
-                                           ((oc * c + ic) * kh + ky) *
-                                               kw +
-                                           kx)];
+                                for (int64_t kx = 0; kx < kw; kx++) {
+                                    int64_t ix = ix0 + kx;
+                                    if (ix < 0 || ix >= w)
+                                        continue;
+                                    acc +=
+                                        in_at(b, ic, iy, ix) *
+                                        wt[static_cast<size_t>(
+                                            ((oc * c + ic) * kh +
+                                             ky) * kw +
+                                            kx)];
+                                }
                             }
                         }
+                        dst[static_cast<size_t>(
+                            ((b * o + oc) * oh + oy) * ow + ox)] =
+                            acc;
                     }
-                    dst[static_cast<size_t>(
-                        ((b * o + oc) * oh + oy) * ow + ox)] = acc;
                 }
             }
-        }
-    }
+        });
 
     double macs = static_cast<double>(n * o * oh * ow) *
                   static_cast<double>(c * kh * kw);
@@ -109,30 +120,39 @@ pool2d(const char *name, const Tensor &input, int64_t kernel,
     auto src = input.data();
     auto dst = out.data();
 
-    for (int64_t b = 0; b < n; b++) {
-        for (int64_t ch = 0; ch < c; ch++) {
-            for (int64_t oy = 0; oy < oh; oy++) {
-                for (int64_t ox = 0; ox < ow; ox++) {
-                    float acc = init;
-                    for (int64_t ky = 0; ky < kernel; ky++) {
-                        for (int64_t kx = 0; kx < kernel; kx++) {
-                            int64_t iy = oy * stride + ky;
-                            int64_t ix = ox * stride + kx;
-                            acc = fold(
-                                acc,
-                                src[static_cast<size_t>(
-                                    ((b * c + ch) * h + iy) * w +
-                                    ix)]);
+    // Parallel over (batch, channel) planes, mirroring conv2d.
+    util::parallelFor(
+        0, n * c,
+        util::grainFor(static_cast<double>(oh * ow) *
+                       static_cast<double>(kernel * kernel)),
+        [&](int64_t p0, int64_t p1) {
+            for (int64_t p = p0; p < p1; p++) {
+                int64_t b = p / c;
+                int64_t ch = p % c;
+                for (int64_t oy = 0; oy < oh; oy++) {
+                    for (int64_t ox = 0; ox < ow; ox++) {
+                        float acc = init;
+                        for (int64_t ky = 0; ky < kernel; ky++) {
+                            for (int64_t kx = 0; kx < kernel; kx++) {
+                                int64_t iy = oy * stride + ky;
+                                int64_t ix = ox * stride + kx;
+                                acc = fold(
+                                    acc,
+                                    src[static_cast<size_t>(
+                                        ((b * c + ch) * h + iy) * w +
+                                        ix)]);
+                            }
                         }
+                        if (mean)
+                            acc /= static_cast<float>(kernel *
+                                                      kernel);
+                        dst[static_cast<size_t>(
+                            ((b * c + ch) * oh + oy) * ow + ox)] =
+                            acc;
                     }
-                    if (mean)
-                        acc /= static_cast<float>(kernel * kernel);
-                    dst[static_cast<size_t>(
-                        ((b * c + ch) * oh + oy) * ow + ox)] = acc;
                 }
             }
-        }
-    }
+        });
 
     auto in_n = static_cast<double>(input.numel());
     op.setFlops(static_cast<double>(out.numel()) *

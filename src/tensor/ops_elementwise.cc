@@ -143,9 +143,23 @@ float
 sumAll(const Tensor &a)
 {
     core::ScopedOp op("sum", core::OpCategory::VectorElementwise);
+    auto data = a.data();
+    auto count = static_cast<int64_t>(data.size());
+    int64_t grain = nsbench::util::grainFor(1.0);
+    std::vector<double> partials(
+        static_cast<size_t>((count + grain - 1) / grain), 0.0);
     double acc = 0.0;
-    for (float v : a.data())
-        acc += v;
+    // Chunked double-precision partial sums combined in chunk order:
+    // the value depends only on the grain, not the thread count.
+    detail::chunkedReduce(
+        count, grain,
+        [&](int64_t c, int64_t lo, int64_t hi) {
+            double s = 0.0;
+            for (int64_t i = lo; i < hi; i++)
+                s += data[static_cast<size_t>(i)];
+            partials[static_cast<size_t>(c)] = s;
+        },
+        [&](int64_t c) { acc += partials[static_cast<size_t>(c)]; });
     auto n = static_cast<double>(a.numel());
     op.setFlops(n);
     op.setBytesRead(n * elemBytes);
@@ -158,9 +172,24 @@ maxAll(const Tensor &a)
 {
     util::panicIf(a.numel() == 0, "maxAll: empty tensor");
     core::ScopedOp op("max", core::OpCategory::VectorElementwise);
-    float best = a.data()[0];
-    for (float v : a.data())
-        best = std::max(best, v);
+    auto data = a.data();
+    auto count = static_cast<int64_t>(data.size());
+    int64_t grain = nsbench::util::grainFor(1.0);
+    std::vector<float> partials(
+        static_cast<size_t>((count + grain - 1) / grain),
+        -std::numeric_limits<float>::infinity());
+    float best = data[0];
+    detail::chunkedReduce(
+        count, grain,
+        [&](int64_t c, int64_t lo, int64_t hi) {
+            float m = data[static_cast<size_t>(lo)];
+            for (int64_t i = lo; i < hi; i++)
+                m = std::max(m, data[static_cast<size_t>(i)]);
+            partials[static_cast<size_t>(c)] = m;
+        },
+        [&](int64_t c) {
+            best = std::max(best, partials[static_cast<size_t>(c)]);
+        });
     auto n = static_cast<double>(a.numel());
     op.setFlops(n);
     op.setBytesRead(n * elemBytes);
@@ -181,13 +210,32 @@ argmaxAll(const Tensor &a)
     util::panicIf(a.numel() == 0, "argmaxAll: empty tensor");
     core::ScopedOp op("argmax", core::OpCategory::VectorElementwise);
     auto data = a.data();
+    auto count = static_cast<int64_t>(data.size());
+    int64_t grain = nsbench::util::grainFor(1.0);
+    std::vector<int64_t> partials(
+        static_cast<size_t>((count + grain - 1) / grain), 0);
     int64_t best = 0;
-    for (int64_t i = 1; i < a.numel(); i++) {
-        if (data[static_cast<size_t>(i)] >
-            data[static_cast<size_t>(best)]) {
-            best = i;
-        }
-    }
+    // Per-chunk first-strict-maximum, combined in chunk order with a
+    // strict comparison: exactly the serial earliest-argmax rule.
+    detail::chunkedReduce(
+        count, grain,
+        [&](int64_t c, int64_t lo, int64_t hi) {
+            int64_t b = lo;
+            for (int64_t i = lo + 1; i < hi; i++) {
+                if (data[static_cast<size_t>(i)] >
+                    data[static_cast<size_t>(b)]) {
+                    b = i;
+                }
+            }
+            partials[static_cast<size_t>(c)] = b;
+        },
+        [&](int64_t c) {
+            int64_t b = partials[static_cast<size_t>(c)];
+            if (data[static_cast<size_t>(b)] >
+                data[static_cast<size_t>(best)]) {
+                best = b;
+            }
+        });
     auto n = static_cast<double>(a.numel());
     op.setFlops(n);
     op.setBytesRead(n * elemBytes);
@@ -227,19 +275,26 @@ reduceAxis(const char *name, const Tensor &a, int64_t axis, float init,
     Tensor out(out_shape);
     auto src = a.data();
     auto dst = out.data();
-    for (int64_t o = 0; o < outer; o++) {
-        for (int64_t i = 0; i < inner; i++) {
-            float acc = init;
-            for (int64_t k = 0; k < axis_n; k++) {
-                acc = fold(acc,
-                           src[static_cast<size_t>(
-                               (o * axis_n + k) * inner + i)]);
+    // Each output element folds its own slice in serial order, so
+    // splitting over output elements is bit-identical.
+    util::parallelFor(
+        0, outer * inner,
+        util::grainFor(static_cast<double>(axis_n)),
+        [&](int64_t lo, int64_t hi) {
+            for (int64_t e = lo; e < hi; e++) {
+                int64_t o = e / inner;
+                int64_t i = e % inner;
+                float acc = init;
+                for (int64_t k = 0; k < axis_n; k++) {
+                    acc = fold(acc,
+                               src[static_cast<size_t>(
+                                   (o * axis_n + k) * inner + i)]);
+                }
+                if (mean && axis_n > 0)
+                    acc /= static_cast<float>(axis_n);
+                dst[static_cast<size_t>(e)] = acc;
             }
-            if (mean && axis_n > 0)
-                acc /= static_cast<float>(axis_n);
-            dst[static_cast<size_t>(o * inner + i)] = acc;
-        }
-    }
+        });
 
     auto n = static_cast<double>(a.numel());
     op.setFlops(n);
@@ -290,12 +345,18 @@ lastDimTransform(const char *name, const Tensor &a, RowFn row_fn,
     int64_t rows = a.numel() / std::max<int64_t>(row, 1);
     auto src = a.data();
     auto dst = out.data();
-    for (int64_t r = 0; r < rows; r++) {
-        row_fn(src.subspan(static_cast<size_t>(r * row),
-                           static_cast<size_t>(row)),
-               dst.subspan(static_cast<size_t>(r * row),
-                           static_cast<size_t>(row)));
-    }
+    // Rows are independent; row-parallel execution is bit-identical.
+    util::parallelFor(
+        0, rows,
+        util::grainFor(static_cast<double>(row) * flops_per_elem),
+        [&](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; r++) {
+                row_fn(src.subspan(static_cast<size_t>(r * row),
+                                   static_cast<size_t>(row)),
+                       dst.subspan(static_cast<size_t>(r * row),
+                                   static_cast<size_t>(row)));
+            }
+        });
     auto n = static_cast<double>(a.numel());
     op.setFlops(n * flops_per_elem);
     op.setBytesRead(n * elemBytes);

@@ -1,3 +1,5 @@
+#include <algorithm>
+
 #include "tensor/ops.hh"
 #include "tensor/ops_common.hh"
 
@@ -25,16 +27,30 @@ matmul(const Tensor &a, const Tensor &b)
     auto pb = b.data();
     auto po = out.data();
 
-    // i-k-j loop order keeps the inner loop streaming over B and C.
-    for (int64_t i = 0; i < m; i++) {
-        float *crow = &po[static_cast<size_t>(i * n)];
-        for (int64_t kk = 0; kk < k; kk++) {
-            float aik = pa[static_cast<size_t>(i * k + kk)];
-            const float *brow = &pb[static_cast<size_t>(kk * n)];
-            for (int64_t j = 0; j < n; j++)
-                crow[j] += aik * brow[j];
-        }
-    }
+    // Row-blocked over the output: each lane owns whole rows of C, so
+    // writes never overlap and the per-row arithmetic order matches
+    // the serial kernel exactly (bit-identical at any thread count).
+    util::parallelFor(
+        0, m, util::grainFor(2.0 * static_cast<double>(k * n)),
+        [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; i++) {
+                float *crow = &po[static_cast<size_t>(i * n)];
+                // Accumulate into an explicitly zeroed row rather than
+                // relying on the allocator's zero fill, so the kernel
+                // stays correct if uninitialized allocation is ever
+                // introduced.
+                std::fill(crow, crow + n, 0.0f);
+                // i-k-j loop order keeps the inner loop streaming over
+                // B and C.
+                for (int64_t kk = 0; kk < k; kk++) {
+                    float aik = pa[static_cast<size_t>(i * k + kk)];
+                    const float *brow =
+                        &pb[static_cast<size_t>(kk * n)];
+                    for (int64_t j = 0; j < n; j++)
+                        crow[j] += aik * brow[j];
+                }
+            }
+        });
 
     op.setFlops(2.0 * static_cast<double>(m) *
                 static_cast<double>(n) * static_cast<double>(k));
@@ -62,18 +78,30 @@ linear(const Tensor &x, const Tensor &w, const Tensor &bias)
     auto px = x.data();
     auto pw = w.data();
     auto po = out.data();
+    std::span<const float> pbias;
+    if (has_bias)
+        pbias = bias.data();
 
-    for (int64_t i = 0; i < n; i++) {
-        const float *xrow = &px[static_cast<size_t>(i * k)];
-        float *yrow = &po[static_cast<size_t>(i * o)];
-        for (int64_t j = 0; j < o; j++) {
-            const float *wrow = &pw[static_cast<size_t>(j * k)];
-            float acc = has_bias ? bias.flat(j) : 0.0f;
-            for (int64_t kk = 0; kk < k; kk++)
-                acc += xrow[kk] * wrow[kk];
-            yrow[j] = acc;
-        }
-    }
+    // Row-blocked over the batch dimension; every output element is
+    // produced by exactly one lane with serial-identical arithmetic.
+    util::parallelFor(
+        0, n, util::grainFor(2.0 * static_cast<double>(o * k)),
+        [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; i++) {
+                const float *xrow = &px[static_cast<size_t>(i * k)];
+                float *yrow = &po[static_cast<size_t>(i * o)];
+                for (int64_t j = 0; j < o; j++) {
+                    const float *wrow =
+                        &pw[static_cast<size_t>(j * k)];
+                    float acc = has_bias
+                                    ? pbias[static_cast<size_t>(j)]
+                                    : 0.0f;
+                    for (int64_t kk = 0; kk < k; kk++)
+                        acc += xrow[kk] * wrow[kk];
+                    yrow[j] = acc;
+                }
+            }
+        });
 
     op.setFlops(2.0 * static_cast<double>(n) *
                     static_cast<double>(o) * static_cast<double>(k) +
@@ -94,12 +122,26 @@ dot(const Tensor &a, const Tensor &b)
     core::ScopedOp op("dot", core::OpCategory::MatMul);
     auto pa = a.data();
     auto pb = b.data();
+    auto n = static_cast<int64_t>(pa.size());
+    int64_t grain = util::grainFor(2.0);
+    std::vector<double> partials(
+        static_cast<size_t>((n + grain - 1) / std::max<int64_t>(
+                                                  grain, 1)),
+        0.0);
     double acc = 0.0;
-    for (size_t i = 0; i < pa.size(); i++)
-        acc += static_cast<double>(pa[i]) * pb[i];
-    auto n = static_cast<double>(a.numel());
-    op.setFlops(2.0 * n);
-    op.setBytesRead(2.0 * n * elemBytes);
+    detail::chunkedReduce(
+        n, grain,
+        [&](int64_t c, int64_t lo, int64_t hi) {
+            double s = 0.0;
+            for (int64_t i = lo; i < hi; i++)
+                s += static_cast<double>(pa[static_cast<size_t>(i)]) *
+                     pb[static_cast<size_t>(i)];
+            partials[static_cast<size_t>(c)] = s;
+        },
+        [&](int64_t c) { acc += partials[static_cast<size_t>(c)]; });
+    auto dn = static_cast<double>(a.numel());
+    op.setFlops(2.0 * dn);
+    op.setBytesRead(2.0 * dn * elemBytes);
     op.setBytesWritten(elemBytes);
     return static_cast<float>(acc);
 }

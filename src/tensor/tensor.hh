@@ -43,7 +43,15 @@ class Tensor
     /** An empty (rank-0, zero-storage) tensor. */
     Tensor() = default;
 
-    /** Allocates a zero-initialized tensor of the given shape. */
+    /**
+     * Allocates a zero-initialized tensor of the given shape.
+     *
+     * Zero fill is part of the constructor contract today, but kernels
+     * that accumulate into freshly allocated outputs must still zero
+     * them explicitly (matmul does): if an uninitialized fast
+     * allocation path is ever introduced, accumulating kernels stay
+     * correct instead of silently reading garbage.
+     */
     explicit Tensor(Shape shape);
 
     /** Allocates and fills from the given values (size must match). */

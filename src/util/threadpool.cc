@@ -1,0 +1,249 @@
+#include "util/threadpool.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+
+#include "util/logging.hh"
+
+namespace nsbench::util
+{
+
+namespace
+{
+
+/** Set while the current thread executes a parallelFor lane. */
+thread_local bool tlInRegion = false;
+
+std::atomic<ThreadPool::SyncHook> gSyncHook{nullptr};
+
+void
+runSyncHook()
+{
+    if (ThreadPool::SyncHook hook =
+            gSyncHook.load(std::memory_order_acquire)) {
+        hook();
+    }
+}
+
+/** Global-pool storage; guarded by gGlobalMu. */
+std::mutex gGlobalMu;
+std::unique_ptr<ThreadPool> gGlobalPool;
+int gRequestedThreads = 0; ///< 0 = use defaultThreads().
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads)
+{
+    lanes_ = std::max(1, threads);
+    workers_.reserve(static_cast<size_t>(lanes_ - 1));
+    for (int i = 0; i < lanes_ - 1; i++)
+        workers_.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wakeCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+bool
+ThreadPool::inParallelRegion()
+{
+    return tlInRegion;
+}
+
+void
+ThreadPool::setSyncHook(SyncHook hook)
+{
+    gSyncHook.store(hook, std::memory_order_release);
+}
+
+void
+ThreadPool::workerMain()
+{
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        wakeCv_.wait(lock,
+                     [&] { return stop_ || jobGen_ != seen; });
+        if (stop_)
+            return;
+        seen = jobGen_;
+        Job *job = job_;
+        if (!job)
+            continue;
+        job->refs++;
+        lock.unlock();
+        runLanes(*job);
+        lock.lock();
+        job->refs--;
+        if (job->refs == 0)
+            doneCv_.notify_all();
+    }
+}
+
+void
+ThreadPool::runLane(Job &job, int lane)
+{
+    // Lane `lane` owns chunks lane, lane + lanes, lane + 2*lanes, ...
+    // The chunk grid depends only on (begin, end, grain), so results
+    // of chunk-structured kernels are stable across pool widths.
+    for (int64_t chunk = lane;; chunk += job.lanes) {
+        int64_t lo = job.begin + chunk * job.grain;
+        if (lo >= job.end)
+            break;
+        int64_t hi = std::min(job.end, lo + job.grain);
+        (*job.fn)(lo, hi);
+    }
+}
+
+void
+ThreadPool::runLanes(Job &job)
+{
+    bool was_in_region = tlInRegion;
+    tlInRegion = true;
+    for (;;) {
+        int lane = job.nextLane.fetch_add(1, std::memory_order_relaxed);
+        if (lane >= job.lanes)
+            break;
+        try {
+            runLane(job, lane);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(job.errMu);
+            if (!job.error)
+                job.error = std::current_exception();
+        }
+        // Flush before the lane is counted done, so the caller sees
+        // every side effect (profiler events) once the region ends.
+        runSyncHook();
+        job.doneLanes.fetch_add(1, std::memory_order_release);
+    }
+    tlInRegion = was_in_region;
+}
+
+void
+ThreadPool::parallelFor(int64_t begin, int64_t end, int64_t grain,
+                        const RangeFn &fn)
+{
+    if (end <= begin)
+        return;
+    grain = std::max<int64_t>(1, grain);
+    int64_t items = end - begin;
+    int64_t chunks = (items + grain - 1) / grain;
+    int lanes = static_cast<int>(
+        std::min<int64_t>(lanes_, chunks));
+
+    // Serial fast path: width-1 pools, single-chunk loops, and nested
+    // regions (workers must never block on a sub-region of their own
+    // pool) all run inline on the calling thread.
+    if (lanes <= 1 || tlInRegion) {
+        bool was_in_region = tlInRegion;
+        tlInRegion = true;
+        try {
+            fn(begin, end);
+        } catch (...) {
+            tlInRegion = was_in_region;
+            runSyncHook();
+            throw;
+        }
+        tlInRegion = was_in_region;
+        runSyncHook();
+        return;
+    }
+
+    Job job;
+    job.begin = begin;
+    job.end = end;
+    job.grain = grain;
+    job.lanes = lanes;
+    job.fn = &fn;
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        job_ = &job;
+        jobGen_++;
+    }
+    wakeCv_.notify_all();
+
+    // The caller is a full participant; with more lanes than awake
+    // workers it simply claims the leftover lanes itself.
+    runLanes(job);
+
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        doneCv_.wait(lock, [&] {
+            return job.doneLanes.load(std::memory_order_acquire) >=
+                       job.lanes &&
+                   job.refs == 0;
+        });
+        job_ = nullptr;
+    }
+
+    if (job.error)
+        std::rethrow_exception(job.error);
+}
+
+int
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("NSBENCH_THREADS")) {
+        char *tail = nullptr;
+        long parsed = std::strtol(env, &tail, 10);
+        if (tail != env && parsed > 0)
+            return static_cast<int>(std::min<long>(parsed, 1024));
+        warn("NSBENCH_THREADS=\"" + std::string(env) +
+             "\" is not a positive integer; ignoring");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(gGlobalMu);
+    if (!gGlobalPool) {
+        int width = gRequestedThreads > 0 ? gRequestedThreads
+                                          : defaultThreads();
+        gGlobalPool = std::make_unique<ThreadPool>(width);
+    }
+    return *gGlobalPool;
+}
+
+void
+ThreadPool::setGlobalThreads(int threads)
+{
+    panicIf(tlInRegion,
+            "ThreadPool::setGlobalThreads inside a parallel region");
+    std::lock_guard<std::mutex> lock(gGlobalMu);
+    gRequestedThreads = threads > 0 ? threads : 0;
+    gGlobalPool.reset(); // Re-created lazily at the new width.
+}
+
+int
+ThreadPool::globalThreads()
+{
+    std::lock_guard<std::mutex> lock(gGlobalMu);
+    if (gGlobalPool)
+        return gGlobalPool->threads();
+    return gRequestedThreads > 0 ? gRequestedThreads
+                                 : defaultThreads();
+}
+
+int64_t
+grainFor(double workPerItem, double targetWork)
+{
+    if (workPerItem <= 0.0)
+        workPerItem = 1.0;
+    double grain = std::ceil(targetWork / workPerItem);
+    return std::max<int64_t>(1, static_cast<int64_t>(grain));
+}
+
+} // namespace nsbench::util

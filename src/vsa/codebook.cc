@@ -2,9 +2,13 @@
 
 #include <cmath>
 
+#include <algorithm>
+#include <vector>
+
 #include "core/profiler.hh"
 #include "core/sparsity.hh"
 #include "util/logging.hh"
+#include "util/threadpool.hh"
 
 namespace nsbench::vsa
 {
@@ -78,17 +82,29 @@ Codebook::encodePmf(const Tensor &pmf, std::string_view stage,
     auto pw = pmf.data();
     auto pa = atoms_.data();
 
+    int64_t n = entries();
     int64_t active = 0;
-    for (int64_t e = 0; e < entries(); e++) {
-        float weight = pw[static_cast<size_t>(e)];
-        if (std::abs(weight) <= threshold)
-            continue;
-        active++;
-        const float *row = &pa[static_cast<size_t>(e * d)];
-        for (int64_t i = 0; i < d; i++)
-            po[static_cast<size_t>(i)] +=
-                weight * row[static_cast<size_t>(i)];
+    for (int64_t e = 0; e < n; e++) {
+        if (std::abs(pw[static_cast<size_t>(e)]) > threshold)
+            active++;
     }
+
+    // Parallel over dimension slices: every output element accumulates
+    // the active atoms in entry order, exactly as the serial loop, so
+    // the superposition is bit-identical at any thread count.
+    util::parallelFor(
+        0, d, util::grainFor(2.0 * static_cast<double>(active)),
+        [&](int64_t lo, int64_t hi) {
+            for (int64_t e = 0; e < n; e++) {
+                float weight = pw[static_cast<size_t>(e)];
+                if (std::abs(weight) <= threshold)
+                    continue;
+                const float *row = &pa[static_cast<size_t>(e * d)];
+                for (int64_t i = lo; i < hi; i++)
+                    po[static_cast<size_t>(i)] +=
+                        weight * row[static_cast<size_t>(i)];
+            }
+        });
 
     double touched = static_cast<double>(active) *
                      static_cast<double>(d);
@@ -120,21 +136,29 @@ Codebook::decodePmf(const Tensor &hv, std::string_view stage,
                    ph[static_cast<size_t>(i)];
     hv_norm = std::sqrt(hv_norm);
 
+    // The O(n*d) similarity sweep is parallel over entries (each
+    // entry's dot product keeps serial order: bit-identical); the
+    // cheap O(n) renormalization stays serial in entry order.
+    util::parallelFor(
+        0, n, util::grainFor(2.0 * static_cast<double>(d)),
+        [&](int64_t e0, int64_t e1) {
+            for (int64_t e = e0; e < e1; e++) {
+                const float *row = &pa[static_cast<size_t>(e * d)];
+                double acc = 0.0;
+                for (int64_t i = 0; i < d; i++)
+                    acc += static_cast<double>(
+                               ph[static_cast<size_t>(i)]) *
+                           row[static_cast<size_t>(i)];
+                double denom =
+                    hv_norm * norms_[static_cast<size_t>(e)];
+                double sim = denom > 0.0 ? acc / denom : 0.0;
+                po[static_cast<size_t>(e)] =
+                    sim > threshold ? static_cast<float>(sim) : 0.0f;
+            }
+        });
     double total = 0.0;
-    for (int64_t e = 0; e < n; e++) {
-        const float *row = &pa[static_cast<size_t>(e * d)];
-        double acc = 0.0;
-        for (int64_t i = 0; i < d; i++)
-            acc += static_cast<double>(ph[static_cast<size_t>(i)]) *
-                   row[static_cast<size_t>(i)];
-        double denom = hv_norm * norms_[static_cast<size_t>(e)];
-        double sim = denom > 0.0 ? acc / denom : 0.0;
-        float clamped = sim > threshold
-                            ? static_cast<float>(sim)
-                            : 0.0f;
-        po[static_cast<size_t>(e)] = clamped;
-        total += clamped;
-    }
+    for (int64_t e = 0; e < n; e++)
+        total += po[static_cast<size_t>(e)];
     if (total > 0.0) {
         for (int64_t e = 0; e < n; e++)
             po[static_cast<size_t>(e)] /= static_cast<float>(total);
@@ -170,20 +194,50 @@ Codebook::cleanup(const Tensor &hv) const
                    ph[static_cast<size_t>(i)];
     hv_norm = std::sqrt(hv_norm);
 
-    CleanupResult best;
-    for (int64_t e = 0; e < n; e++) {
-        const float *row = &pa[static_cast<size_t>(e * d)];
-        double acc = 0.0;
-        for (int64_t i = 0; i < d; i++)
-            acc += static_cast<double>(ph[static_cast<size_t>(i)]) *
-                   row[static_cast<size_t>(i)];
-        double denom = hv_norm * norms_[static_cast<size_t>(e)];
-        double sim = denom > 0.0 ? acc / denom : 0.0;
-        if (best.index < 0 || sim > best.similarity) {
-            best.index = e;
-            best.similarity = static_cast<float>(sim);
+    // Chunked nearest-neighbour sweep: each chunk finds its first
+    // strict maximum (full double precision), chunks combine in index
+    // order with a strict comparison. The winner is the earliest
+    // global maximum — the serial rule — independent of thread count.
+    struct PartialBest
+    {
+        int64_t index = -1;
+        double similarity = 0.0;
+    };
+    int64_t grain =
+        util::grainFor(2.0 * static_cast<double>(d));
+    std::vector<PartialBest> partials(
+        static_cast<size_t>((n + grain - 1) / grain));
+    util::parallelFor(
+        0, n, grain, [&](int64_t e0, int64_t e1) {
+            PartialBest local;
+            for (int64_t e = e0; e < e1; e++) {
+                const float *row = &pa[static_cast<size_t>(e * d)];
+                double acc = 0.0;
+                for (int64_t i = 0; i < d; i++)
+                    acc += static_cast<double>(
+                               ph[static_cast<size_t>(i)]) *
+                           row[static_cast<size_t>(i)];
+                double denom =
+                    hv_norm * norms_[static_cast<size_t>(e)];
+                double sim = denom > 0.0 ? acc / denom : 0.0;
+                if (local.index < 0 || sim > local.similarity) {
+                    local.index = e;
+                    local.similarity = sim;
+                }
+            }
+            partials[static_cast<size_t>(e0 / grain)] = local;
+        });
+
+    PartialBest overall;
+    for (const PartialBest &p : partials) {
+        if (p.index >= 0 &&
+            (overall.index < 0 || p.similarity > overall.similarity)) {
+            overall = p;
         }
     }
+    CleanupResult best;
+    best.index = overall.index;
+    best.similarity = static_cast<float>(overall.similarity);
 
     double touched = static_cast<double>(n) * static_cast<double>(d);
     op.setFlops(2.0 * touched);

@@ -4,6 +4,7 @@
 
 #include "core/profiler.hh"
 #include "util/logging.hh"
+#include "util/threadpool.hh"
 #include "vsa/fft.hh"
 
 namespace nsbench::vsa
@@ -83,11 +84,19 @@ bundle(const std::vector<Tensor> &vectors)
     ScopedOp op("vsa_bundle", OpCategory::VectorElementwise);
     Tensor out({dim});
     auto po = out.data();
-    for (const auto &v : vectors) {
-        auto pv = v.data();
-        for (size_t i = 0; i < po.size(); i++)
-            po[i] += pv[i];
-    }
+    // Dimension-sliced bundling: each output element sums the vectors
+    // in their given order, exactly as the serial loop (bit-identical).
+    util::parallelFor(
+        0, dim,
+        util::grainFor(static_cast<double>(vectors.size())),
+        [&](int64_t lo, int64_t hi) {
+            for (const auto &v : vectors) {
+                auto pv = v.data();
+                for (int64_t i = lo; i < hi; i++)
+                    po[static_cast<size_t>(i)] +=
+                        pv[static_cast<size_t>(i)];
+            }
+        });
     double total = static_cast<double>(dim) *
                    static_cast<double>(vectors.size());
     op.setFlops(total);
@@ -142,14 +151,23 @@ circularConvolve(const Tensor &a, const Tensor &b)
     auto pa = a.data();
     auto pb = b.data();
     auto po = out.data();
-    for (int64_t i = 0; i < d; i++) {
-        double acc = 0.0;
-        for (int64_t j = 0; j < d; j++) {
-            acc += static_cast<double>(pa[static_cast<size_t>(j)]) *
-                   pb[static_cast<size_t>(((i - j) % d + d) % d)];
-        }
-        po[static_cast<size_t>(i)] = static_cast<float>(acc);
-    }
+    // Output elements are independent dot products; parallel over i is
+    // bit-identical to the serial schoolbook loop.
+    util::parallelFor(
+        0, d, util::grainFor(2.0 * static_cast<double>(d)),
+        [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; i++) {
+                double acc = 0.0;
+                for (int64_t j = 0; j < d; j++) {
+                    acc += static_cast<double>(
+                               pa[static_cast<size_t>(j)]) *
+                           pb[static_cast<size_t>(
+                               ((i - j) % d + d) % d)];
+                }
+                po[static_cast<size_t>(i)] =
+                    static_cast<float>(acc);
+            }
+        });
     auto n = static_cast<double>(d);
     op.setFlops(2.0 * n * n);
     // Schoolbook form streams the full B vector per output element.
@@ -168,14 +186,20 @@ circularCorrelate(const Tensor &a, const Tensor &b)
     auto pa = a.data();
     auto pb = b.data();
     auto po = out.data();
-    for (int64_t i = 0; i < d; i++) {
-        double acc = 0.0;
-        for (int64_t j = 0; j < d; j++) {
-            acc += static_cast<double>(pa[static_cast<size_t>(j)]) *
-                   pb[static_cast<size_t>((j + i) % d)];
-        }
-        po[static_cast<size_t>(i)] = static_cast<float>(acc);
-    }
+    util::parallelFor(
+        0, d, util::grainFor(2.0 * static_cast<double>(d)),
+        [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; i++) {
+                double acc = 0.0;
+                for (int64_t j = 0; j < d; j++) {
+                    acc += static_cast<double>(
+                               pa[static_cast<size_t>(j)]) *
+                           pb[static_cast<size_t>((j + i) % d)];
+                }
+                po[static_cast<size_t>(i)] =
+                    static_cast<float>(acc);
+            }
+        });
     auto n = static_cast<double>(d);
     op.setFlops(2.0 * n * n);
     op.setBytesRead((n + n * n) * elemBytes);

@@ -2,6 +2,7 @@
 
 #include "core/profiler.hh"
 #include "util/logging.hh"
+#include "util/threadpool.hh"
 #include "vsa/ops.hh"
 
 namespace nsbench::vsa
@@ -28,15 +29,24 @@ projectAndBinarize(const Codebook &book, const Tensor &estimate)
         auto pe = estimate.data();
         auto ps = sims.data();
         int64_t d = book.dim();
-        for (int64_t e = 0; e < book.entries(); e++) {
-            const float *row = &pa[static_cast<size_t>(e * d)];
-            double acc = 0.0;
-            for (int64_t i = 0; i < d; i++)
-                acc += static_cast<double>(
-                           pe[static_cast<size_t>(i)]) *
-                       row[static_cast<size_t>(i)];
-            ps[static_cast<size_t>(e)] = static_cast<float>(acc);
-        }
+        // Entry-parallel similarity sweep; per-entry dot products keep
+        // serial order, so the projection is bit-identical.
+        util::parallelFor(
+            0, book.entries(),
+            util::grainFor(2.0 * static_cast<double>(d)),
+            [&](int64_t e0, int64_t e1) {
+                for (int64_t e = e0; e < e1; e++) {
+                    const float *row =
+                        &pa[static_cast<size_t>(e * d)];
+                    double acc = 0.0;
+                    for (int64_t i = 0; i < d; i++)
+                        acc += static_cast<double>(
+                                   pe[static_cast<size_t>(i)]) *
+                               row[static_cast<size_t>(i)];
+                    ps[static_cast<size_t>(e)] =
+                        static_cast<float>(acc);
+                }
+            });
         double touched = static_cast<double>(book.entries()) *
                          static_cast<double>(d);
         op.setFlops(2.0 * touched);
@@ -51,16 +61,25 @@ projectAndBinarize(const Codebook &book, const Tensor &estimate)
     auto ps = sims.data();
     auto po = out.data();
     int64_t d = book.dim();
-    for (int64_t e = 0; e < book.entries(); e++) {
-        float w = ps[static_cast<size_t>(e)];
-        const float *row = &pa[static_cast<size_t>(e * d)];
-        for (int64_t i = 0; i < d; i++)
-            po[static_cast<size_t>(i)] +=
-                w * row[static_cast<size_t>(i)];
-    }
-    for (int64_t i = 0; i < d; i++)
-        po[static_cast<size_t>(i)] =
-            po[static_cast<size_t>(i)] >= 0.0f ? 1.0f : -1.0f;
+    int64_t n = book.entries();
+    // Dimension-sliced recombination: each output element accumulates
+    // atoms in entry order (serial-identical), then binarizes in the
+    // same pass.
+    util::parallelFor(
+        0, d, util::grainFor(2.0 * static_cast<double>(n)),
+        [&](int64_t lo, int64_t hi) {
+            for (int64_t e = 0; e < n; e++) {
+                float w = ps[static_cast<size_t>(e)];
+                const float *row = &pa[static_cast<size_t>(e * d)];
+                for (int64_t i = lo; i < hi; i++)
+                    po[static_cast<size_t>(i)] +=
+                        w * row[static_cast<size_t>(i)];
+            }
+            for (int64_t i = lo; i < hi; i++)
+                po[static_cast<size_t>(i)] =
+                    po[static_cast<size_t>(i)] >= 0.0f ? 1.0f
+                                                       : -1.0f;
+        });
     double touched = static_cast<double>(book.entries()) *
                      static_cast<double>(d);
     op.setFlops(2.0 * touched + static_cast<double>(d));

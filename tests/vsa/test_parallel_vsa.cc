@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Parallel-vs-serial equivalence for the VSA hot paths.
+ *
+ * The codebook sweeps, bundling and resonator iterations are
+ * parallelized over dimension or entry slices with a fixed traversal
+ * order per output element, so every result must be bit-identical to
+ * the width-1 run at any pool width.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+#include "util/threadpool.hh"
+#include "vsa/codebook.hh"
+#include "vsa/ops.hh"
+#include "vsa/resonator.hh"
+
+namespace
+{
+
+using namespace nsbench;
+using nsbench::tensor::Tensor;
+using nsbench::util::Rng;
+using nsbench::util::ThreadPool;
+
+const std::vector<int> kWidths = {1, 2, 4, 13};
+
+class VsaParallelEquivalence : public testing::Test
+{
+  protected:
+    ~VsaParallelEquivalence() override
+    {
+        ThreadPool::setGlobalThreads(0);
+    }
+
+    void
+    expectTensorStable(const std::function<Tensor()> &fn)
+    {
+        ThreadPool::setGlobalThreads(1);
+        Tensor expect = fn();
+        for (int width : kWidths) {
+            ThreadPool::setGlobalThreads(width);
+            Tensor got = fn();
+            ASSERT_EQ(got.shape(), expect.shape());
+            for (int64_t i = 0; i < got.numel(); i++)
+                EXPECT_EQ(got.flat(i), expect.flat(i))
+                    << "width " << width << " elem " << i;
+        }
+    }
+
+    Rng rng{99};
+};
+
+TEST_F(VsaParallelEquivalence, CodebookCleanup)
+{
+    vsa::Codebook book(257, 4096, rng);
+    // A noisy atom: cleanup must find the same winner with the same
+    // similarity at every width.
+    Tensor query = vsa::bundle(
+        {book.atom(123), vsa::randomHypervector(4096, rng)});
+    ThreadPool::setGlobalThreads(1);
+    auto expect = book.cleanup(query);
+    EXPECT_EQ(expect.index, 123);
+    for (int width : kWidths) {
+        ThreadPool::setGlobalThreads(width);
+        auto got = book.cleanup(query);
+        EXPECT_EQ(got.index, expect.index) << "width " << width;
+        EXPECT_EQ(got.similarity, expect.similarity)
+            << "width " << width;
+    }
+}
+
+TEST_F(VsaParallelEquivalence, CodebookCleanupTiedQuery)
+{
+    // An all-zeros query makes every similarity zero: the argmax rule
+    // (first strict max) must still pick the same atom at every width.
+    vsa::Codebook book(64, 512, rng);
+    Tensor query(tensor::Shape{512});
+    ThreadPool::setGlobalThreads(1);
+    auto expect = book.cleanup(query);
+    for (int width : kWidths) {
+        ThreadPool::setGlobalThreads(width);
+        auto got = book.cleanup(query);
+        EXPECT_EQ(got.index, expect.index) << "width " << width;
+    }
+}
+
+TEST_F(VsaParallelEquivalence, CodebookEncodeDecode)
+{
+    vsa::Codebook book(128, 2048, rng);
+    Tensor pmf(tensor::Shape{128});
+    for (int64_t i = 0; i < 128; i++)
+        pmf.flat(i) = (i % 3 == 0) ? 1.0f / 43.0f : 0.0f;
+    Tensor hv = vsa::randomHypervector(2048, rng);
+    expectTensorStable([&] { return book.encodePmf(pmf); });
+    expectTensorStable([&] { return book.decodePmf(hv); });
+}
+
+TEST_F(VsaParallelEquivalence, BundleAndBind)
+{
+    std::vector<Tensor> vectors;
+    for (int i = 0; i < 9; i++)
+        vectors.push_back(vsa::randomHypervector(8192, rng));
+    expectTensorStable([&] { return vsa::bundle(vectors); });
+    expectTensorStable([&] { return vsa::bundleMajority(vectors); });
+    expectTensorStable(
+        [&] { return vsa::bind(vectors[0], vectors[1]); });
+}
+
+TEST_F(VsaParallelEquivalence, CircularConvolution)
+{
+    Tensor a = vsa::randomHypervector(1024, rng);
+    Tensor b = vsa::randomHypervector(1024, rng);
+    expectTensorStable([&] { return vsa::circularConvolve(a, b); });
+    expectTensorStable([&] { return vsa::circularCorrelate(a, b); });
+}
+
+TEST_F(VsaParallelEquivalence, ResonatorFactorization)
+{
+    // The resonator's sims sweeps and recombine steps are parallel;
+    // the factorization must land on the same factors in the same
+    // number of iterations at every width.
+    vsa::Codebook b0(16, 2048, rng);
+    vsa::Codebook b1(16, 2048, rng);
+    vsa::Codebook b2(16, 2048, rng);
+    std::vector<const vsa::Codebook *> books = {&b0, &b1, &b2};
+    Tensor composite = vsa::bind(
+        vsa::bind(b0.atom(3), b1.atom(7)), b2.atom(11));
+
+    ThreadPool::setGlobalThreads(1);
+    auto expect = vsa::factorize(composite, books);
+    ASSERT_TRUE(expect.converged);
+    EXPECT_EQ(expect.factors, (std::vector<int64_t>{3, 7, 11}));
+
+    for (int width : kWidths) {
+        ThreadPool::setGlobalThreads(width);
+        auto got = vsa::factorize(composite, books);
+        EXPECT_EQ(got.factors, expect.factors) << "width " << width;
+        EXPECT_EQ(got.iterations, expect.iterations)
+            << "width " << width;
+        EXPECT_EQ(got.converged, expect.converged)
+            << "width " << width;
+    }
+}
+
+} // namespace

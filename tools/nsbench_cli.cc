@@ -10,6 +10,8 @@
  * Options for `run`:
  *   --seed N       RNG seed (default 42)
  *   --runs N       repeat the profiled run N times (default 1)
+ *   --threads N    width of the parallel runtime (default:
+ *                  NSBENCH_THREADS env var, else hardware concurrency)
  *   --csv          emit CSV instead of aligned tables
  *   --device NAME  also project the op stream onto one device
  *                  ("all" projects onto every modeled device)
@@ -26,6 +28,7 @@
 #include "sim/projection.hh"
 #include "util/format.hh"
 #include "util/stats.hh"
+#include "util/threadpool.hh"
 #include "util/timer.hh"
 #include "workloads/register.hh"
 
@@ -41,8 +44,8 @@ usage()
         << "usage: nsbench <command>\n"
            "  nsbench list\n"
            "  nsbench devices\n"
-           "  nsbench run <workload> [--seed N] [--runs N] [--csv]\n"
-           "              [--device NAME|all]\n";
+           "  nsbench run <workload> [--seed N] [--runs N]\n"
+           "              [--threads N] [--csv] [--device NAME|all]\n";
     return 2;
 }
 
@@ -110,6 +113,13 @@ cmdRun(int argc, char **argv)
             seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--runs") {
             runs = std::atoi(next());
+        } else if (arg == "--threads") {
+            int threads = std::atoi(next());
+            if (threads < 1) {
+                std::cerr << "--threads must be positive\n";
+                return 2;
+            }
+            util::ThreadPool::setGlobalThreads(threads);
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--device") {
@@ -157,6 +167,7 @@ cmdRun(int argc, char **argv)
                                : "")
                   << "\nstorage:  "
                   << util::humanBytes(workload->storageBytes())
+                  << "\nthreads:  " << util::ThreadPool::globalThreads()
                   << "\n\n";
     }
 
