@@ -12,12 +12,18 @@
 #include "core/profiler.hh"
 #include "tensor/tensor.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 #include "util/threadpool.hh"
 
 namespace nsbench::tensor::detail
 {
 
 inline constexpr double elemBytes = sizeof(float);
+
+/** Span kernel signatures from the SIMD backend (util/simd.hh). */
+using BinaryKernel = void (*)(const float *, const float *, float *,
+                              int64_t);
+using UnaryKernel = void (*)(const float *, float *, int64_t);
 
 /**
  * Runs a deterministic chunked reduction: [0, items) is cut into
@@ -89,6 +95,79 @@ ewUnary(const char *name, const Tensor &a, F f,
                           for (int64_t i = lo; i < hi; i++)
                               po[static_cast<size_t>(i)] =
                                   f(pa[static_cast<size_t>(i)]);
+                      });
+    op.setFlops(static_cast<double>(n) * flops_per_elem);
+    op.setBytesRead(static_cast<double>(n) * elemBytes);
+    op.setBytesWritten(static_cast<double>(n) * elemBytes);
+    return out;
+}
+
+/**
+ * Applies a SIMD span kernel element-wise over two same-shape tensors.
+ * The kernel runs once per ThreadPool chunk, so the result is the
+ * same at every thread count for a fixed backend.
+ */
+inline Tensor
+ewBinaryKernel(const char *name, const Tensor &a, const Tensor &b,
+               BinaryKernel kernel, double flops_per_elem = 1.0)
+{
+    util::panicIf(a.shape() != b.shape(),
+                  std::string(name) + ": shape mismatch " +
+                      shapeStr(a.shape()) + " vs " +
+                      shapeStr(b.shape()));
+    core::ScopedOp op(name, core::OpCategory::VectorElementwise);
+    Tensor out(a.shape());
+    auto pa = a.data();
+    auto pb = b.data();
+    auto po = out.data();
+    auto n = static_cast<int64_t>(pa.size());
+    util::parallelFor(0, n, util::grainFor(flops_per_elem),
+                      [&](int64_t lo, int64_t hi) {
+                          kernel(pa.data() + lo, pb.data() + lo,
+                                 po.data() + lo, hi - lo);
+                      });
+    op.setFlops(static_cast<double>(n) * flops_per_elem);
+    op.setBytesRead(2.0 * static_cast<double>(n) * elemBytes);
+    op.setBytesWritten(static_cast<double>(n) * elemBytes);
+    return out;
+}
+
+/** Applies a SIMD (tensor, scalar) span kernel element-wise. */
+inline Tensor
+ewScalarKernel(const char *name, const Tensor &a, float s,
+               void (*kernel)(const float *, float, float *, int64_t),
+               double flops_per_elem = 1.0)
+{
+    core::ScopedOp op(name, core::OpCategory::VectorElementwise);
+    Tensor out(a.shape());
+    auto pa = a.data();
+    auto po = out.data();
+    auto n = static_cast<int64_t>(pa.size());
+    util::parallelFor(0, n, util::grainFor(flops_per_elem),
+                      [&](int64_t lo, int64_t hi) {
+                          kernel(pa.data() + lo, s, po.data() + lo,
+                                 hi - lo);
+                      });
+    op.setFlops(static_cast<double>(n) * flops_per_elem);
+    op.setBytesRead(static_cast<double>(n) * elemBytes);
+    op.setBytesWritten(static_cast<double>(n) * elemBytes);
+    return out;
+}
+
+/** Applies a SIMD span kernel element-wise over one tensor. */
+inline Tensor
+ewUnaryKernel(const char *name, const Tensor &a, UnaryKernel kernel,
+              double flops_per_elem = 1.0)
+{
+    core::ScopedOp op(name, core::OpCategory::VectorElementwise);
+    Tensor out(a.shape());
+    auto pa = a.data();
+    auto po = out.data();
+    auto n = static_cast<int64_t>(pa.size());
+    util::parallelFor(0, n, util::grainFor(flops_per_elem),
+                      [&](int64_t lo, int64_t hi) {
+                          kernel(pa.data() + lo, po.data() + lo,
+                                 hi - lo);
                       });
     op.setFlops(static_cast<double>(n) * flops_per_elem);
     op.setBytesRead(static_cast<double>(n) * elemBytes);

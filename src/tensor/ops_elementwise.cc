@@ -10,63 +10,66 @@ namespace nsbench::tensor
 
 using detail::elemBytes;
 using detail::ewBinary;
+using detail::ewBinaryKernel;
 using detail::ewUnary;
+using detail::ewUnaryKernel;
+
+namespace simd = nsbench::util::simd;
 
 Tensor
 add(const Tensor &a, const Tensor &b)
 {
-    return ewBinary("add", a, b, [](float x, float y) { return x + y; });
+    return ewBinaryKernel("add", a, b, simd::add);
 }
 
 Tensor
 sub(const Tensor &a, const Tensor &b)
 {
-    return ewBinary("sub", a, b, [](float x, float y) { return x - y; });
+    return ewBinaryKernel("sub", a, b, simd::sub);
 }
 
 Tensor
 mul(const Tensor &a, const Tensor &b)
 {
-    return ewBinary("mul", a, b, [](float x, float y) { return x * y; });
+    return ewBinaryKernel("mul", a, b, simd::mul);
 }
 
 Tensor
 div(const Tensor &a, const Tensor &b)
 {
-    return ewBinary("div", a, b, [](float x, float y) { return x / y; });
+    return ewBinaryKernel("div", a, b, simd::div);
 }
 
 Tensor
 minimum(const Tensor &a, const Tensor &b)
 {
-    return ewBinary("minimum", a, b,
-                    [](float x, float y) { return std::min(x, y); });
+    return ewBinaryKernel("minimum", a, b, simd::minimum);
 }
 
 Tensor
 maximum(const Tensor &a, const Tensor &b)
 {
-    return ewBinary("maximum", a, b,
-                    [](float x, float y) { return std::max(x, y); });
+    return ewBinaryKernel("maximum", a, b, simd::maximum);
 }
 
 Tensor
 addScalar(const Tensor &a, float s)
 {
-    return ewUnary("add_scalar", a, [s](float x) { return x + s; });
+    return detail::ewScalarKernel("add_scalar", a, s,
+                                  simd::addScalar);
 }
 
 Tensor
 mulScalar(const Tensor &a, float s)
 {
-    return ewUnary("mul_scalar", a, [s](float x) { return x * s; });
+    return detail::ewScalarKernel("mul_scalar", a, s,
+                                  simd::mulScalar);
 }
 
 Tensor
 relu(const Tensor &a)
 {
-    return ewUnary("relu", a,
-                   [](float x) { return x > 0.0f ? x : 0.0f; });
+    return ewUnaryKernel("relu", a, simd::relu);
 }
 
 Tensor
@@ -106,13 +109,13 @@ sqrtOp(const Tensor &a)
 Tensor
 neg(const Tensor &a)
 {
-    return ewUnary("neg", a, [](float x) { return -x; });
+    return ewUnaryKernel("neg", a, simd::negate);
 }
 
 Tensor
 absOp(const Tensor &a)
 {
-    return ewUnary("abs", a, [](float x) { return std::abs(x); });
+    return ewUnaryKernel("abs", a, simd::absolute);
 }
 
 Tensor
@@ -126,9 +129,20 @@ sign(const Tensor &a)
 Tensor
 clamp(const Tensor &a, float lo, float hi)
 {
-    return ewUnary("clamp", a, [lo, hi](float x) {
-        return std::clamp(x, lo, hi);
-    });
+    core::ScopedOp op("clamp", core::OpCategory::VectorElementwise);
+    Tensor out(a.shape());
+    auto pa = a.data();
+    auto po = out.data();
+    auto n = static_cast<int64_t>(pa.size());
+    util::parallelFor(0, n, util::grainFor(1.0),
+                      [&](int64_t l, int64_t h) {
+                          simd::clampRange(pa.data() + l, lo, hi,
+                                           po.data() + l, h - l);
+                      });
+    op.setFlops(static_cast<double>(n));
+    op.setBytesRead(static_cast<double>(n) * elemBytes);
+    op.setBytesWritten(static_cast<double>(n) * elemBytes);
+    return out;
 }
 
 Tensor
@@ -154,10 +168,9 @@ sumAll(const Tensor &a)
     detail::chunkedReduce(
         count, grain,
         [&](int64_t c, int64_t lo, int64_t hi) {
-            double s = 0.0;
-            for (int64_t i = lo; i < hi; i++)
-                s += data[static_cast<size_t>(i)];
-            partials[static_cast<size_t>(c)] = s;
+            partials[static_cast<size_t>(c)] =
+                nsbench::util::simd::sumChunk(data.data() + lo,
+                                              hi - lo);
         },
         [&](int64_t c) { acc += partials[static_cast<size_t>(c)]; });
     auto n = static_cast<double>(a.numel());
@@ -182,10 +195,9 @@ maxAll(const Tensor &a)
     detail::chunkedReduce(
         count, grain,
         [&](int64_t c, int64_t lo, int64_t hi) {
-            float m = data[static_cast<size_t>(lo)];
-            for (int64_t i = lo; i < hi; i++)
-                m = std::max(m, data[static_cast<size_t>(i)]);
-            partials[static_cast<size_t>(c)] = m;
+            partials[static_cast<size_t>(c)] =
+                nsbench::util::simd::maxChunk(data.data() + lo,
+                                              hi - lo);
         },
         [&](int64_t c) {
             best = std::max(best, partials[static_cast<size_t>(c)]);
@@ -220,14 +232,9 @@ argmaxAll(const Tensor &a)
     detail::chunkedReduce(
         count, grain,
         [&](int64_t c, int64_t lo, int64_t hi) {
-            int64_t b = lo;
-            for (int64_t i = lo + 1; i < hi; i++) {
-                if (data[static_cast<size_t>(i)] >
-                    data[static_cast<size_t>(b)]) {
-                    b = i;
-                }
-            }
-            partials[static_cast<size_t>(c)] = b;
+            partials[static_cast<size_t>(c)] =
+                lo + nsbench::util::simd::argmaxChunk(
+                         data.data() + lo, hi - lo);
         },
         [&](int64_t c) {
             int64_t b = partials[static_cast<size_t>(c)];

@@ -28,28 +28,18 @@ matmul(const Tensor &a, const Tensor &b)
     auto po = out.data();
 
     // Row-blocked over the output: each lane owns whole rows of C, so
-    // writes never overlap and the per-row arithmetic order matches
-    // the serial kernel exactly (bit-identical at any thread count).
+    // writes never overlap, and each row's value is a pure function of
+    // its operands (identical at any thread count for a fixed
+    // backend). The grain is held at >= 4 rows so the AVX2 kernel's
+    // 4-row register tile engages; the chunk grid never affects
+    // per-row results, only speed.
     util::parallelFor(
-        0, m, util::grainFor(2.0 * static_cast<double>(k * n)),
+        0, m,
+        std::max<int64_t>(
+            4, util::grainFor(2.0 * static_cast<double>(k * n))),
         [&](int64_t i0, int64_t i1) {
-            for (int64_t i = i0; i < i1; i++) {
-                float *crow = &po[static_cast<size_t>(i * n)];
-                // Accumulate into an explicitly zeroed row rather than
-                // relying on the allocator's zero fill, so the kernel
-                // stays correct if uninitialized allocation is ever
-                // introduced.
-                std::fill(crow, crow + n, 0.0f);
-                // i-k-j loop order keeps the inner loop streaming over
-                // B and C.
-                for (int64_t kk = 0; kk < k; kk++) {
-                    float aik = pa[static_cast<size_t>(i * k + kk)];
-                    const float *brow =
-                        &pb[static_cast<size_t>(kk * n)];
-                    for (int64_t j = 0; j < n; j++)
-                        crow[j] += aik * brow[j];
-                }
-            }
+            util::simd::matmulRows(pa.data(), pb.data(), po.data(),
+                                   i0, i1, k, n);
         });
 
     op.setFlops(2.0 * static_cast<double>(m) *
@@ -83,24 +73,13 @@ linear(const Tensor &x, const Tensor &w, const Tensor &bias)
         pbias = bias.data();
 
     // Row-blocked over the batch dimension; every output element is
-    // produced by exactly one lane with serial-identical arithmetic.
+    // produced by exactly one lane as a pure function of its operands.
     util::parallelFor(
         0, n, util::grainFor(2.0 * static_cast<double>(o * k)),
         [&](int64_t i0, int64_t i1) {
-            for (int64_t i = i0; i < i1; i++) {
-                const float *xrow = &px[static_cast<size_t>(i * k)];
-                float *yrow = &po[static_cast<size_t>(i * o)];
-                for (int64_t j = 0; j < o; j++) {
-                    const float *wrow =
-                        &pw[static_cast<size_t>(j * k)];
-                    float acc = has_bias
-                                    ? pbias[static_cast<size_t>(j)]
-                                    : 0.0f;
-                    for (int64_t kk = 0; kk < k; kk++)
-                        acc += xrow[kk] * wrow[kk];
-                    yrow[j] = acc;
-                }
-            }
+            util::simd::linearRows(px.data(), pw.data(),
+                                   has_bias ? pbias.data() : nullptr,
+                                   po.data(), i0, i1, k, o);
         });
 
     op.setFlops(2.0 * static_cast<double>(n) *
@@ -132,11 +111,9 @@ dot(const Tensor &a, const Tensor &b)
     detail::chunkedReduce(
         n, grain,
         [&](int64_t c, int64_t lo, int64_t hi) {
-            double s = 0.0;
-            for (int64_t i = lo; i < hi; i++)
-                s += static_cast<double>(pa[static_cast<size_t>(i)]) *
-                     pb[static_cast<size_t>(i)];
-            partials[static_cast<size_t>(c)] = s;
+            partials[static_cast<size_t>(c)] =
+                util::simd::dotChunk(pa.data() + lo, pb.data() + lo,
+                                     hi - lo);
         },
         [&](int64_t c) { acc += partials[static_cast<size_t>(c)]; });
     auto dn = static_cast<double>(a.numel());

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The vectorized kernel backend.
+ *
+ * Every hot inner loop in the suite (element-wise maps, chunked
+ * reductions, MatMul/Linear row blocks, VSA similarity sweeps and the
+ * packed-binary popcount paths) funnels through the span-level kernels
+ * declared here. Each kernel has two implementations:
+ *
+ *  - a portable scalar loop, compiled for the baseline ISA, that is
+ *    bit-identical to the historical hand-written loops, and
+ *  - an AVX2+FMA+POPCNT version compiled via per-function target
+ *    attributes, so the rest of the tree keeps the baseline ISA and
+ *    the binary still runs on machines without AVX2.
+ *
+ * Backend selection is runtime CPUID dispatch, overridable:
+ *
+ *  - NSBENCH_SIMD=off|0|scalar  forces the scalar path,
+ *  - NSBENCH_SIMD=on|1|avx2     asks for AVX2 (falls back to scalar
+ *    with a warning when the CPU lacks it),
+ *  - setBackend() overrides programmatically (used by the equivalence
+ *    tests to compare both paths in one process).
+ *
+ * Determinism contract: for a fixed backend every kernel is a pure
+ * function of its operands — results never depend on thread count,
+ * because the ThreadPool's chunk grid is width-independent and these
+ * kernels are applied per chunk. Across backends, integer/bit kernels
+ * (popcount, XOR, sign tests) are exactly equal; float kernels that
+ * reassociate or fuse (reductions, FMA accumulation) agree within
+ * 1e-5 relative tolerance, which the equivalence suite enforces.
+ *
+ * Profiler attribution (FLOPs, bytes, invocations) is computed from
+ * operand shapes by the calling ops, so it is exact and identical for
+ * both backends.
+ */
+
+#ifndef NSBENCH_UTIL_SIMD_HH
+#define NSBENCH_UTIL_SIMD_HH
+
+#include <cstdint>
+
+namespace nsbench::util::simd
+{
+
+/** Kernel implementation selected at runtime. */
+enum class Backend
+{
+    Scalar, ///< Portable baseline-ISA loops.
+    Avx2,   ///< AVX2 + FMA + POPCNT target-attribute kernels.
+};
+
+/** True when this build carries AVX2 kernels and the CPU has them. */
+bool avx2Supported();
+
+/**
+ * The backend all kernels dispatch on, resolved once from the
+ * NSBENCH_SIMD override else CPUID. Thread-safe.
+ */
+Backend activeBackend();
+
+/**
+ * Overrides the active backend (test hook; also used by --simd).
+ * Requesting Avx2 on a machine without it is fatal. Thread-unsafe
+ * against concurrent kernels: call outside parallel regions.
+ */
+void setBackend(Backend backend);
+
+/** Drops any override; the next activeBackend() re-resolves. */
+void resetBackend();
+
+/** Human-readable name: "scalar" or "avx2". */
+const char *backendName(Backend backend);
+
+/** Shorthand for backendName(activeBackend()). */
+const char *activeBackendName();
+
+/// @name Element-wise float maps over [0, n). Out must not partially
+/// alias the inputs (out == a or out == b exactly is allowed).
+/// @{
+void add(const float *a, const float *b, float *out, int64_t n);
+void sub(const float *a, const float *b, float *out, int64_t n);
+void mul(const float *a, const float *b, float *out, int64_t n);
+void div(const float *a, const float *b, float *out, int64_t n);
+void minimum(const float *a, const float *b, float *out, int64_t n);
+void maximum(const float *a, const float *b, float *out, int64_t n);
+void addScalar(const float *a, float s, float *out, int64_t n);
+void mulScalar(const float *a, float s, float *out, int64_t n);
+void relu(const float *a, float *out, int64_t n);
+void negate(const float *a, float *out, int64_t n);
+void absolute(const float *a, float *out, int64_t n);
+void clampRange(const float *a, float lo, float hi, float *out,
+                int64_t n);
+/** out[i] = a[i] >= 0 ? +1 : -1 (majority-bundle thresholding). */
+void signBipolar(const float *a, float *out, int64_t n);
+/** acc[i] += v[i]. */
+void accumulate(float *acc, const float *v, int64_t n);
+/** acc[i] += s * v[i] (codebook superposition). */
+void axpy(float *acc, const float *v, float s, int64_t n);
+/// @}
+
+/// @name Chunked reductions. Called once per ThreadPool chunk, so the
+/// result for a fixed backend is independent of thread count.
+/// @{
+/** Double-precision sum of a[0..n). */
+double sumChunk(const float *a, int64_t n);
+/** Maximum of a[0..n); n must be >= 1. */
+float maxChunk(const float *a, int64_t n);
+/** Index of the first strict maximum of a[0..n); n must be >= 1. */
+int64_t argmaxChunk(const float *a, int64_t n);
+/** Double-precision dot product of a[0..n) and b[0..n). */
+double dotChunk(const float *a, const float *b, int64_t n);
+/** Accumulates dot(a,b), |a|^2 and |b|^2 in one pass. */
+void cosineChunk(const float *a, const float *b, int64_t n,
+                 double *dot_out, double *norm_a_out,
+                 double *norm_b_out);
+/** Number of positions where a and b have the same sign (>= 0). */
+int64_t signMatchChunk(const float *a, const float *b, int64_t n);
+/// @}
+
+/// @name MatMul / Linear row blocks (row-major operands).
+/// @{
+/**
+ * C[i, :] = sum_k A[i, k] * B[k, :] for rows i in [i0, i1), with
+ * A of shape [*, k] and B of shape [k, n]. Rows are zeroed first;
+ * each output row's value is independent of the block split.
+ */
+void matmulRows(const float *a, const float *b, float *c, int64_t i0,
+                int64_t i1, int64_t k, int64_t n);
+/**
+ * Y[i, j] = dot(X[i, :], W[j, :]) + bias[j] for rows i in [i0, i1),
+ * with X of shape [*, k] and W of shape [o, k]. Pass bias == nullptr
+ * to skip the bias term.
+ */
+void linearRows(const float *x, const float *w, const float *bias,
+                float *y, int64_t i0, int64_t i1, int64_t k,
+                int64_t o);
+/// @}
+
+/// @name Packed binary hypervector kernels (64 bits per word).
+/// @{
+/** out[i] = a[i] ^ b[i]. */
+void xorWords(const uint64_t *a, const uint64_t *b, uint64_t *out,
+              int64_t n);
+/** popcount(a ^ b) over n words (Hamming distance of packed HVs). */
+int64_t popcountXorWords(const uint64_t *a, const uint64_t *b,
+                         int64_t n);
+/// @}
+
+} // namespace nsbench::util::simd
+
+#endif // NSBENCH_UTIL_SIMD_HH

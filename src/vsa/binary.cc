@@ -4,6 +4,7 @@
 
 #include "core/profiler.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace nsbench::vsa
 {
@@ -99,8 +100,9 @@ xorBind(const BinaryVector &a, const BinaryVector &b)
     ScopedOp op("bvsa_bind", OpCategory::VectorElementwise);
     BinaryVector out(a.dim());
     auto &words = out.words();
-    for (size_t w = 0; w < words.size(); w++)
-        words[w] = a.words()[w] ^ b.words()[w];
+    util::simd::xorWords(a.words().data(), b.words().data(),
+                         words.data(),
+                         static_cast<int64_t>(words.size()));
     double bytes = static_cast<double>(words.size()) * 8.0;
     op.setFlops(static_cast<double>(a.dim()));
     op.setBytesRead(2.0 * bytes);
@@ -156,9 +158,9 @@ hammingDistance(const BinaryVector &a, const BinaryVector &b)
     util::panicIf(a.dim() != b.dim(),
                   "bvsa_hamming: dimension mismatch");
     ScopedOp op("bvsa_hamming", OpCategory::VectorElementwise);
-    int64_t distance = 0;
-    for (size_t w = 0; w < a.words().size(); w++)
-        distance += std::popcount(a.words()[w] ^ b.words()[w]);
+    int64_t distance = util::simd::popcountXorWords(
+        a.words().data(), b.words().data(),
+        static_cast<int64_t>(a.words().size()));
     double bytes = static_cast<double>(a.words().size()) * 8.0;
     op.setFlops(static_cast<double>(a.words().size()) * 2.0);
     op.setBytesRead(2.0 * bytes);
@@ -201,12 +203,10 @@ BinaryCodebook::cleanup(const BinaryVector &query) const
     CleanupResult best;
     int64_t best_distance = dim_ + 1;
     for (int64_t e = 0; e < entries(); e++) {
-        int64_t distance = 0;
         const auto &atom = atoms_[static_cast<size_t>(e)];
-        for (size_t w = 0; w < atom.words().size(); w++) {
-            distance +=
-                std::popcount(atom.words()[w] ^ query.words()[w]);
-        }
+        int64_t distance = util::simd::popcountXorWords(
+            atom.words().data(), query.words().data(),
+            static_cast<int64_t>(atom.words().size()));
         if (distance < best_distance) {
             best_distance = distance;
             best.index = e;

@@ -8,6 +8,7 @@
 #include "core/profiler.hh"
 #include "core/sparsity.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 #include "util/threadpool.hh"
 
 namespace nsbench::vsa
@@ -100,9 +101,8 @@ Codebook::encodePmf(const Tensor &pmf, std::string_view stage,
                 if (std::abs(weight) <= threshold)
                     continue;
                 const float *row = &pa[static_cast<size_t>(e * d)];
-                for (int64_t i = lo; i < hi; i++)
-                    po[static_cast<size_t>(i)] +=
-                        weight * row[static_cast<size_t>(i)];
+                util::simd::axpy(po.data() + lo, row + lo, weight,
+                                 hi - lo);
             }
         });
 
@@ -144,11 +144,8 @@ Codebook::decodePmf(const Tensor &hv, std::string_view stage,
         [&](int64_t e0, int64_t e1) {
             for (int64_t e = e0; e < e1; e++) {
                 const float *row = &pa[static_cast<size_t>(e * d)];
-                double acc = 0.0;
-                for (int64_t i = 0; i < d; i++)
-                    acc += static_cast<double>(
-                               ph[static_cast<size_t>(i)]) *
-                           row[static_cast<size_t>(i)];
+                double acc =
+                    util::simd::dotChunk(ph.data(), row, d);
                 double denom =
                     hv_norm * norms_[static_cast<size_t>(e)];
                 double sim = denom > 0.0 ? acc / denom : 0.0;
@@ -212,11 +209,8 @@ Codebook::cleanup(const Tensor &hv) const
             PartialBest local;
             for (int64_t e = e0; e < e1; e++) {
                 const float *row = &pa[static_cast<size_t>(e * d)];
-                double acc = 0.0;
-                for (int64_t i = 0; i < d; i++)
-                    acc += static_cast<double>(
-                               ph[static_cast<size_t>(i)]) *
-                           row[static_cast<size_t>(i)];
+                double acc =
+                    util::simd::dotChunk(ph.data(), row, d);
                 double denom =
                     hv_norm * norms_[static_cast<size_t>(e)];
                 double sim = denom > 0.0 ? acc / denom : 0.0;

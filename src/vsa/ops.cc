@@ -4,6 +4,7 @@
 
 #include "core/profiler.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 #include "util/threadpool.hh"
 #include "vsa/fft.hh"
 
@@ -46,8 +47,8 @@ bind(const Tensor &a, const Tensor &b)
     auto pa = a.data();
     auto pb = b.data();
     auto po = out.data();
-    for (size_t i = 0; i < pa.size(); i++)
-        po[i] = pa[i] * pb[i];
+    util::simd::mul(pa.data(), pb.data(), po.data(),
+                    static_cast<int64_t>(pa.size()));
     auto n = static_cast<double>(a.numel());
     op.setFlops(n);
     op.setBytesRead(2.0 * n * elemBytes);
@@ -64,8 +65,8 @@ unbind(const Tensor &a, const Tensor &b)
     auto pa = a.data();
     auto pb = b.data();
     auto po = out.data();
-    for (size_t i = 0; i < pa.size(); i++)
-        po[i] = pa[i] * pb[i];
+    util::simd::mul(pa.data(), pb.data(), po.data(),
+                    static_cast<int64_t>(pa.size()));
     auto n = static_cast<double>(a.numel());
     op.setFlops(n);
     op.setBytesRead(2.0 * n * elemBytes);
@@ -92,9 +93,8 @@ bundle(const std::vector<Tensor> &vectors)
         [&](int64_t lo, int64_t hi) {
             for (const auto &v : vectors) {
                 auto pv = v.data();
-                for (int64_t i = lo; i < hi; i++)
-                    po[static_cast<size_t>(i)] +=
-                        pv[static_cast<size_t>(i)];
+                util::simd::accumulate(po.data() + lo,
+                                       pv.data() + lo, hi - lo);
             }
         });
     double total = static_cast<double>(dim) *
@@ -113,8 +113,8 @@ bundleMajority(const std::vector<Tensor> &vectors)
     auto ps = sum.data();
     Tensor out({sum.size(0)});
     auto po = out.data();
-    for (size_t i = 0; i < ps.size(); i++)
-        po[i] = ps[i] >= 0.0f ? 1.0f : -1.0f;
+    util::simd::signBipolar(ps.data(), po.data(),
+                            static_cast<int64_t>(ps.size()));
     auto n = static_cast<double>(sum.numel());
     op.setFlops(n);
     op.setBytesRead(n * elemBytes);
@@ -312,11 +312,9 @@ cosineSimilarity(const Tensor &a, const Tensor &b)
     auto pa = a.data();
     auto pb = b.data();
     double dot = 0.0, na = 0.0, nb = 0.0;
-    for (size_t i = 0; i < pa.size(); i++) {
-        dot += static_cast<double>(pa[i]) * pb[i];
-        na += static_cast<double>(pa[i]) * pa[i];
-        nb += static_cast<double>(pb[i]) * pb[i];
-    }
+    util::simd::cosineChunk(pa.data(), pb.data(),
+                            static_cast<int64_t>(pa.size()), &dot,
+                            &na, &nb);
     auto n = static_cast<double>(a.numel());
     op.setFlops(6.0 * n);
     op.setBytesRead(2.0 * n * elemBytes);
@@ -332,11 +330,10 @@ hammingSimilarity(const Tensor &a, const Tensor &b)
     ScopedOp op("vsa_hamming", OpCategory::VectorElementwise);
     auto pa = a.data();
     auto pb = b.data();
-    int64_t match = 0;
-    for (size_t i = 0; i < pa.size(); i++) {
-        if ((pa[i] >= 0.0f) == (pb[i] >= 0.0f))
-            match++;
-    }
+    // Sign agreement is a bit test: the SIMD backend reduces each
+    // 8-lane block to a sign bitmask and popcounts it, which is exact.
+    int64_t match = util::simd::signMatchChunk(
+        pa.data(), pb.data(), static_cast<int64_t>(pa.size()));
     auto n = static_cast<double>(a.numel());
     op.setFlops(n);
     op.setBytesRead(2.0 * n * elemBytes);

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Scalar-vs-AVX2 equivalence for the VSA hot loops.
+ *
+ * Property-based over randomized hypervector dimensions (odd sizes,
+ * non-multiples of the 8-lane float width and the 64-bit word width,
+ * dimension-1 edge cases): bipolar bind/bundle/majority, cosine and
+ * Hamming similarity, codebook encode/decode/cleanup, and the packed
+ * binary XOR/popcount paths. Bit/integer kernels must match exactly;
+ * float reductions within 1e-5 relative tolerance; winner indices from
+ * cleanup sweeps exactly. Each comparison also runs the SIMD backend
+ * at pool widths 1/4/13 (oversubscribed) to pin thread-count
+ * independence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <functional>
+#include <vector>
+
+#include "tensor/ops.hh"
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+#include "util/simd.hh"
+#include "util/threadpool.hh"
+#include "vsa/binary.hh"
+#include "vsa/codebook.hh"
+#include "vsa/ops.hh"
+
+namespace
+{
+
+using namespace nsbench;
+using nsbench::tensor::Tensor;
+using nsbench::util::Rng;
+using nsbench::util::ThreadPool;
+namespace simd = nsbench::util::simd;
+
+const std::vector<int> kSimdWidths = {1, 4, 13};
+
+// Dimensions straddling the 8-lane float width and the 64-bit packed
+// word width.
+const std::vector<int64_t> kEdgeDims = {1,  2,  7,  8,   9,   15,
+                                        16, 63, 64, 65,  127, 128,
+                                        130, 255, 257, 1000};
+
+double
+relDiff(double got, double want)
+{
+    double denom = std::max(std::abs(want), 1.0);
+    return std::abs(got - want) / denom;
+}
+
+class VsaSimdEquivalence : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!simd::avx2Supported())
+            GTEST_SKIP() << "host lacks AVX2; scalar-only build path "
+                            "already covered by the seed suite";
+    }
+
+    ~VsaSimdEquivalence() override
+    {
+        simd::resetBackend();
+        ThreadPool::setGlobalThreads(0);
+    }
+
+    void
+    expectTensorBitEqual(const std::function<Tensor()> &fn)
+    {
+        simd::setBackend(simd::Backend::Scalar);
+        ThreadPool::setGlobalThreads(1);
+        Tensor expect = fn();
+
+        simd::setBackend(simd::Backend::Avx2);
+        for (int width : kSimdWidths) {
+            ThreadPool::setGlobalThreads(width);
+            Tensor got = fn();
+            ASSERT_EQ(got.shape(), expect.shape());
+            for (int64_t i = 0; i < got.numel(); i++)
+                ASSERT_EQ(got.flat(i), expect.flat(i))
+                    << "width " << width << " elem " << i;
+        }
+        simd::resetBackend();
+        ThreadPool::setGlobalThreads(0);
+    }
+
+    void
+    expectTensorClose(const std::function<Tensor()> &fn,
+                      double rtol = 1e-5)
+    {
+        simd::setBackend(simd::Backend::Scalar);
+        ThreadPool::setGlobalThreads(1);
+        Tensor expect = fn();
+
+        simd::setBackend(simd::Backend::Avx2);
+        for (int width : kSimdWidths) {
+            ThreadPool::setGlobalThreads(width);
+            Tensor got = fn();
+            ASSERT_EQ(got.shape(), expect.shape());
+            for (int64_t i = 0; i < got.numel(); i++)
+                ASSERT_LE(relDiff(got.flat(i), expect.flat(i)), rtol)
+                    << "width " << width << " elem " << i << ": got "
+                    << got.flat(i) << " want " << expect.flat(i);
+        }
+        simd::resetBackend();
+        ThreadPool::setGlobalThreads(0);
+    }
+
+    void
+    expectValueClose(const std::function<double()> &fn,
+                     double rtol = 1e-5)
+    {
+        simd::setBackend(simd::Backend::Scalar);
+        ThreadPool::setGlobalThreads(1);
+        double expect = fn();
+
+        simd::setBackend(simd::Backend::Avx2);
+        for (int width : kSimdWidths) {
+            ThreadPool::setGlobalThreads(width);
+            double got = fn();
+            ASSERT_LE(relDiff(got, expect), rtol)
+                << "width " << width << ": got " << got << " want "
+                << expect;
+        }
+        simd::resetBackend();
+        ThreadPool::setGlobalThreads(0);
+    }
+
+    void
+    expectValueExact(const std::function<double()> &fn)
+    {
+        expectValueClose(fn, 0.0);
+    }
+
+    int64_t
+    randomDim()
+    {
+        if (rng.bernoulli(0.5)) {
+            return kEdgeDims[static_cast<size_t>(rng.uniformInt(
+                0, static_cast<int64_t>(kEdgeDims.size()) - 1))];
+        }
+        return rng.uniformInt(1, 600);
+    }
+
+    Rng rng{424242};
+};
+
+TEST_F(VsaSimdEquivalence, BipolarBindBundle)
+{
+    for (int trial = 0; trial < 20; trial++) {
+        int64_t d = randomDim();
+        Tensor a = vsa::randomHypervector(d, rng);
+        Tensor b = vsa::randomHypervector(d, rng);
+        std::vector<Tensor> bundle_set;
+        int count = static_cast<int>(rng.uniformInt(1, 7));
+        for (int i = 0; i < count; i++)
+            bundle_set.push_back(vsa::randomHypervector(d, rng));
+
+        // Products of +-1 and order-preserved sums are exact in both
+        // backends, so bind/bundle/majority must match bit-for-bit.
+        expectTensorBitEqual([&] { return vsa::bind(a, b); });
+        expectTensorBitEqual([&] { return vsa::unbind(a, b); });
+        expectTensorBitEqual([&] { return vsa::bundle(bundle_set); });
+        expectTensorBitEqual(
+            [&] { return vsa::bundleMajority(bundle_set); });
+    }
+}
+
+TEST_F(VsaSimdEquivalence, Similarities)
+{
+    for (int trial = 0; trial < 20; trial++) {
+        int64_t d = randomDim();
+        Tensor a = Tensor::randn({d}, rng);
+        Tensor b = Tensor::randn({d}, rng);
+        expectValueClose([&] {
+            return static_cast<double>(vsa::cosineSimilarity(a, b));
+        });
+        // Sign agreement is a bit test: exact on both backends.
+        expectValueExact([&] {
+            return static_cast<double>(vsa::hammingSimilarity(a, b));
+        });
+    }
+}
+
+TEST_F(VsaSimdEquivalence, SimilarityNegativeZero)
+{
+    // -0.0f must count as "sign >= 0" in both backends, exactly as
+    // the historical scalar test `a[i] >= 0.0f`.
+    Tensor a({9});
+    Tensor b({9});
+    for (int64_t i = 0; i < 9; i++) {
+        a(i) = (i % 3 == 0) ? -0.0f : ((i % 3 == 1) ? 1.0f : -1.0f);
+        b(i) = 0.0f;
+    }
+    expectValueExact([&] {
+        return static_cast<double>(vsa::hammingSimilarity(a, b));
+    });
+}
+
+TEST_F(VsaSimdEquivalence, CodebookEncodeDecode)
+{
+    for (int trial = 0; trial < 8; trial++) {
+        int64_t d = randomDim();
+        int64_t entries = rng.uniformInt(2, 40);
+        Rng cb_rng{1000 + static_cast<uint64_t>(trial)};
+        vsa::Codebook book(entries, d, cb_rng);
+
+        Tensor pmf = Tensor::rand({entries}, rng, 0.0f, 1.0f);
+        // encodePmf is FMA-fused on the SIMD path.
+        expectTensorClose([&] { return book.encodePmf(pmf); });
+
+        Tensor hv = Tensor::randn({d}, rng);
+        expectTensorClose([&] { return book.decodePmf(hv); });
+    }
+}
+
+TEST_F(VsaSimdEquivalence, CodebookCleanupWinner)
+{
+    for (int trial = 0; trial < 8; trial++) {
+        int64_t d = randomDim();
+        int64_t entries = rng.uniformInt(2, 40);
+        Rng cb_rng{2000 + static_cast<uint64_t>(trial)};
+        vsa::Codebook book(entries, d, cb_rng);
+
+        // Query near a known atom: the winner is well-separated, so
+        // the index must agree even though similarities are compared
+        // at slightly different roundings.
+        int64_t target = rng.uniformInt(0, entries - 1);
+        Tensor noise = Tensor::randn({d}, rng, 0.0f, 0.1f);
+        Tensor query = tensor::add(book.atom(target), noise);
+
+        expectValueExact([&] {
+            return static_cast<double>(book.cleanup(query).index);
+        });
+        expectValueClose([&] {
+            return static_cast<double>(book.cleanup(query).similarity);
+        });
+    }
+}
+
+TEST_F(VsaSimdEquivalence, BinaryPackedExact)
+{
+    for (int trial = 0; trial < 20; trial++) {
+        int64_t d = randomDim();
+        vsa::BinaryVector a = vsa::BinaryVector::random(d, rng);
+        vsa::BinaryVector b = vsa::BinaryVector::random(d, rng);
+
+        expectValueExact([&] {
+            return static_cast<double>(vsa::hammingDistance(a, b));
+        });
+        expectValueExact([&] {
+            vsa::BinaryVector bound = vsa::xorBind(a, b);
+            return static_cast<double>(
+                vsa::hammingDistance(bound, a));
+        });
+    }
+}
+
+TEST_F(VsaSimdEquivalence, BinaryCleanupExact)
+{
+    for (int trial = 0; trial < 6; trial++) {
+        int64_t d = randomDim();
+        int64_t entries = rng.uniformInt(2, 32);
+        Rng cb_rng{3000 + static_cast<uint64_t>(trial)};
+        vsa::BinaryCodebook book(entries, d, cb_rng);
+
+        vsa::BinaryVector query = vsa::BinaryVector::random(d, rng);
+        // Popcount distances are integers: index AND similarity must
+        // both be exactly equal across backends.
+        expectValueExact([&] {
+            return static_cast<double>(book.cleanup(query).index);
+        });
+        expectValueExact([&] {
+            return static_cast<double>(
+                book.cleanup(query).similarity);
+        });
+    }
+}
+
+TEST_F(VsaSimdEquivalence, BinaryEdgeDims)
+{
+    // Tail words (dim % 64 != 0) carry masked-off high bits; the
+    // 256-bit popcount path must agree with the per-word path on the
+    // word-granular remainder.
+    for (int64_t d : kEdgeDims) {
+        vsa::BinaryVector a = vsa::BinaryVector::random(d, rng);
+        vsa::BinaryVector b = vsa::BinaryVector::random(d, rng);
+        expectValueExact([&] {
+            return static_cast<double>(vsa::hammingDistance(a, b));
+        });
+    }
+}
+
+} // namespace

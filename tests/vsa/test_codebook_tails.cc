@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Remainder-handling regressions for the VSA codebook sweeps.
+ *
+ * The cleanup nearest-neighbour sweep chunks the entry list by a
+ * work-derived grain and combines per-chunk winners in index order.
+ * With small atom dimensions the grain lands in the hundreds, so a
+ * codebook with entries % grain != 0 ends on a partial chunk — a path
+ * no seed test reached. The winner must be found wherever it lives,
+ * including inside that tail chunk, and ties must resolve to the
+ * earliest entry exactly as the serial sweep would.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hh"
+#include "util/rng.hh"
+#include "util/threadpool.hh"
+#include "vsa/codebook.hh"
+
+namespace
+{
+
+using namespace nsbench;
+using nsbench::tensor::Tensor;
+using nsbench::util::Rng;
+
+// grainFor(2 * d) with d = 64 gives a 256-entry chunk; 700 entries
+// make two full chunks plus a partial tail. (The dimension must stay
+// large enough that random bipolar atoms are collision-free: at
+// d = 16 a codebook this size contains duplicate atoms and the
+// earliest duplicate legitimately wins the sweep.)
+constexpr int64_t kDim = 64;
+constexpr int64_t kEntries = 700;
+constexpr int64_t kSweepGrain = 256;
+
+TEST(CodebookTails, WinnerInPartialTailChunk)
+{
+    Rng rng{401};
+    vsa::Codebook book(kEntries, kDim, rng);
+    // Query each region: first chunk, a middle chunk, and deep inside
+    // the partial tail chunk.
+    for (int64_t target : {int64_t{3}, kSweepGrain + 7,
+                           2 * kSweepGrain + (kEntries - 1 -
+                                              2 * kSweepGrain)}) {
+        Tensor query = book.atom(target);
+        auto result = book.cleanup(query);
+        EXPECT_EQ(result.index, target);
+        EXPECT_NEAR(result.similarity, 1.0f, 1e-5f);
+    }
+}
+
+TEST(CodebookTails, TieResolvesToEarliestEntry)
+{
+    Rng rng{402};
+    // Duplicate one atom across a chunk boundary: rows are copied so
+    // similarities tie exactly, and the serial rule (first strict
+    // maximum) must pick the earlier entry at any width.
+    Tensor atoms = Tensor::bipolar({kEntries, kDim}, rng);
+    auto pa = atoms.data();
+    auto d = static_cast<size_t>(kDim);
+    // Entry 5 duplicated into the tail chunk and at the very end.
+    for (int64_t dup : {2 * kSweepGrain + 11, kEntries - 1}) {
+        std::copy(&pa[5 * d], &pa[6 * d],
+                  &pa[static_cast<size_t>(dup) * d]);
+    }
+    vsa::Codebook book(atoms);
+    auto result = book.cleanup(book.atom(5));
+    EXPECT_EQ(result.index, 5);
+}
+
+TEST(CodebookTails, StableAcrossWidths)
+{
+    Rng rng{403};
+    vsa::Codebook book(kEntries, kDim, rng);
+    Tensor query = book.atom(2 * kSweepGrain + 42);
+
+    util::ThreadPool::setGlobalThreads(1);
+    auto want = book.cleanup(query);
+    for (int width : {2, 4, 13}) {
+        util::ThreadPool::setGlobalThreads(width);
+        auto got = book.cleanup(query);
+        EXPECT_EQ(got.index, want.index) << "width " << width;
+        EXPECT_EQ(got.similarity, want.similarity)
+            << "width " << width;
+    }
+    util::ThreadPool::setGlobalThreads(0);
+}
+
+} // namespace

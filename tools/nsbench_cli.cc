@@ -12,6 +12,8 @@
  *   --runs N       repeat the profiled run N times (default 1)
  *   --threads N    width of the parallel runtime (default:
  *                  NSBENCH_THREADS env var, else hardware concurrency)
+ *   --simd MODE    kernel backend: "scalar", "avx2" or "auto"
+ *                  (default: NSBENCH_SIMD env var, else CPUID)
  *   --csv          emit CSV instead of aligned tables
  *   --device NAME  also project the op stream onto one device
  *                  ("all" projects onto every modeled device)
@@ -27,6 +29,7 @@
 #include "sim/device.hh"
 #include "sim/projection.hh"
 #include "util/format.hh"
+#include "util/simd.hh"
 #include "util/stats.hh"
 #include "util/threadpool.hh"
 #include "util/timer.hh"
@@ -45,7 +48,8 @@ usage()
            "  nsbench list\n"
            "  nsbench devices\n"
            "  nsbench run <workload> [--seed N] [--runs N]\n"
-           "              [--threads N] [--csv] [--device NAME|all]\n";
+           "              [--threads N] [--simd scalar|avx2|auto]\n"
+           "              [--csv] [--device NAME|all]\n";
     return 2;
 }
 
@@ -120,6 +124,23 @@ cmdRun(int argc, char **argv)
                 return 2;
             }
             util::ThreadPool::setGlobalThreads(threads);
+        } else if (arg == "--simd") {
+            std::string mode = next();
+            if (mode == "scalar") {
+                util::simd::setBackend(util::simd::Backend::Scalar);
+            } else if (mode == "avx2") {
+                if (!util::simd::avx2Supported()) {
+                    std::cerr << "--simd avx2: this host has no "
+                                 "AVX2 support\n";
+                    return 2;
+                }
+                util::simd::setBackend(util::simd::Backend::Avx2);
+            } else if (mode == "auto") {
+                util::simd::resetBackend();
+            } else {
+                std::cerr << "--simd must be scalar, avx2 or auto\n";
+                return 2;
+            }
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--device") {
@@ -168,6 +189,7 @@ cmdRun(int argc, char **argv)
                   << "\nstorage:  "
                   << util::humanBytes(workload->storageBytes())
                   << "\nthreads:  " << util::ThreadPool::globalThreads()
+                  << "\nsimd:     " << util::simd::activeBackendName()
                   << "\n\n";
     }
 
