@@ -9,6 +9,11 @@
  * the abduction models need large intermediate caching, and neural
  * weights plus VSA codebooks dominate persistent storage (>90% for
  * NVSA).
+ *
+ * The alloc/recycled columns expose allocation churn: total storage
+ * acquisitions and how many the arena allocator served from its free
+ * lists (zero in heap mode). Peak/alloc byte figures are logical and
+ * identical whichever allocator is active.
  */
 
 #include <iostream>
@@ -28,11 +33,13 @@ main()
 
     util::Table table({"workload", "peak-live", "neural-peak",
                        "symbolic-peak", "neural-alloc",
-                       "symbolic-alloc", "model-storage"});
+                       "symbolic-alloc", "allocs", "recycled",
+                       "model-storage"});
 
     for (const auto &name : bench::paperOrder()) {
         auto run = bench::profileWorkload(name);
         const auto &p = run.profile;
+        core::MemChurn churn = p.memChurn();
         table.addRow(
             {name, util::humanBytes(p.peakBytes()),
              util::humanBytes(p.peakBytesIn(core::Phase::Neural)),
@@ -41,6 +48,8 @@ main()
                  p.allocatedBytesIn(core::Phase::Neural)),
              util::humanBytes(
                  p.allocatedBytesIn(core::Phase::Symbolic)),
+             std::to_string(churn.allocs),
+             std::to_string(churn.recycledAllocs),
              util::humanBytes(run.storageBytes)});
     }
     table.print(std::cout);

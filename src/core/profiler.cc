@@ -81,9 +81,11 @@ Profiler::operator=(const Profiler &other)
             categoryTotals_[p][c] = other.categoryTotals_[p][c];
         phasePeakBytes_[p] = other.phasePeakBytes_[p];
         phaseAllocBytes_[p] = other.phaseAllocBytes_[p];
+        phaseChurn_[p] = other.phaseChurn_[p];
     }
     currentBytes_ = other.currentBytes_;
     peakBytes_ = other.peakBytes_;
+    churn_ = other.churn_;
     sparsity_ = other.sparsity_;
     sparsityOrder_ = other.sparsityOrder_;
     regionOrder_ = other.regionOrder_;
@@ -108,6 +110,9 @@ Profiler::reset()
         b = 0;
     for (auto &b : phaseAllocBytes_)
         b = 0;
+    churn_ = MemChurn{};
+    for (auto &c : phaseChurn_)
+        c = MemChurn{};
     sparsity_.clear();
     sparsityOrder_.clear();
     regionOrder_.clear();
@@ -226,7 +231,7 @@ Profiler::flushThisThread()
 }
 
 void
-Profiler::recordAlloc(uint64_t bytes)
+Profiler::recordAlloc(uint64_t bytes, bool recycled)
 {
     if (!enabled())
         return;
@@ -237,6 +242,14 @@ Profiler::recordAlloc(uint64_t bytes)
     size_t p = phaseIndex(phase);
     phasePeakBytes_[p] = std::max(phasePeakBytes_[p], currentBytes_);
     phaseAllocBytes_[p] += bytes;
+    churn_.allocs++;
+    phaseChurn_[p].allocs++;
+    if (recycled) {
+        churn_.recycledAllocs++;
+        churn_.recycledBytes += bytes;
+        phaseChurn_[p].recycledAllocs++;
+        phaseChurn_[p].recycledBytes += bytes;
+    }
 }
 
 void
@@ -244,11 +257,14 @@ Profiler::recordFree(uint64_t bytes)
 {
     if (!enabled())
         return;
+    Phase phase = currentPhase();
     std::lock_guard<std::mutex> lock(mu_);
     // Frees of tensors allocated while the profiler was disabled (or
     // before a reset) can exceed the tracked balance; clamp rather than
     // wrap.
     currentBytes_ = bytes > currentBytes_ ? 0 : currentBytes_ - bytes;
+    churn_.frees++;
+    phaseChurn_[phaseIndex(phase)].frees++;
 }
 
 uint64_t
@@ -263,6 +279,20 @@ Profiler::allocatedBytesIn(Phase phase) const
 {
     std::lock_guard<std::mutex> lock(mu_);
     return phaseAllocBytes_[phaseIndex(phase)];
+}
+
+MemChurn
+Profiler::memChurn() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return churn_;
+}
+
+MemChurn
+Profiler::memChurnIn(Phase phase) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return phaseChurn_[phaseIndex(phase)];
 }
 
 void

@@ -73,6 +73,35 @@ struct NamedOpStats
     OpStats stats;          ///< The aggregate itself.
 };
 
+/**
+ * Tensor-storage allocation churn. Alloc/free counts are physical
+ * buffer events; recycled* splits out the allocations the arena served
+ * from a free list instead of the heap (always zero in heap mode).
+ * Byte figures elsewhere in the profiler stay logical — peak/live
+ * accounting is identical whichever allocator is active — so churn is
+ * the one place allocator behaviour is visible.
+ */
+struct MemChurn
+{
+    uint64_t allocs = 0;         ///< Storage buffers acquired.
+    uint64_t frees = 0;          ///< Storage buffers released.
+    uint64_t recycledAllocs = 0; ///< Allocs served by arena reuse.
+    uint64_t recycledBytes = 0;  ///< Logical bytes of those allocs.
+
+    /** Allocations that had to hit the heap. */
+    uint64_t freshAllocs() const { return allocs - recycledAllocs; }
+
+    /** Folds another aggregate into this one. */
+    void
+    merge(const MemChurn &other)
+    {
+        allocs += other.allocs;
+        frees += other.frees;
+        recycledAllocs += other.recycledAllocs;
+        recycledBytes += other.recycledBytes;
+    }
+};
+
 /** Zero-fraction measurement of one symbolic/neural stage (Fig. 5). */
 struct SparsityRecord
 {
@@ -175,8 +204,13 @@ class Profiler
                   double seconds, double flops, double bytes_read,
                   double bytes_written);
 
-    /** Notes a tensor allocation of @p bytes. */
-    void recordAlloc(uint64_t bytes);
+    /**
+     * Notes a tensor allocation of @p bytes (logical tensor size, not
+     * allocator capacity). @p recycled marks buffers the arena served
+     * from a free list rather than the heap; it affects only the churn
+     * counters, never the live/peak byte accounting.
+     */
+    void recordAlloc(uint64_t bytes, bool recycled = false);
 
     /** Notes a tensor deallocation of @p bytes. */
     void recordFree(uint64_t bytes);
@@ -202,6 +236,12 @@ class Profiler
 
     /** Bytes allocated while the given phase was active. */
     uint64_t allocatedBytesIn(Phase phase) const;
+
+    /** Allocation churn over the whole run. */
+    MemChurn memChurn() const;
+
+    /** Allocation churn while the given phase was active. */
+    MemChurn memChurnIn(Phase phase) const;
 
     /**
      * Records a sparsity observation for a named stage. Repeated calls
@@ -296,6 +336,8 @@ class Profiler
     uint64_t peakBytes_ = 0;
     uint64_t phasePeakBytes_[numPhases] = {};
     uint64_t phaseAllocBytes_[numPhases] = {};
+    MemChurn churn_;
+    MemChurn phaseChurn_[numPhases];
 
     std::map<std::string, SparsityRecord> sparsity_;
     std::vector<std::string> sparsityOrder_;

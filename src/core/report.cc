@@ -87,15 +87,21 @@ topOpsTable(const Profiler &profiler, size_t n)
 Table
 memoryTable(const Profiler &profiler)
 {
-    Table table({"phase", "peak-live", "allocated"});
+    Table table({"phase", "peak-live", "allocated", "allocs",
+                 "fresh", "recycled", "recycled-bytes"});
     for (Phase phase :
          {Phase::Neural, Phase::Symbolic, Phase::Untagged}) {
         uint64_t peak = profiler.peakBytesIn(phase);
         uint64_t alloc = profiler.allocatedBytesIn(phase);
-        if (peak == 0 && alloc == 0)
+        MemChurn churn = profiler.memChurnIn(phase);
+        if (peak == 0 && alloc == 0 && churn.allocs == 0)
             continue;
         table.addRow({std::string(phaseName(phase)), humanBytes(peak),
-                      humanBytes(alloc)});
+                      humanBytes(alloc),
+                      std::to_string(churn.allocs),
+                      std::to_string(churn.freshAllocs()),
+                      std::to_string(churn.recycledAllocs),
+                      humanBytes(churn.recycledBytes)});
     }
     return table;
 }

@@ -61,7 +61,12 @@ util::Table categoryBreakdownTable(const Profiler &profiler, Phase phase);
 /** The n most expensive named operators. */
 util::Table topOpsTable(const Profiler &profiler, size_t n);
 
-/** Memory peaks and allocation volume per phase (Fig. 3b). */
+/**
+ * Memory peaks, allocation volume, and allocation churn per phase
+ * (Fig. 3b). Peak/allocated are logical tensor bytes — identical for
+ * every allocator backend; the churn columns (alloc counts and bytes
+ * recycled) are where the arena shows up.
+ */
 util::Table memoryTable(const Profiler &profiler);
 
 /** Sparsity records table (Fig. 5). */

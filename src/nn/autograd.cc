@@ -35,7 +35,7 @@ struct Variable::Node
         if (grad.empty())
             grad = g.clone();
         else
-            grad = tensor::add(grad, g);
+            tensor::addInPlace(grad, g);
     }
 };
 
@@ -80,8 +80,9 @@ Variable::applyGradientStep(float lr)
 {
     if (!node_ || node_->grad.empty())
         return;
-    node_->value = tensor::sub(node_->value,
-                               tensor::mulScalar(node_->grad, lr));
+    // In-place SGD update; subScaledInPlace is mul-then-sub, so the
+    // result is bit-identical to sub(value, mulScalar(grad, lr)).
+    tensor::subScaledInPlace(node_->value, node_->grad, lr);
 }
 
 void

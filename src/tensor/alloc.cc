@@ -1,0 +1,116 @@
+#include "tensor/alloc.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "util/arena.hh"
+#include "util/logging.hh"
+
+namespace nsbench::tensor
+{
+
+namespace
+{
+
+constexpr std::align_val_t kAlign{64};
+
+/** Sentinel for "no override installed". */
+constexpr int kUnset = -1;
+
+std::atomic<int> gOverride{kUnset};
+
+AllocatorKind
+resolveDefault()
+{
+    // Mirrors util::simd's NSBENCH_SIMD handling: unset or off-ish
+    // values mean the historical heap behaviour; the arena is opt-in.
+    const char *env = std::getenv("NSBENCH_ARENA");
+    if (env == nullptr || env[0] == '\0')
+        return AllocatorKind::Heap;
+    if (std::strcmp(env, "on") == 0 || std::strcmp(env, "1") == 0 ||
+        std::strcmp(env, "true") == 0)
+        return AllocatorKind::Arena;
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0 ||
+        std::strcmp(env, "false") == 0)
+        return AllocatorKind::Heap;
+    util::fatal(std::string("NSBENCH_ARENA must be one of "
+                            "on/1/true/off/0/false, got '") +
+                env + "'");
+}
+
+} // namespace
+
+AllocatorKind
+activeAllocator()
+{
+    int forced = gOverride.load(std::memory_order_relaxed);
+    if (forced != kUnset)
+        return static_cast<AllocatorKind>(forced);
+    static const AllocatorKind resolved = resolveDefault();
+    return resolved;
+}
+
+void
+setAllocator(AllocatorKind kind)
+{
+    gOverride.store(static_cast<int>(kind), std::memory_order_relaxed);
+}
+
+void
+resetAllocator()
+{
+    gOverride.store(kUnset, std::memory_order_relaxed);
+}
+
+const char *
+allocatorName(AllocatorKind kind)
+{
+    return kind == AllocatorKind::Arena ? "arena" : "heap";
+}
+
+const char *
+activeAllocatorName()
+{
+    return allocatorName(activeAllocator());
+}
+
+namespace detail
+{
+
+RawStorage
+acquireStorage(size_t n)
+{
+    RawStorage raw;
+    size_t bytes = n * sizeof(float);
+    if (activeAllocator() == AllocatorKind::Arena) {
+        util::Arena::Block block = util::Arena::global().acquire(bytes);
+        raw.data = static_cast<float *>(block.ptr);
+        raw.classBytes = block.classBytes;
+        raw.fromArena = true;
+        raw.recycled = block.recycled;
+        return raw;
+    }
+    raw.data = static_cast<float *>(::operator new(bytes, kAlign));
+    return raw;
+}
+
+void
+releaseStorage(const RawStorage &raw)
+{
+    if (raw.data == nullptr)
+        return;
+    // Honour the buffer's own provenance, not the current mode: a
+    // tensor allocated before setAllocator() flipped the mode must
+    // still go back where it came from.
+    if (raw.fromArena) {
+        util::Arena::global().release(raw.data, raw.classBytes);
+        return;
+    }
+    ::operator delete(raw.data, kAlign);
+}
+
+} // namespace detail
+
+} // namespace nsbench::tensor

@@ -36,6 +36,40 @@ Tensor addScalar(const Tensor &a, float s);
 Tensor mulScalar(const Tensor &a, float s);
 /// @}
 
+/// @name In-place elementwise ops.
+///
+/// Each mutates @p dst's storage instead of allocating a result, but
+/// is otherwise bit-identical to its allocating counterpart (same
+/// simd kernels, same order). @p src may be @p dst itself (exact
+/// overlap only — the handles must share the whole buffer, never a
+/// partial range). NB: the write is visible through every tensor
+/// handle sharing @p dst's storage; callers own that aliasing.
+/// @{
+/** dst += src. */
+void addInPlace(Tensor &dst, const Tensor &src);
+/** dst -= src. */
+void subInPlace(Tensor &dst, const Tensor &src);
+/** dst *= src. */
+void mulInPlace(Tensor &dst, const Tensor &src);
+/** dst = min(dst, src). */
+void minimumInPlace(Tensor &dst, const Tensor &src);
+/** dst = max(dst, src). */
+void maximumInPlace(Tensor &dst, const Tensor &src);
+/** dst += s. */
+void addScalarInPlace(Tensor &dst, float s);
+/** dst *= s. */
+void mulScalarInPlace(Tensor &dst, float s);
+/** dst = max(dst, 0). */
+void reluInPlace(Tensor &dst);
+/** dst = clamp(dst, lo, hi). */
+void clampInPlace(Tensor &dst, float lo, float hi);
+/**
+ * dst -= s * src, computed as mul-then-sub (never FMA) so it is
+ * bit-identical to sub(dst, mulScalar(src, s)) — the SGD update step.
+ */
+void subScaledInPlace(Tensor &dst, const Tensor &src, float s);
+/// @}
+
 /// @name Element-wise unary ops.
 /// @{
 Tensor relu(const Tensor &a);

@@ -61,7 +61,8 @@ ewBinary(const char *name, const Tensor &a, const Tensor &b, F f,
                       shapeStr(a.shape()) + " vs " +
                       shapeStr(b.shape()));
     core::ScopedOp op(name, core::OpCategory::VectorElementwise);
-    Tensor out(a.shape());
+    // Every element is written below: uninitialized is legal.
+    Tensor out = Tensor::uninitialized(a.shape());
     auto pa = a.data();
     auto pb = b.data();
     auto po = out.data();
@@ -86,7 +87,8 @@ ewUnary(const char *name, const Tensor &a, F f,
         double flops_per_elem = 1.0)
 {
     core::ScopedOp op(name, core::OpCategory::VectorElementwise);
-    Tensor out(a.shape());
+    // Every element is written below: uninitialized is legal.
+    Tensor out = Tensor::uninitialized(a.shape());
     auto pa = a.data();
     auto po = out.data();
     auto n = static_cast<int64_t>(pa.size());
@@ -116,7 +118,8 @@ ewBinaryKernel(const char *name, const Tensor &a, const Tensor &b,
                       shapeStr(a.shape()) + " vs " +
                       shapeStr(b.shape()));
     core::ScopedOp op(name, core::OpCategory::VectorElementwise);
-    Tensor out(a.shape());
+    // Every element is written below: uninitialized is legal.
+    Tensor out = Tensor::uninitialized(a.shape());
     auto pa = a.data();
     auto pb = b.data();
     auto po = out.data();
@@ -139,7 +142,8 @@ ewScalarKernel(const char *name, const Tensor &a, float s,
                double flops_per_elem = 1.0)
 {
     core::ScopedOp op(name, core::OpCategory::VectorElementwise);
-    Tensor out(a.shape());
+    // Every element is written below: uninitialized is legal.
+    Tensor out = Tensor::uninitialized(a.shape());
     auto pa = a.data();
     auto po = out.data();
     auto n = static_cast<int64_t>(pa.size());
@@ -160,7 +164,8 @@ ewUnaryKernel(const char *name, const Tensor &a, UnaryKernel kernel,
               double flops_per_elem = 1.0)
 {
     core::ScopedOp op(name, core::OpCategory::VectorElementwise);
-    Tensor out(a.shape());
+    // Every element is written below: uninitialized is legal.
+    Tensor out = Tensor::uninitialized(a.shape());
     auto pa = a.data();
     auto po = out.data();
     auto n = static_cast<int64_t>(pa.size());

@@ -32,7 +32,9 @@ conv2d(const Tensor &input, const Tensor &weight, const Tensor &bias,
     util::panicIf(oh < 1 || ow < 1, "conv2d: kernel exceeds input");
 
     core::ScopedOp op("conv2d", core::OpCategory::Convolution);
-    Tensor out({n, o, oh, ow});
+    // Every output element gets its locally accumulated value stored
+    // exactly once (bias/zero is folded into the accumulator).
+    Tensor out = Tensor::uninitialized({n, o, oh, ow});
     auto src = input.data();
     auto wt = weight.data();
     auto dst = out.data();
@@ -116,7 +118,7 @@ pool2d(const char *name, const Tensor &input, int64_t kernel,
     util::panicIf(oh < 1 || ow < 1, "pool2d: kernel exceeds input");
 
     core::ScopedOp op(name, core::OpCategory::VectorElementwise);
-    Tensor out({n, c, oh, ow});
+    Tensor out = Tensor::uninitialized({n, c, oh, ow});
     auto src = input.data();
     auto dst = out.data();
 

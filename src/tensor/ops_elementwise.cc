@@ -130,7 +130,7 @@ Tensor
 clamp(const Tensor &a, float lo, float hi)
 {
     core::ScopedOp op("clamp", core::OpCategory::VectorElementwise);
-    Tensor out(a.shape());
+    Tensor out = Tensor::uninitialized(a.shape());
     auto pa = a.data();
     auto po = out.data();
     auto n = static_cast<int64_t>(pa.size());
@@ -279,7 +279,8 @@ reduceAxis(const char *name, const Tensor &a, int64_t axis, float init,
         inner *= a.shape()[static_cast<size_t>(d)];
     int64_t outer = a.numel() / std::max<int64_t>(axis_n * inner, 1);
 
-    Tensor out(out_shape);
+    // Every output element is stored exactly once below.
+    Tensor out = Tensor::uninitialized(out_shape);
     auto src = a.data();
     auto dst = out.data();
     // Each output element folds its own slice in serial order, so
@@ -347,7 +348,8 @@ lastDimTransform(const char *name, const Tensor &a, RowFn row_fn,
 {
     util::panicIf(a.dim() == 0, std::string(name) + ": rank-0 tensor");
     core::ScopedOp op(name, core::OpCategory::VectorElementwise);
-    Tensor out(a.shape());
+    // Row transforms write every output element of every row.
+    Tensor out = Tensor::uninitialized(a.shape());
     int64_t row = a.shape().back();
     int64_t rows = a.numel() / std::max<int64_t>(row, 1);
     auto src = a.data();

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * In-place elementwise ops.
+ *
+ * These reuse the destination's storage instead of allocating a fresh
+ * result, cutting the allocation churn and write-allocate traffic the
+ * paper's Fig. 3 attributes to the symbolic stages. Arithmetic is the
+ * same simd span kernels as the allocating ops, applied with
+ * out == dst (exact aliasing, which the kernel contract permits), so
+ * results are bit-identical to the allocating counterparts.
+ *
+ * Profiler attribution matches the allocating ops' stream model
+ * (inputs read once, output written once); only the op names differ
+ * ("add_inplace", ...) so characterization can tell the paths apart.
+ */
+
+#include "tensor/ops.hh"
+
+#include "tensor/fused.hh"
+#include "tensor/ops_common.hh"
+
+namespace nsbench::tensor
+{
+
+namespace simd = nsbench::util::simd;
+
+namespace
+{
+
+/** Shared frame for dst = kernel(dst, src). */
+void
+ewBinaryInPlace(const char *name, Tensor &dst, const Tensor &src,
+                detail::BinaryKernel kernel,
+                double flops_per_elem = 1.0)
+{
+    util::panicIf(dst.shape() != src.shape(),
+                  std::string(name) + ": shape mismatch " +
+                      shapeStr(dst.shape()) + " vs " +
+                      shapeStr(src.shape()));
+    core::ScopedOp op(name, core::OpCategory::VectorElementwise);
+    auto pd = dst.data();
+    auto ps = src.data();
+    auto n = static_cast<int64_t>(pd.size());
+    util::parallelFor(0, n, util::grainFor(flops_per_elem),
+                      [&](int64_t lo, int64_t hi) {
+                          kernel(pd.data() + lo, ps.data() + lo,
+                                 pd.data() + lo, hi - lo);
+                      });
+    op.setFlops(static_cast<double>(n) * flops_per_elem);
+    op.setBytesRead(2.0 * static_cast<double>(n) *
+                    detail::elemBytes);
+    op.setBytesWritten(static_cast<double>(n) * detail::elemBytes);
+}
+
+/** Shared frame for dst = kernel(dst, s). */
+void
+ewScalarInPlace(const char *name, Tensor &dst, float s,
+                void (*kernel)(const float *, float, float *, int64_t),
+                double flops_per_elem = 1.0)
+{
+    core::ScopedOp op(name, core::OpCategory::VectorElementwise);
+    auto pd = dst.data();
+    auto n = static_cast<int64_t>(pd.size());
+    util::parallelFor(0, n, util::grainFor(flops_per_elem),
+                      [&](int64_t lo, int64_t hi) {
+                          kernel(pd.data() + lo, s, pd.data() + lo,
+                                 hi - lo);
+                      });
+    op.setFlops(static_cast<double>(n) * flops_per_elem);
+    op.setBytesRead(static_cast<double>(n) * detail::elemBytes);
+    op.setBytesWritten(static_cast<double>(n) * detail::elemBytes);
+}
+
+} // namespace
+
+void
+addInPlace(Tensor &dst, const Tensor &src)
+{
+    ewBinaryInPlace("add_inplace", dst, src, simd::add);
+}
+
+void
+subInPlace(Tensor &dst, const Tensor &src)
+{
+    ewBinaryInPlace("sub_inplace", dst, src, simd::sub);
+}
+
+void
+mulInPlace(Tensor &dst, const Tensor &src)
+{
+    ewBinaryInPlace("mul_inplace", dst, src, simd::mul);
+}
+
+void
+minimumInPlace(Tensor &dst, const Tensor &src)
+{
+    ewBinaryInPlace("minimum_inplace", dst, src, simd::minimum);
+}
+
+void
+maximumInPlace(Tensor &dst, const Tensor &src)
+{
+    ewBinaryInPlace("maximum_inplace", dst, src, simd::maximum);
+}
+
+void
+addScalarInPlace(Tensor &dst, float s)
+{
+    ewScalarInPlace("add_scalar_inplace", dst, s, simd::addScalar);
+}
+
+void
+mulScalarInPlace(Tensor &dst, float s)
+{
+    ewScalarInPlace("mul_scalar_inplace", dst, s, simd::mulScalar);
+}
+
+void
+reluInPlace(Tensor &dst)
+{
+    core::ScopedOp op("relu_inplace",
+                      core::OpCategory::VectorElementwise);
+    auto pd = dst.data();
+    auto n = static_cast<int64_t>(pd.size());
+    util::parallelFor(0, n, util::grainFor(1.0),
+                      [&](int64_t lo, int64_t hi) {
+                          simd::relu(pd.data() + lo, pd.data() + lo,
+                                     hi - lo);
+                      });
+    op.setFlops(static_cast<double>(n));
+    op.setBytesRead(static_cast<double>(n) * detail::elemBytes);
+    op.setBytesWritten(static_cast<double>(n) * detail::elemBytes);
+}
+
+void
+clampInPlace(Tensor &dst, float lo, float hi)
+{
+    core::ScopedOp op("clamp_inplace",
+                      core::OpCategory::VectorElementwise);
+    auto pd = dst.data();
+    auto n = static_cast<int64_t>(pd.size());
+    util::parallelFor(0, n, util::grainFor(1.0),
+                      [&](int64_t l, int64_t h) {
+                          simd::clampRange(pd.data() + l, lo, hi,
+                                           pd.data() + l, h - l);
+                      });
+    op.setFlops(static_cast<double>(n));
+    op.setBytesRead(static_cast<double>(n) * detail::elemBytes);
+    op.setBytesWritten(static_cast<double>(n) * detail::elemBytes);
+}
+
+void
+subScaledInPlace(Tensor &dst, const Tensor &src, float s)
+{
+    // Deliberately mulScalar-into-scratch then sub — NOT axpy, whose
+    // AVX2 FMA rounds once where mul-then-sub rounds twice; this must
+    // stay bit-identical to sub(dst, mulScalar(src, s)).
+    fusedMap("sub_scaled_inplace", dst, dst, src, 2.0,
+             [s](const float *a, const float *b, float *out,
+                 float *scratch, int64_t n) {
+                 simd::mulScalar(b, s, scratch, n);
+                 simd::sub(a, scratch, out, n);
+             });
+}
+
+} // namespace nsbench::tensor

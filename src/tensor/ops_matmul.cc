@@ -22,7 +22,9 @@ matmul(const Tensor &a, const Tensor &b)
                       shapeStr(b.shape()));
 
     core::ScopedOp op("matmul", core::OpCategory::MatMul);
-    Tensor out({m, n});
+    // matmulRows zeroes each output row itself before accumulating,
+    // so the uninitialized path is legal here.
+    Tensor out = Tensor::uninitialized({m, n});
     auto pa = a.data();
     auto pb = b.data();
     auto po = out.data();
@@ -64,7 +66,8 @@ linear(const Tensor &x, const Tensor &w, const Tensor &bias)
                   "linear: bias shape mismatch");
 
     core::ScopedOp op("linear", core::OpCategory::MatMul);
-    Tensor out({n, o});
+    // linearRows stores every Y[i, j] exactly once.
+    Tensor out = Tensor::uninitialized({n, o});
     auto px = x.data();
     auto pw = w.data();
     auto po = out.data();

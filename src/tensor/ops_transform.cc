@@ -15,7 +15,7 @@ transpose2d(const Tensor &a)
     util::panicIf(a.dim() != 2, "transpose2d: rank-2 tensor required");
     core::ScopedOp op("transpose", core::OpCategory::DataTransform);
     int64_t m = a.size(0), n = a.size(1);
-    Tensor out({n, m});
+    Tensor out = Tensor::uninitialized({n, m});
     auto src = a.data();
     auto dst = out.data();
     for (int64_t i = 0; i < m; i++) {
@@ -50,7 +50,7 @@ permute(const Tensor &a, const std::vector<int64_t> &perm)
         out_shape[static_cast<size_t>(d)] =
             a.shape()[static_cast<size_t>(perm[static_cast<size_t>(d)])];
     }
-    Tensor out(out_shape);
+    Tensor out = Tensor::uninitialized(out_shape);
 
     // Row-major strides of the input.
     std::vector<int64_t> in_strides(static_cast<size_t>(rank), 1);
@@ -122,7 +122,7 @@ concat(const std::vector<Tensor> &parts, int64_t axis)
     for (int64_t d = 0; d < axis; d++)
         outer *= out_shape[static_cast<size_t>(d)];
 
-    Tensor out(out_shape);
+    Tensor out = Tensor::uninitialized(out_shape);
     auto dst = out.data();
     int64_t axis_off = 0;
     for (const auto &p : parts) {
@@ -165,7 +165,7 @@ slice(const Tensor &a, int64_t axis, int64_t start, int64_t length)
     for (int64_t d = 0; d < axis; d++)
         outer *= a.shape()[static_cast<size_t>(d)];
 
-    Tensor out(out_shape);
+    Tensor out = Tensor::uninitialized(out_shape);
     auto src = a.data();
     auto dst = out.data();
     for (int64_t o = 0; o < outer; o++) {
@@ -187,7 +187,8 @@ gatherRows(const Tensor &a, const std::vector<int64_t> &rows)
     util::panicIf(a.dim() != 2, "gatherRows: rank-2 tensor required");
     core::ScopedOp op("gather", core::OpCategory::DataTransform);
     int64_t cols = a.size(1);
-    Tensor out({static_cast<int64_t>(rows.size()), cols});
+    Tensor out =
+        Tensor::uninitialized({static_cast<int64_t>(rows.size()), cols});
     auto src = a.data();
     auto dst = out.data();
     for (size_t r = 0; r < rows.size(); r++) {

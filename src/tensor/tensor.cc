@@ -1,9 +1,12 @@
 #include "tensor/tensor.hh"
 
+#include <algorithm>
+#include <cstring>
 #include <numeric>
 #include <sstream>
 
 #include "core/profiler.hh"
+#include "tensor/alloc.hh"
 
 namespace nsbench::tensor
 {
@@ -40,44 +43,66 @@ shapeStr(const Shape &shape)
  */
 struct Tensor::Storage
 {
-    std::vector<float> values;
+    detail::RawStorage raw;
+    size_t n = 0;
 
-    explicit Storage(size_t n) : values(n, 0.0f)
+    /**
+     * Profiler accounting is in LOGICAL tensor bytes (n * 4), never
+     * the arena's rounded class capacity, so the Fig. 3b live/peak
+     * figures are identical whichever allocator is active.
+     */
+    Storage(size_t n_, bool zero_fill)
+        : raw(detail::acquireStorage(n_)), n(n_)
     {
-        core::globalProfiler().recordAlloc(n * sizeof(float));
+        core::globalProfiler().recordAlloc(n * sizeof(float),
+                                           raw.recycled);
+        if (zero_fill)
+            std::memset(raw.data, 0, n * sizeof(float));
     }
 
-    Storage(const Storage &other) : values(other.values)
+    Storage(const Storage &other) : Storage(other.n, false)
     {
-        core::globalProfiler().recordAlloc(values.size() *
-                                           sizeof(float));
+        std::memcpy(raw.data, other.raw.data, n * sizeof(float));
     }
 
     Storage &operator=(const Storage &) = delete;
 
     ~Storage()
     {
-        core::globalProfiler().recordFree(values.size() *
-                                          sizeof(float));
+        core::globalProfiler().recordFree(n * sizeof(float));
+        detail::releaseStorage(raw);
     }
 };
 
 Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)),
       storage_(std::make_shared<Storage>(
-          static_cast<size_t>(shapeNumel(shape_))))
+          static_cast<size_t>(shapeNumel(shape_)),
+          /*zero_fill=*/true))
 {
     computeStrides();
 }
 
-Tensor::Tensor(Shape shape, std::vector<float> values) : Tensor(shape)
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : Tensor(uninitialized(std::move(shape)))
 {
     util::panicIf(values.size() !=
                       static_cast<size_t>(shapeNumel(shape_)),
                   "Tensor: value count does not match shape " +
                       shapeStr(shape_));
-    std::copy(values.begin(), values.end(),
-              storage_->values.begin());
+    std::copy(values.begin(), values.end(), data().begin());
+}
+
+Tensor
+Tensor::uninitialized(Shape shape)
+{
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.storage_ = std::make_shared<Storage>(
+        static_cast<size_t>(shapeNumel(t.shape_)),
+        /*zero_fill=*/false);
+    t.computeStrides();
+    return t;
 }
 
 Tensor
@@ -95,7 +120,7 @@ Tensor::ones(Shape shape)
 Tensor
 Tensor::full(Shape shape, float value)
 {
-    Tensor t(std::move(shape));
+    Tensor t = uninitialized(std::move(shape));
     t.fill(value);
     return t;
 }
@@ -103,7 +128,7 @@ Tensor::full(Shape shape, float value)
 Tensor
 Tensor::randn(Shape shape, util::Rng &rng, float mean, float stddev)
 {
-    Tensor t(std::move(shape));
+    Tensor t = uninitialized(std::move(shape));
     for (float &v : t.data())
         v = rng.normal(mean, stddev);
     return t;
@@ -112,7 +137,7 @@ Tensor::randn(Shape shape, util::Rng &rng, float mean, float stddev)
 Tensor
 Tensor::rand(Shape shape, util::Rng &rng, float lo, float hi)
 {
-    Tensor t(std::move(shape));
+    Tensor t = uninitialized(std::move(shape));
     for (float &v : t.data())
         v = rng.uniform(lo, hi);
     return t;
@@ -121,7 +146,7 @@ Tensor::rand(Shape shape, util::Rng &rng, float lo, float hi)
 Tensor
 Tensor::bipolar(Shape shape, util::Rng &rng)
 {
-    Tensor t(std::move(shape));
+    Tensor t = uninitialized(std::move(shape));
     for (float &v : t.data())
         v = rng.bipolar();
     return t;
@@ -130,7 +155,7 @@ Tensor::bipolar(Shape shape, util::Rng &rng)
 Tensor
 Tensor::bernoulli(Shape shape, util::Rng &rng, double p)
 {
-    Tensor t(std::move(shape));
+    Tensor t = uninitialized(std::move(shape));
     for (float &v : t.data())
         v = rng.bernoulli(p) ? 1.0f : 0.0f;
     return t;
@@ -151,14 +176,14 @@ std::span<float>
 Tensor::data()
 {
     util::panicIf(!storage_, "Tensor::data: empty tensor");
-    return storage_->values;
+    return {storage_->raw.data, storage_->n};
 }
 
 std::span<const float>
 Tensor::data() const
 {
     util::panicIf(!storage_, "Tensor::data: empty tensor");
-    return storage_->values;
+    return {storage_->raw.data, storage_->n};
 }
 
 float &

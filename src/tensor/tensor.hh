@@ -46,16 +46,26 @@ class Tensor
     /**
      * Allocates a zero-initialized tensor of the given shape.
      *
-     * Zero fill is part of the constructor contract today, but kernels
-     * that accumulate into freshly allocated outputs must still zero
-     * them explicitly (matmul does): if an uninitialized fast
-     * allocation path is ever introduced, accumulating kernels stay
-     * correct instead of silently reading garbage.
+     * Zero fill is part of the constructor contract, and kernels that
+     * accumulate into freshly allocated outputs must still zero them
+     * explicitly (matmul does): the uninitialized() fast path below
+     * skips the fill, so accumulating kernels that zero for themselves
+     * stay correct instead of silently reading garbage.
      */
     explicit Tensor(Shape shape);
 
     /** Allocates and fills from the given values (size must match). */
     Tensor(Shape shape, std::vector<float> values);
+
+    /**
+     * Allocates WITHOUT zero-filling. Legal only when every element is
+     * written before it is read — i.e. for outputs of kernels that
+     * fully overwrite their result. Kernels that accumulate (+=) into
+     * the output, or that write a sparse subset of it (oneHot, scatter
+     * patterns), must use the zero-filling constructor or zero the
+     * buffer themselves.
+     */
+    static Tensor uninitialized(Shape shape);
 
     /** Zero-filled tensor. */
     static Tensor zeros(Shape shape);

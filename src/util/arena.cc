@@ -1,0 +1,137 @@
+#include "util/arena.hh"
+
+#include <bit>
+#include <new>
+
+#include "util/logging.hh"
+
+namespace nsbench::util
+{
+
+namespace
+{
+
+constexpr std::align_val_t kAlign{64};
+
+void *
+heapAcquire(size_t bytes)
+{
+    return ::operator new(bytes, kAlign);
+}
+
+void
+heapRelease(void *ptr)
+{
+    ::operator delete(ptr, kAlign);
+}
+
+} // namespace
+
+Arena::~Arena()
+{
+    trim();
+}
+
+size_t
+Arena::classBytesFor(size_t bytes)
+{
+    if (bytes <= kMinClassBytes)
+        return kMinClassBytes;
+    return std::bit_ceil(bytes);
+}
+
+size_t
+Arena::classIndexLocked(size_t class_bytes) const
+{
+    // class_bytes = kMinClassBytes << i.
+    return static_cast<size_t>(std::countr_zero(class_bytes) -
+                               std::countr_zero(kMinClassBytes));
+}
+
+Arena::Block
+Arena::acquire(size_t bytes)
+{
+    Block block;
+    block.classBytes = classBytesFor(bytes);
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        size_t idx = classIndexLocked(block.classBytes);
+        if (idx < freeLists_.size() && !freeLists_[idx].empty()) {
+            block.ptr = freeLists_[idx].back();
+            freeLists_[idx].pop_back();
+            block.recycled = true;
+            stats_.reusedAllocs++;
+            stats_.recycledBytes += block.classBytes;
+            stats_.pooledBytes -= block.classBytes;
+            return block;
+        }
+        stats_.freshAllocs++;
+        stats_.capacityBytes += block.classBytes;
+    }
+
+    // Heap allocation outside the lock; counters already claimed it.
+    block.ptr = heapAcquire(block.classBytes);
+    return block;
+}
+
+void
+Arena::release(void *ptr, size_t classBytes)
+{
+    panicIf(ptr == nullptr || classBytes < kMinClassBytes ||
+                !std::has_single_bit(classBytes),
+            "Arena::release: not an arena block");
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t idx = classIndexLocked(classBytes);
+    if (idx >= freeLists_.size())
+        freeLists_.resize(idx + 1);
+    freeLists_[idx].push_back(ptr);
+    stats_.releases++;
+    stats_.pooledBytes += classBytes;
+}
+
+void
+Arena::trim()
+{
+    std::vector<std::vector<void *>> pooled;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        pooled.swap(freeLists_);
+        stats_.capacityBytes -= stats_.pooledBytes;
+        stats_.pooledBytes = 0;
+    }
+    for (auto &list : pooled)
+        for (void *ptr : list)
+            heapRelease(ptr);
+}
+
+ArenaStats
+Arena::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+Arena::resetStats()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t capacity = stats_.capacityBytes;
+    uint64_t pooled = stats_.pooledBytes;
+    stats_ = ArenaStats{};
+    stats_.capacityBytes = capacity;
+    stats_.pooledBytes = pooled;
+}
+
+Arena &
+Arena::global()
+{
+    // Deliberately leaked: tensors with static storage duration may
+    // release blocks after any function-local static arena would have
+    // been destroyed. The pointer lives in static storage, so leak
+    // checkers see the pooled blocks as reachable.
+    static Arena *instance = new Arena();
+    return *instance;
+}
+
+} // namespace nsbench::util

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Size-classed arena allocator for tensor storage.
+ *
+ * The paper's memory characterization (Fig. 3b) shows neuro-symbolic
+ * workloads dominated by data movement and allocation churn rather
+ * than compute: every tensor op allocates a fresh buffer and most die
+ * within one phase. The arena recycles those buffers instead of
+ * returning them to the heap: released blocks park on a per-size-class
+ * free list and the next acquisition of the same class pops one off,
+ * so steady-state execution performs (almost) no heap allocations.
+ *
+ * Design:
+ *
+ *  - Blocks are rounded up to power-of-two size classes (minimum
+ *    kMinClassBytes), so a tensor whose shape wobbles slightly between
+ *    episodes still hits the same class.
+ *  - Blocks are 64-byte aligned (cache line / AVX-512 friendly).
+ *  - acquire() returns uninitialized memory; zero-fill is the
+ *    caller's contract (tensor::Tensor zero-fills unless the caller
+ *    went through the documented uninitialized fast path).
+ *  - Thread-safe behind one mutex. Tensor allocation happens on the
+ *    owner thread between parallel regions, so the lock is
+ *    uncontended on the hot path.
+ *  - Statistics distinguish fresh heap allocations from free-list
+ *    reuse; bench/scaling_memory and the profiler's churn accounting
+ *    are built on them.
+ *
+ * The arena never gives memory back to the OS on its own; call trim()
+ * to drop the pooled blocks (tests and benches do between
+ * configurations). Whether tensors use the arena at all is decided in
+ * tensor/alloc.hh (NSBENCH_ARENA / --arena / setAllocator()).
+ */
+
+#ifndef NSBENCH_UTIL_ARENA_HH
+#define NSBENCH_UTIL_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace nsbench::util
+{
+
+/** Allocation counters kept by the arena (monotonic until reset). */
+struct ArenaStats
+{
+    uint64_t freshAllocs = 0;   ///< Blocks served by the heap.
+    uint64_t reusedAllocs = 0;  ///< Blocks served from a free list.
+    uint64_t releases = 0;      ///< Blocks returned to the free lists.
+    uint64_t recycledBytes = 0; ///< Class bytes of the reused blocks.
+    uint64_t capacityBytes = 0; ///< Class bytes currently owned.
+    uint64_t pooledBytes = 0;   ///< Class bytes parked in free lists.
+
+    /** Total acquisitions. */
+    uint64_t allocs() const { return freshAllocs + reusedAllocs; }
+};
+
+/**
+ * Size-classed free-list arena. One process-global instance backs all
+ * tensor storage when the arena allocator is active.
+ */
+class Arena
+{
+  public:
+    /** Smallest size class; smaller requests round up to it. */
+    static constexpr size_t kMinClassBytes = 256;
+
+    /** One block handed out by acquire(). */
+    struct Block
+    {
+        void *ptr = nullptr;    ///< 64-byte-aligned, uninitialized.
+        size_t classBytes = 0;  ///< Rounded-up capacity of the block.
+        bool recycled = false;  ///< Came from a free list, not the heap.
+    };
+
+    Arena() = default;
+    ~Arena();
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Returns an uninitialized block of at least @p bytes (a zero-byte
+     * request still yields a kMinClassBytes block). Reuses a pooled
+     * block of the same class when one exists.
+     */
+    Block acquire(size_t bytes);
+
+    /**
+     * Returns a block to its size-class free list. @p classBytes must
+     * be the classBytes the block was acquired with.
+     */
+    void release(void *ptr, size_t classBytes);
+
+    /** Frees every pooled block back to the heap. */
+    void trim();
+
+    /** Snapshot of the counters. */
+    ArenaStats stats() const;
+
+    /** Zeroes the counters (capacity/pooled gauges are recomputed). */
+    void resetStats();
+
+    /** Size class (in bytes) a request of @p bytes lands in. */
+    static size_t classBytesFor(size_t bytes);
+
+    /** The process-global arena tensor storage draws from. */
+    static Arena &global();
+
+  private:
+    size_t classIndexLocked(size_t class_bytes) const;
+
+    mutable std::mutex mu_;
+    /** freeLists_[i] holds blocks of kMinClassBytes << i bytes. */
+    std::vector<std::vector<void *>> freeLists_;
+    ArenaStats stats_;
+};
+
+} // namespace nsbench::util
+
+#endif // NSBENCH_UTIL_ARENA_HH

@@ -57,7 +57,7 @@ Codebook::atom(int64_t index) const
 {
     util::panicIf(index < 0 || index >= entries(),
                   "Codebook::atom: index out of range");
-    Tensor out({dim()});
+    Tensor out = Tensor::uninitialized({dim()});
     auto src = atoms_.data();
     auto dst = out.data();
     auto d = static_cast<size_t>(dim());
@@ -125,7 +125,8 @@ Codebook::decodePmf(const Tensor &hv, std::string_view stage,
 
     int64_t n = entries();
     int64_t d = dim();
-    Tensor out({n});
+    // Every entry's similarity is stored unconditionally below.
+    Tensor out = Tensor::uninitialized({n});
     auto po = out.data();
     auto ph = hv.data();
     auto pa = atoms_.data();

@@ -43,7 +43,7 @@ bind(const Tensor &a, const Tensor &b)
 {
     checkSameDim("vsa_bind", a, b);
     ScopedOp op("vsa_bind", OpCategory::VectorElementwise);
-    Tensor out({a.size(0)});
+    Tensor out = Tensor::uninitialized({a.size(0)});
     auto pa = a.data();
     auto pb = b.data();
     auto po = out.data();
@@ -61,7 +61,7 @@ unbind(const Tensor &a, const Tensor &b)
 {
     checkSameDim("vsa_unbind", a, b);
     ScopedOp op("vsa_unbind", OpCategory::VectorElementwise);
-    Tensor out({a.size(0)});
+    Tensor out = Tensor::uninitialized({a.size(0)});
     auto pa = a.data();
     auto pb = b.data();
     auto po = out.data();
@@ -111,15 +111,15 @@ bundleMajority(const std::vector<Tensor> &vectors)
     Tensor sum = bundle(vectors);
     ScopedOp op("vsa_majority", OpCategory::VectorElementwise);
     auto ps = sum.data();
-    Tensor out({sum.size(0)});
-    auto po = out.data();
-    util::simd::signBipolar(ps.data(), po.data(),
+    // Threshold the bundle sum in place (exact self-aliasing is
+    // allowed by the kernel contract); the sum is dead afterwards.
+    util::simd::signBipolar(ps.data(), ps.data(),
                             static_cast<int64_t>(ps.size()));
     auto n = static_cast<double>(sum.numel());
     op.setFlops(n);
     op.setBytesRead(n * elemBytes);
     op.setBytesWritten(n * elemBytes);
-    return out;
+    return sum;
 }
 
 Tensor
@@ -128,7 +128,8 @@ permuteShift(const Tensor &a, int64_t k)
     util::panicIf(a.dim() != 1, "vsa_permute: rank-1 required");
     ScopedOp op("vsa_permute", OpCategory::DataTransform);
     int64_t d = a.size(0);
-    Tensor out({d});
+    // The shift is a bijection: every output element is written once.
+    Tensor out = Tensor::uninitialized({d});
     auto pa = a.data();
     auto po = out.data();
     int64_t shift = ((k % d) + d) % d;
@@ -147,7 +148,7 @@ circularConvolve(const Tensor &a, const Tensor &b)
     checkSameDim("circular_conv", a, b);
     ScopedOp op("circular_conv", OpCategory::VectorElementwise);
     int64_t d = a.size(0);
-    Tensor out({d});
+    Tensor out = Tensor::uninitialized({d});
     auto pa = a.data();
     auto pb = b.data();
     auto po = out.data();
@@ -182,7 +183,7 @@ circularCorrelate(const Tensor &a, const Tensor &b)
     checkSameDim("circular_corr", a, b);
     ScopedOp op("circular_corr", OpCategory::VectorElementwise);
     int64_t d = a.size(0);
-    Tensor out({d});
+    Tensor out = Tensor::uninitialized({d});
     auto pa = a.data();
     auto pb = b.data();
     auto po = out.data();
@@ -229,7 +230,7 @@ fftCircularConvolve(const Tensor &a, const Tensor &b)
         fa[i] *= fb[i];
     fft(fa, true);
 
-    Tensor out({static_cast<int64_t>(d)});
+    Tensor out = Tensor::uninitialized({static_cast<int64_t>(d)});
     auto po = out.data();
     for (size_t i = 0; i < d; i++)
         po[i] = static_cast<float>(fa[i].real());
@@ -261,7 +262,7 @@ unitaryVector(int64_t dim, util::Rng &rng)
     fft(spectrum, true);
     // Unit-magnitude spectrum + Parseval gives a unit-L2 time-domain
     // vector, and convolution powers keep that norm exactly.
-    Tensor out({dim});
+    Tensor out = Tensor::uninitialized({dim});
     auto po = out.data();
     for (size_t i = 0; i < d; i++)
         po[i] = static_cast<float>(spectrum[i].real());
@@ -292,7 +293,7 @@ convPower(const Tensor &base, int power)
              new_mag * std::sin(new_phase)};
     }
     fft(spectrum, true);
-    Tensor out({base.size(0)});
+    Tensor out = Tensor::uninitialized({base.size(0)});
     auto po = out.data();
     for (size_t i = 0; i < d; i++)
         po[i] = static_cast<float>(spectrum[i].real());

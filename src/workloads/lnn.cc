@@ -4,8 +4,10 @@
 #include <set>
 
 #include "core/profiler.hh"
+#include "tensor/fused.hh"
 #include "tensor/ops.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace nsbench::workloads
 {
@@ -154,14 +156,24 @@ LnnWorkload::run()
                 body_lower_mat = tensor::concat(lo_cols, 1);
                 body_upper_mat = tensor::concat(hi_cols, 1);
                 float bias = -static_cast<float>(k - 1);
-                and_lower = tensor::clamp(
-                    tensor::addScalar(
-                        tensor::sumAxis(body_lower_mat, 1), bias),
-                    0.0f, 1.0f);
-                and_upper = tensor::clamp(
-                    tensor::addScalar(
-                        tensor::sumAxis(body_upper_mat, 1), bias),
-                    0.0f, 1.0f);
+                // Fused bias + clamp over the row sums: same kernels
+                // in the same order as the former
+                // clamp(addScalar(sumAxis(...), bias), 0, 1) chain,
+                // without the two intermediate tensors.
+                auto bias_clamp = [bias](Tensor &t) {
+                    tensor::fusedMapUnary(
+                        "lukasiewicz_and", t, t, 2.0,
+                        [bias](const float *a, float *out, float *,
+                               int64_t n) {
+                            util::simd::addScalar(a, bias, out, n);
+                            util::simd::clampRange(out, 0.0f, 1.0f,
+                                                   out, n);
+                        });
+                };
+                and_lower = tensor::sumAxis(body_lower_mat, 1);
+                bias_clamp(and_lower);
+                and_upper = tensor::sumAxis(body_upper_mat, 1);
+                bias_clamp(and_upper);
             }
 
             // ---- Symbolic: upward bound tightening at the heads.
@@ -211,17 +223,25 @@ LnnWorkload::run()
                         .reshaped({inst_n, 1});
                 Tensor ones_row = Tensor::ones({1, k});
                 // Broadcast [inst,1] -> [inst,k] via rank-1 matmuls.
-                Tensor others = tensor::sub(
-                    tensor::matmul(sum_lower, ones_row),
-                    body_lower_mat);
+                Tensor others =
+                    tensor::matmul(sum_lower, ones_row);
+                tensor::subInPlace(others, body_lower_mat);
                 Tensor head_mat =
                     tensor::matmul(head_upper, ones_row);
-                cand_all = tensor::clamp(
-                    tensor::sub(tensor::addScalar(
-                                    head_mat,
-                                    static_cast<float>(k - 1)),
-                                others),
-                    0.0f, 1.0f);
+                // Fused (head + (k-1)) - others, clamped to [0, 1]:
+                // identical kernel order to the former addScalar /
+                // sub / clamp chain, one pass, no intermediates.
+                float slack = static_cast<float>(k - 1);
+                tensor::fusedMap(
+                    "downward_cand", head_mat, head_mat, others, 3.0,
+                    [slack](const float *a, const float *b,
+                            float *out, float *scratch, int64_t n) {
+                        util::simd::addScalar(a, slack, scratch, n);
+                        util::simd::sub(scratch, b, out, n);
+                        util::simd::clampRange(out, 0.0f, 1.0f, out,
+                                               n);
+                    });
+                cand_all = head_mat;
             }
 
             // ---- Symbolic: scatter-min into atom uppers, chunked

@@ -4,9 +4,11 @@
 
 #include "core/profiler.hh"
 #include "logic/fuzzy.hh"
+#include "tensor/fused.hh"
 #include "tensor/ops.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/simd.hh"
 
 namespace nsbench::workloads
 {
@@ -40,6 +42,27 @@ aggregateExists(std::span<const float> truths)
     op.setBytesRead(static_cast<double>(truths.size()) * 4.0);
     op.setBytesWritten(4.0);
     return logic::pMean(truths, 4.0f);
+}
+
+/**
+ * Fused Reichenbach implication out = (1 - a) + a * b. One pass over
+ * the operands; the kernel sequence (mul, negate, addScalar, add)
+ * is bit-identical to the former add(sub(ones, a), mul(a, b)) chain
+ * because IEEE guarantees 1 - a == 1 + (-a) exactly. `out` may be
+ * `a` (the product is taken into scratch before `a` is overwritten).
+ */
+void
+reichenbachImplies(Tensor &out, const Tensor &a, const Tensor &b)
+{
+    tensor::fusedMap(
+        "reichenbach_implies", out, a, b, 3.0,
+        [](const float *pa, const float *pb, float *po,
+           float *scratch, int64_t n) {
+            util::simd::mul(pa, pb, scratch, n);  // a * b
+            util::simd::negate(pa, po, n);
+            util::simd::addScalar(po, 1.0f, po, n); // 1 - a
+            util::simd::add(po, scratch, po, n);
+        });
 }
 
 } // namespace
@@ -137,21 +160,24 @@ LtnWorkload::run()
             Tensor c = cancer.reshaped({n});
 
             // Axiom 1: forall x, Smokes(x) -> Cancer(x) under the
-            // Reichenbach implication 1 - s + s*c.
-            Tensor impl1 = tensor::add(
-                tensor::sub(Tensor::ones({n}), s), tensor::mul(s, c));
+            // Reichenbach implication 1 - s + s*c. `s` is read again
+            // by axioms 3 and 5, so the result needs its own buffer.
+            Tensor impl1 = Tensor::uninitialized({n});
+            reichenbachImplies(impl1, s, c);
             axiom_truths.push_back(
                 aggregateForAll(impl1.data()));
 
             // Axiom 2: forall x,y, Friends(x,y) ^ Smokes(x) ->
-            // Smokes(y), evaluated over all pairs.
+            // Smokes(y), evaluated over all pairs. The [n, n]
+            // antecedent is dead after the implication, so the fused
+            // implication overwrites it in place.
             Tensor ones_row = Tensor::ones({1, n});
             Tensor sx = tensor::matmul(smokes, ones_row); // [n, n]
             Tensor sy = tensor::transpose2d(sx);
-            Tensor antecedent = tensor::mul(friends_, sx);
-            Tensor impl2 = tensor::add(
-                tensor::sub(Tensor::ones({n, n}), antecedent),
-                tensor::mul(antecedent, sy));
+            tensor::mulInPlace(sx, friends_);
+            Tensor &antecedent = sx;
+            reichenbachImplies(antecedent, antecedent, sy);
+            Tensor &impl2 = antecedent;
             Tensor relevant = tensor::maskedSelect(impl2, friends_);
             if (relevant.numel() > 0) {
                 axiom_truths.push_back(
@@ -165,11 +191,22 @@ LtnWorkload::run()
 
             // Axiom 5: forall x, not (Smokes(x) ^ not Smokes(x)) —
             // a consistency check, true by fuzzy product semantics
-            // only to degree 1 - s(1-s).
-            Tensor contradiction = tensor::mul(
-                s, tensor::sub(Tensor::ones({n}), s));
-            Tensor consistent =
-                tensor::sub(Tensor::ones({n}), contradiction);
+            // only to degree 1 - s(1-s). Fused one-pass evaluation;
+            // 1 - x == 1 + (-x) keeps it bit-identical to the former
+            // sub(ones, mul(s, sub(ones, s))) chain.
+            Tensor consistent = Tensor::uninitialized({n});
+            tensor::fusedMapUnary(
+                "fuzzy_consistency", consistent, s, 3.0,
+                [](const float *pa, float *po, float *scratch,
+                   int64_t count) {
+                    util::simd::negate(pa, scratch, count);
+                    util::simd::addScalar(scratch, 1.0f, scratch,
+                                          count);          // 1 - s
+                    util::simd::mul(pa, scratch, scratch,
+                                    count);                // s(1-s)
+                    util::simd::negate(scratch, po, count);
+                    util::simd::addScalar(po, 1.0f, po, count);
+                });
             axiom_truths.push_back(
                 aggregateForAll(consistent.data()));
         }

@@ -5,8 +5,10 @@
 
 #include "core/profiler.hh"
 #include "core/sparsity.hh"
+#include "tensor/fused.hh"
 #include "tensor/ops.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 #include "vsa/fft.hh"
 #include "vsa/ops.hh"
 
@@ -303,8 +305,17 @@ NvsaWorkload::solvePuzzle(const data::RpmPuzzle &puzzle)
 
             // Record the rule-probability sparsity (Fig. 5's
             // "probability computation" stage).
-            Tensor thresholded = tensor::clamp(
-                tensor::addScalar(scores, -scoreFloor), 0.0f, 1.0f);
+            // Fused floor-shift + clamp (same kernel order as the
+            // former clamp(addScalar(scores, -floor), 0, 1) chain);
+            // scores stays intact for the argmax below.
+            Tensor thresholded =
+                Tensor::uninitialized(scores.shape());
+            tensor::fusedMapUnary(
+                "rule_threshold", thresholded, scores, 2.0,
+                [](const float *pa, float *po, float *, int64_t n) {
+                    util::simd::addScalar(pa, -scoreFloor, po, n);
+                    util::simd::clampRange(po, 0.0f, 1.0f, po, n);
+                });
             core::recordSpanSparsity(
                 "prob_compute/" +
                     std::string(data::attributeName(

@@ -98,10 +98,20 @@ PraeWorkload::solvePuzzle(const data::RpmPuzzle &puzzle)
             Tensor type_prod = belief.cellBeliefs[0][0];
             Tensor size_prod = belief.cellBeliefs[0][1];
             for (size_t c = 1; c < belief.cellBeliefs.size(); c++) {
-                type_prod = tensor::mul(type_prod,
-                                        belief.cellBeliefs[c][0]);
-                size_prod = tensor::mul(size_prod,
-                                        belief.cellBeliefs[c][1]);
+                if (c == 1) {
+                    // The running products still alias cell 0's
+                    // beliefs here; the first multiply must allocate
+                    // before later rounds can go in place.
+                    type_prod = tensor::mul(
+                        type_prod, belief.cellBeliefs[c][0]);
+                    size_prod = tensor::mul(
+                        size_prod, belief.cellBeliefs[c][1]);
+                } else {
+                    tensor::mulInPlace(type_prod,
+                                       belief.cellBeliefs[c][0]);
+                    tensor::mulInPlace(size_prod,
+                                       belief.cellBeliefs[c][1]);
+                }
             }
             int64_t td = type_prod.numel();
             int64_t sd = size_prod.numel();

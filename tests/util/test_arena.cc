@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "util/arena.hh"
+
+namespace
+{
+
+using nsbench::util::Arena;
+using nsbench::util::ArenaStats;
+
+TEST(ArenaClassTest, RoundsUpToPowerOfTwoClasses)
+{
+    EXPECT_EQ(Arena::classBytesFor(0), Arena::kMinClassBytes);
+    EXPECT_EQ(Arena::classBytesFor(1), Arena::kMinClassBytes);
+    EXPECT_EQ(Arena::classBytesFor(Arena::kMinClassBytes),
+              Arena::kMinClassBytes);
+    EXPECT_EQ(Arena::classBytesFor(Arena::kMinClassBytes + 1),
+              2 * Arena::kMinClassBytes);
+    EXPECT_EQ(Arena::classBytesFor(4096), 4096u);
+    EXPECT_EQ(Arena::classBytesFor(5000), 8192u);
+    EXPECT_EQ(Arena::classBytesFor(1u << 20), 1u << 20);
+}
+
+TEST(ArenaTest, ReleasedBlockIsReused)
+{
+    Arena arena;
+    auto first = arena.acquire(1000);
+    ASSERT_NE(first.ptr, nullptr);
+    EXPECT_EQ(first.classBytes, 1024u);
+    EXPECT_FALSE(first.recycled);
+
+    arena.release(first.ptr, first.classBytes);
+    auto second = arena.acquire(900); // same 1024-byte class
+    EXPECT_EQ(second.ptr, first.ptr);
+    EXPECT_TRUE(second.recycled);
+
+    ArenaStats s = arena.stats();
+    EXPECT_EQ(s.freshAllocs, 1u);
+    EXPECT_EQ(s.reusedAllocs, 1u);
+    EXPECT_EQ(s.releases, 1u);
+    EXPECT_EQ(s.recycledBytes, 1024u);
+    EXPECT_EQ(s.allocs(), 2u);
+    arena.release(second.ptr, second.classBytes);
+}
+
+TEST(ArenaTest, ClassesDoNotMix)
+{
+    Arena arena;
+    auto small = arena.acquire(100); // 256-byte class
+    arena.release(small.ptr, small.classBytes);
+
+    auto large = arena.acquire(300); // 512-byte class: pool miss
+    EXPECT_FALSE(large.recycled);
+    EXPECT_EQ(large.classBytes, 512u);
+    EXPECT_EQ(arena.stats().freshAllocs, 2u);
+    arena.release(large.ptr, large.classBytes);
+}
+
+TEST(ArenaTest, BlocksAreCacheLineAligned)
+{
+    Arena arena;
+    auto block = arena.acquire(64);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(block.ptr) % 64, 0u);
+    // The full class capacity is writable.
+    std::memset(block.ptr, 0xAB, block.classBytes);
+    arena.release(block.ptr, block.classBytes);
+}
+
+TEST(ArenaTest, TrimDropsPooledBlocks)
+{
+    Arena arena;
+    auto a = arena.acquire(1000);
+    auto b = arena.acquire(5000);
+    arena.release(a.ptr, a.classBytes);
+    arena.release(b.ptr, b.classBytes);
+
+    ArenaStats before = arena.stats();
+    EXPECT_EQ(before.pooledBytes, 1024u + 8192u);
+    EXPECT_EQ(before.capacityBytes, 1024u + 8192u);
+
+    arena.trim();
+    ArenaStats after = arena.stats();
+    EXPECT_EQ(after.pooledBytes, 0u);
+    EXPECT_EQ(after.capacityBytes, 0u);
+
+    // The pool is empty again: the next acquire must be fresh.
+    auto c = arena.acquire(1000);
+    EXPECT_FALSE(c.recycled);
+    arena.release(c.ptr, c.classBytes);
+}
+
+TEST(ArenaTest, ResetStatsKeepsGauges)
+{
+    Arena arena;
+    auto a = arena.acquire(1000);
+    arena.release(a.ptr, a.classBytes);
+
+    arena.resetStats();
+    ArenaStats s = arena.stats();
+    EXPECT_EQ(s.freshAllocs, 0u);
+    EXPECT_EQ(s.reusedAllocs, 0u);
+    EXPECT_EQ(s.releases, 0u);
+    EXPECT_EQ(s.recycledBytes, 0u);
+    // Gauges describe memory still owned, which a counter reset
+    // must not pretend away.
+    EXPECT_EQ(s.capacityBytes, 1024u);
+    EXPECT_EQ(s.pooledBytes, 1024u);
+    arena.trim();
+}
+
+TEST(ArenaTest, ReleaseRejectsNonArenaBlocks)
+{
+    Arena arena;
+    int dummy = 0;
+    EXPECT_DEATH(arena.release(&dummy, 100), "not an arena block");
+    EXPECT_DEATH(arena.release(nullptr, 256), "not an arena block");
+}
+
+} // namespace

@@ -14,6 +14,8 @@
  *                  NSBENCH_THREADS env var, else hardware concurrency)
  *   --simd MODE    kernel backend: "scalar", "avx2" or "auto"
  *                  (default: NSBENCH_SIMD env var, else CPUID)
+ *   --arena MODE   tensor allocator: "on" (size-classed arena) or
+ *                  "off" (plain heap; default, or NSBENCH_ARENA env)
  *   --csv          emit CSV instead of aligned tables
  *   --device NAME  also project the op stream onto one device
  *                  ("all" projects onto every modeled device)
@@ -28,6 +30,7 @@
 #include "core/workload.hh"
 #include "sim/device.hh"
 #include "sim/projection.hh"
+#include "tensor/alloc.hh"
 #include "util/format.hh"
 #include "util/simd.hh"
 #include "util/stats.hh"
@@ -49,7 +52,8 @@ usage()
            "  nsbench devices\n"
            "  nsbench run <workload> [--seed N] [--runs N]\n"
            "              [--threads N] [--simd scalar|avx2|auto]\n"
-           "              [--csv] [--device NAME|all]\n";
+           "              [--arena on|off] [--csv]\n"
+           "              [--device NAME|all]\n";
     return 2;
 }
 
@@ -141,6 +145,16 @@ cmdRun(int argc, char **argv)
                 std::cerr << "--simd must be scalar, avx2 or auto\n";
                 return 2;
             }
+        } else if (arg == "--arena") {
+            std::string mode = next();
+            if (mode == "on") {
+                tensor::setAllocator(tensor::AllocatorKind::Arena);
+            } else if (mode == "off") {
+                tensor::setAllocator(tensor::AllocatorKind::Heap);
+            } else {
+                std::cerr << "--arena must be on or off\n";
+                return 2;
+            }
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--device") {
@@ -190,6 +204,7 @@ cmdRun(int argc, char **argv)
                   << util::humanBytes(workload->storageBytes())
                   << "\nthreads:  " << util::ThreadPool::globalThreads()
                   << "\nsimd:     " << util::simd::activeBackendName()
+                  << "\narena:    " << tensor::activeAllocatorName()
                   << "\n\n";
     }
 
