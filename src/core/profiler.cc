@@ -421,11 +421,36 @@ Profiler::sparsityRecords() const
     return out;
 }
 
+namespace
+{
+
+/** Per-thread redirection target; null = process-global profiler. */
+thread_local Profiler *tlTarget = nullptr;
+
+} // namespace
+
 Profiler &
 Profiler::global()
 {
+    return tlTarget ? *tlTarget : processGlobal();
+}
+
+Profiler &
+Profiler::processGlobal()
+{
     static Profiler instance;
     return instance;
+}
+
+Profiler::ThreadTargetScope::ThreadTargetScope(Profiler &target)
+    : prev_(tlTarget)
+{
+    tlTarget = &target;
+}
+
+Profiler::ThreadTargetScope::~ThreadTargetScope()
+{
+    tlTarget = prev_;
 }
 
 } // namespace nsbench::core

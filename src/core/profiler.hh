@@ -277,8 +277,45 @@ class Profiler
     /** All sparsity records, in first-use order of their stage labels. */
     std::vector<SparsityRecord> sparsityRecords() const;
 
-    /** Returns the process-global profiler all default ops report to. */
+    /**
+     * Returns the profiler default-constructed ops report to: the
+     * calling thread's target when one is installed (see
+     * ThreadTargetScope), else the process-global instance. The
+     * serving runtime gives each request-execution thread its own
+     * target so concurrent requests record disjoint op streams; all
+     * pre-existing single-profiler code paths see the process-global
+     * instance unchanged.
+     */
     static Profiler &global();
+
+    /** The process-global instance, ignoring any thread target. */
+    static Profiler &processGlobal();
+
+    /**
+     * RAII thread-local profiler redirection. While alive, every
+     * globalProfiler() lookup *on the calling thread* resolves to
+     * the given profiler, so all default-instrumented ops (tensor
+     * kernels, phase scopes, allocation hooks) issued by this thread
+     * land there. Scopes nest; each restores the previous target.
+     *
+     * The redirected thread should execute its kernels inline
+     * (ThreadPool::SerialScope): pool worker threads resolve their
+     * own targets, so ops dispatched to the pool would bypass the
+     * caller's redirection.
+     */
+    class ThreadTargetScope
+    {
+      public:
+        explicit ThreadTargetScope(Profiler &target);
+        ~ThreadTargetScope();
+
+        ThreadTargetScope(const ThreadTargetScope &) = delete;
+        ThreadTargetScope &operator=(const ThreadTargetScope &) =
+            delete;
+
+      private:
+        Profiler *prev_;
+    };
 
     /**
      * Merges every op event buffered by the calling thread into its

@@ -60,6 +60,33 @@ class Workload
     virtual double run() = 0;
 
     /**
+     * Re-seeds the per-run episode stream (data generators, episode
+     * RNGs) without rebuilding the model. After reseedEpisodes(s),
+     * run() must return a score that is a pure function of
+     * (model, s) — independent of how many runs the instance served
+     * before. The serving runtime calls this once per request so
+     * long-lived replicas amortize setUp() across requests while
+     * keeping the determinism contract: a request with a fixed seed
+     * scores identically on every replica, at every batch size, in
+     * every arrival order.
+     *
+     * The default rebuilds everything via setUp(seed) — always
+     * correct, never cheap; workloads override it to reset only
+     * their episode state.
+     */
+    virtual void reseedEpisodes(uint64_t seed) { setUp(seed); }
+
+    /**
+     * True when run()'s score depends on the episode seed. Workloads
+     * that evaluate a fixed benchmark built at setUp() time (so
+     * every run is the identical computation) return false, which
+     * lets the serving batcher coalesce *all* their concurrent
+     * requests into shared executions rather than only same-seed
+     * ones.
+     */
+    virtual bool seedSensitive() const { return true; }
+
+    /**
      * Coarse stage dataflow for Fig. 4. Stage durations are zero;
      * benches fill them from region measurements.
      */

@@ -1,0 +1,101 @@
+#include "serve/batcher.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace nsbench::serve
+{
+
+Batcher::Batcher(BoundedQueue<Request> &in, BoundedQueue<Batch> &out,
+                 int maxBatch, std::chrono::microseconds maxWait,
+                 ServerMetrics &metrics)
+    : in_(in), out_(out), maxBatch_(maxBatch), maxWait_(maxWait),
+      metrics_(metrics)
+{
+    util::panicIf(maxBatch <= 0,
+                  "Batcher: maxBatch must be positive");
+}
+
+void
+Batcher::run()
+{
+    for (;;) {
+        std::optional<Request> request;
+        if (pending_.empty()) {
+            request = in_.pop();
+        } else {
+            request = in_.popUntil(nextFlushAt());
+        }
+
+        if (request)
+            admit(std::move(*request));
+
+        flushDue(ServeClock::now());
+
+        if (!request && in_.drained()) {
+            flushAll();
+            out_.close();
+            return;
+        }
+    }
+}
+
+void
+Batcher::admit(Request request)
+{
+    Pending &pending = pending_[request.workload];
+    if (pending.requests.empty())
+        pending.flushAt = ServeClock::now() + maxWait_;
+    pending.requests.push_back(std::move(request));
+    if (static_cast<int>(pending.requests.size()) >= maxBatch_) {
+        auto node = pending_.extract(
+            pending_.find(pending.requests.front().workload));
+        dispatch(node.key(), node.mapped());
+    }
+}
+
+void
+Batcher::flushDue(TimePoint now)
+{
+    for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->second.flushAt <= now) {
+            auto node = pending_.extract(it++);
+            dispatch(node.key(), node.mapped());
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Batcher::flushAll()
+{
+    for (auto &[workload, pending] : pending_)
+        dispatch(workload, pending);
+    pending_.clear();
+}
+
+void
+Batcher::dispatch(const std::string &workload, Pending &pending)
+{
+    metrics_.recordBatch(workload, pending.requests.size());
+    Batch batch;
+    batch.workload = workload;
+    batch.requests = std::move(pending.requests);
+    // push blocks when the workers fall behind: backpressure flows
+    // from the workers through the batcher into the admission queue.
+    out_.push(std::move(batch));
+}
+
+TimePoint
+Batcher::nextFlushAt() const
+{
+    TimePoint earliest = noDeadline();
+    for (const auto &[workload, pending] : pending_)
+        if (pending.flushAt < earliest)
+            earliest = pending.flushAt;
+    return earliest;
+}
+
+} // namespace nsbench::serve

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The batching stage between admission and the worker pool.
+ *
+ * The batcher is a single thread that drains the admission queue and
+ * coalesces compatible requests — same workload — into batches of at
+ * most maxBatch requests. The first request of a batch starts a
+ * maxWait timer; the batch is dispatched when it fills or the timer
+ * expires, whichever comes first, so light load pays at most maxWait
+ * extra latency and heavy load runs at full occupancy. On drain the
+ * batcher flushes every pending batch and closes the batch queue, so
+ * shutdown never strands an admitted request.
+ */
+
+#ifndef NSBENCH_SERVE_BATCHER_HH
+#define NSBENCH_SERVE_BATCHER_HH
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/metrics.hh"
+#include "serve/queue.hh"
+#include "serve/request.hh"
+
+namespace nsbench::serve
+{
+
+/**
+ * Coalesces admitted requests into per-workload batches.
+ */
+class Batcher
+{
+  public:
+    /**
+     * @param in       Admission queue the server pushes into.
+     * @param out      Batch queue the workers pop from.
+     * @param maxBatch Maximum requests per batch; must be positive.
+     * @param maxWait  Longest a non-full batch may wait for company.
+     * @param metrics  Sink for per-batch occupancy accounting.
+     */
+    Batcher(BoundedQueue<Request> &in, BoundedQueue<Batch> &out,
+            int maxBatch, std::chrono::microseconds maxWait,
+            ServerMetrics &metrics);
+
+    /**
+     * Drains @c in until it is closed and empty, then flushes pending
+     * batches and closes @c out. Runs on the server's batcher thread.
+     */
+    void run();
+
+  private:
+    /** One accumulating batch and its dispatch deadline. */
+    struct Pending
+    {
+        std::vector<Request> requests;
+        TimePoint flushAt{};
+    };
+
+    /** Adds one request, dispatching its batch if now full. */
+    void admit(Request request);
+
+    /** Dispatches every pending batch whose timer has expired. */
+    void flushDue(TimePoint now);
+
+    /** Dispatches all pending batches regardless of timers. */
+    void flushAll();
+
+    /** Dispatches one workload's pending batch. */
+    void dispatch(const std::string &workload, Pending &pending);
+
+    /** Earliest pending flush deadline, or noDeadline(). */
+    TimePoint nextFlushAt() const;
+
+    BoundedQueue<Request> &in_;
+    BoundedQueue<Batch> &out_;
+    int maxBatch_;
+    std::chrono::microseconds maxWait_;
+    ServerMetrics &metrics_;
+    std::map<std::string, Pending> pending_;
+};
+
+} // namespace nsbench::serve
+
+#endif // NSBENCH_SERVE_BATCHER_HH

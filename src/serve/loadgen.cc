@@ -1,0 +1,280 @@
+#include "serve/loadgen.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/timer.hh"
+
+namespace nsbench::serve
+{
+
+namespace
+{
+
+/**
+ * Samples seeds from a bounded universe with Zipf popularity skew:
+ * rank r (1-based) is drawn with probability proportional to r^-s.
+ * Precomputes the CDF once; each sample is a binary search.
+ */
+class SeedSampler
+{
+  public:
+    SeedSampler(uint64_t universe, double exponent)
+        : universe_(universe)
+    {
+        if (universe_ == 0 || exponent <= 0.0)
+            return;
+        cdf_.reserve(universe_);
+        double total = 0.0;
+        for (uint64_t rank = 1; rank <= universe_; ++rank) {
+            total += std::pow(static_cast<double>(rank), -exponent);
+            cdf_.push_back(total);
+        }
+        for (double &c : cdf_)
+            c /= total;
+    }
+
+    /** Draws the next seed; @p fallback numbers unique requests. */
+    uint64_t
+    sample(util::Rng &rng, uint64_t fallback) const
+    {
+        if (universe_ == 0)
+            return fallback;
+        if (cdf_.empty())
+            return static_cast<uint64_t>(rng.uniformInt(
+                0, static_cast<int64_t>(universe_) - 1));
+        double u = rng.uniformDouble();
+        auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+        return static_cast<uint64_t>(it - cdf_.begin());
+    }
+
+  private:
+    uint64_t universe_;
+    std::vector<double> cdf_;
+};
+
+/** Samples workload names from the configured mix. */
+class MixSampler
+{
+  public:
+    MixSampler(const Server &server, const LoadgenOptions &options)
+    {
+        if (options.mix.empty()) {
+            names_ = server.workloads();
+            weights_.assign(names_.size(), 1.0);
+        } else {
+            for (const auto &[name, weight] : options.mix) {
+                util::panicIf(weight <= 0.0,
+                              "loadgen: mix weight must be positive");
+                names_.push_back(name);
+                weights_.push_back(weight);
+            }
+        }
+        util::panicIf(names_.empty(), "loadgen: empty workload mix");
+    }
+
+    const std::string &
+    sample(util::Rng &rng) const
+    {
+        if (names_.size() == 1)
+            return names_.front();
+        return names_[rng.categorical(weights_)];
+    }
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<double> weights_;
+};
+
+/** Shared completion accounting for one loadgen window. */
+struct Tracker
+{
+    std::mutex mu;
+    std::condition_variable cv;
+    uint64_t outstanding = 0;
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> expired{0};
+
+    Callback
+    makeCallback()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            outstanding++;
+        }
+        return [this](const Response &response) {
+            if (response.status == RequestStatus::Ok)
+                completed.fetch_add(1, std::memory_order_relaxed);
+            else
+                expired.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(mu);
+            outstanding--;
+            if (outstanding == 0)
+                cv.notify_all();
+        };
+    }
+
+    void
+    drain()
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] { return outstanding == 0; });
+    }
+
+    /** Un-counts a callback whose submit was rejected. */
+    void
+    cancel()
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        outstanding--;
+        if (outstanding == 0)
+            cv.notify_all();
+    }
+};
+
+TimePoint
+deadlineFor(const LoadgenOptions &options)
+{
+    if (options.deadlineMs <= 0.0)
+        return noDeadline();
+    return ServeClock::now() +
+           std::chrono::microseconds(static_cast<int64_t>(
+               options.deadlineMs * 1000.0));
+}
+
+LoadgenReport
+runOpenLoop(Server &server, const LoadgenOptions &options)
+{
+    util::Rng rng(options.seed);
+    SeedSampler seeds(options.seedUniverse, options.zipfExponent);
+    MixSampler mix(server, options);
+    Tracker tracker;
+    LoadgenReport report;
+
+    util::panicIf(options.rateHz <= 0.0,
+                  "loadgen: open loop needs a positive rate");
+    util::WallTimer wall;
+    TimePoint start = ServeClock::now();
+    TimePoint windowEnd =
+        start + std::chrono::microseconds(static_cast<int64_t>(
+                    options.durationSeconds * 1e6));
+    // Poisson process: exponential inter-arrival gaps at rateHz,
+    // scheduled against absolute times so submit cost never skews the
+    // offered rate.
+    TimePoint next = start;
+    while (next < windowEnd) {
+        std::this_thread::sleep_until(next);
+        const std::string &workload = mix.sample(rng);
+        uint64_t seed = seeds.sample(rng, report.submitted);
+        Callback done = tracker.makeCallback();
+        RequestStatus status = server.submit(
+            workload, seed, std::move(done), deadlineFor(options));
+        report.submitted++;
+        if (status == RequestStatus::Ok) {
+            report.admitted++;
+        } else {
+            report.rejected++;
+            tracker.cancel();
+        }
+        double gap = -std::log(1.0 - rng.uniformDouble()) /
+                     options.rateHz;
+        next += std::chrono::microseconds(
+            static_cast<int64_t>(gap * 1e6));
+    }
+
+    tracker.drain();
+    report.wallSeconds = wall.elapsed();
+    report.completed = tracker.completed.load();
+    report.expired = tracker.expired.load();
+    report.offeredRate = options.durationSeconds > 0.0
+                             ? static_cast<double>(report.submitted) /
+                                   options.durationSeconds
+                             : 0.0;
+    return report;
+}
+
+LoadgenReport
+runClosedLoop(Server &server, const LoadgenOptions &options)
+{
+    util::panicIf(options.clients <= 0,
+                  "loadgen: closed loop needs at least one client");
+    SeedSampler seeds(options.seedUniverse, options.zipfExponent);
+    MixSampler mix(server, options);
+    LoadgenReport report;
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> submitted{0};
+    std::atomic<uint64_t> admitted{0};
+    std::atomic<uint64_t> completed{0};
+    std::atomic<uint64_t> expired{0};
+    std::atomic<uint64_t> rejected{0};
+
+    util::WallTimer wall;
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(options.clients));
+    for (int c = 0; c < options.clients; ++c) {
+        clients.emplace_back([&, c] {
+            util::Rng rng(options.seed +
+                          0x9E3779B97F4A7C15ULL *
+                              static_cast<uint64_t>(c + 1));
+            while (!stop.load(std::memory_order_acquire)) {
+                const std::string &workload = mix.sample(rng);
+                uint64_t unique =
+                    submitted.fetch_add(1, std::memory_order_relaxed);
+                uint64_t seed = seeds.sample(rng, unique);
+                Response response = server.call(
+                    workload, seed, deadlineFor(options));
+                switch (response.status) {
+                case RequestStatus::Ok:
+                    admitted.fetch_add(1);
+                    completed.fetch_add(1);
+                    break;
+                case RequestStatus::Expired:
+                    admitted.fetch_add(1);
+                    expired.fetch_add(1);
+                    break;
+                default:
+                    rejected.fetch_add(1);
+                    break;
+                }
+            }
+        });
+    }
+
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(
+            options.durationSeconds * 1e6)));
+    stop.store(true, std::memory_order_release);
+    for (auto &client : clients)
+        client.join();
+
+    report.wallSeconds = wall.elapsed();
+    report.submitted = submitted.load();
+    report.admitted = admitted.load();
+    report.completed = completed.load();
+    report.expired = expired.load();
+    report.rejected = rejected.load();
+    report.offeredRate = options.durationSeconds > 0.0
+                             ? static_cast<double>(report.submitted) /
+                                   options.durationSeconds
+                             : 0.0;
+    return report;
+}
+
+} // namespace
+
+LoadgenReport
+runLoadgen(Server &server, const LoadgenOptions &options)
+{
+    return options.openLoop ? runOpenLoop(server, options)
+                            : runClosedLoop(server, options);
+}
+
+} // namespace nsbench::serve

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Built-in load generator for the serving runtime.
+ *
+ * Two driving disciplines, matching the standard serving-evaluation
+ * methodology:
+ *
+ *  - Open loop: a single dispatcher thread submits requests on a
+ *    Poisson arrival process at a configured offered rate,
+ *    independent of completions — the discipline that exposes
+ *    queueing delay and tail latency under overload.
+ *  - Closed loop: N client threads each keep exactly one request in
+ *    flight, submitting the next the moment the previous completes —
+ *    the discipline that measures sustainable throughput.
+ *
+ * Request seeds draw from a bounded seed universe under an optional
+ * Zipf popularity skew, modelling the repeated-query locality that
+ * makes coalescing effective for seed-sensitive workloads; the
+ * workload of each request draws from a configurable mix.
+ */
+
+#ifndef NSBENCH_SERVE_LOADGEN_HH
+#define NSBENCH_SERVE_LOADGEN_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/server.hh"
+
+namespace nsbench::serve
+{
+
+/** Load-generation knobs. */
+struct LoadgenOptions
+{
+    bool openLoop = true;        ///< Poisson arrivals vs closed loop.
+    double rateHz = 200.0;       ///< Offered rate (open loop only).
+    int clients = 4;             ///< In-flight requests (closed loop).
+    double durationSeconds = 2.0;///< Submission window length.
+    uint64_t seed = 1;           ///< Generator seed (determinism).
+    /** Distinct episode seeds drawn from; 0 -> every request unique. */
+    uint64_t seedUniverse = 64;
+    /** Zipf popularity exponent over the universe; 0 -> uniform. */
+    double zipfExponent = 1.1;
+    /** Per-request deadline in milliseconds; 0 -> none. */
+    double deadlineMs = 0.0;
+    /**
+     * Workload mix as (name, weight) pairs; empty -> uniform over the
+     * server's workloads.
+     */
+    std::vector<std::pair<std::string, double>> mix;
+};
+
+/** Aggregate outcome of one load-generation window. */
+struct LoadgenReport
+{
+    double wallSeconds = 0.0;  ///< Submission window + drain time.
+    uint64_t submitted = 0;    ///< submit() calls issued.
+    uint64_t admitted = 0;     ///< Requests the server accepted.
+    uint64_t completed = 0;    ///< Callbacks with status Ok.
+    uint64_t expired = 0;      ///< Callbacks with status Expired.
+    uint64_t rejected = 0;     ///< Admission-time rejections.
+    double offeredRate = 0.0;  ///< submitted / window seconds.
+
+    /** Completed requests per wall second. */
+    double
+    throughput() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(completed) / wallSeconds
+                   : 0.0;
+    }
+};
+
+/**
+ * Drives @p server with the configured load, waits for every admitted
+ * request to complete, and returns the aggregate report. Latency
+ * tails accumulate in the server's own metrics.
+ */
+LoadgenReport runLoadgen(Server &server,
+                         const LoadgenOptions &options);
+
+} // namespace nsbench::serve
+
+#endif // NSBENCH_SERVE_LOADGEN_HH

@@ -1,0 +1,177 @@
+#include "serve/metrics.hh"
+
+#include "util/format.hh"
+
+namespace nsbench::serve
+{
+
+const char *
+statusName(RequestStatus status)
+{
+    switch (status) {
+    case RequestStatus::Ok:
+        return "ok";
+    case RequestStatus::RejectedQueueFull:
+        return "rejected_queue_full";
+    case RequestStatus::RejectedDeadline:
+        return "rejected_deadline";
+    case RequestStatus::RejectedShutdown:
+        return "rejected_shutdown";
+    case RequestStatus::RejectedUnknownWorkload:
+        return "rejected_unknown_workload";
+    case RequestStatus::Expired:
+        return "expired";
+    }
+    return "unknown";
+}
+
+void
+ServerMetrics::recordAdmitted(const std::string &workload)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    perWorkload_[workload].submitted++;
+    total_.submitted++;
+}
+
+void
+ServerMetrics::recordRejected(const std::string &workload,
+                              RequestStatus status)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto bump = [status](WorkloadMetrics &m) {
+        switch (status) {
+        case RequestStatus::RejectedQueueFull:
+            m.rejectedQueueFull++;
+            break;
+        case RequestStatus::RejectedDeadline:
+            m.rejectedDeadline++;
+            break;
+        case RequestStatus::RejectedShutdown:
+            m.rejectedShutdown++;
+            break;
+        case RequestStatus::RejectedUnknownWorkload:
+            m.rejectedUnknown++;
+            break;
+        default:
+            break;
+        }
+    };
+    bump(perWorkload_[workload]);
+    bump(total_);
+}
+
+void
+ServerMetrics::recordBatch(const std::string &workload,
+                           size_t occupancy)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto add = [occupancy](WorkloadMetrics &m) {
+        m.batches++;
+        m.batchOccupancy.add(static_cast<double>(occupancy));
+    };
+    add(perWorkload_[workload]);
+    add(total_);
+}
+
+void
+ServerMetrics::recordExecution(const std::string &workload,
+                               double serviceSeconds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto add = [serviceSeconds](WorkloadMetrics &m) {
+        m.executions++;
+        m.service.add(serviceSeconds);
+    };
+    add(perWorkload_[workload]);
+    add(total_);
+}
+
+void
+ServerMetrics::recordOutcome(const std::string &workload,
+                             const Response &response)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto add = [&response](WorkloadMetrics &m) {
+        if (response.status == RequestStatus::Expired) {
+            m.expired++;
+            return;
+        }
+        m.completed++;
+        m.latency.add(response.latencySeconds);
+        m.queueWait.add(response.queueSeconds);
+        // Shared executions attribute their phase split once per
+        // member divided by the share count, so the per-workload sums
+        // stay one-profiler-pass exact.
+        double share = response.shared > 0
+                           ? 1.0 / static_cast<double>(response.shared)
+                           : 1.0;
+        m.neuralSeconds += response.neuralSeconds * share;
+        m.symbolicSeconds += response.symbolicSeconds * share;
+    };
+    add(perWorkload_[workload]);
+    add(total_);
+}
+
+WorkloadMetrics
+ServerMetrics::workload(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = perWorkload_.find(name);
+    return it == perWorkload_.end() ? WorkloadMetrics{} : it->second;
+}
+
+WorkloadMetrics
+ServerMetrics::total() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_;
+}
+
+std::map<std::string, WorkloadMetrics>
+ServerMetrics::byWorkload() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return perWorkload_;
+}
+
+void
+ServerMetrics::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    perWorkload_.clear();
+    total_ = WorkloadMetrics{};
+}
+
+util::Table
+ServerMetrics::table() const
+{
+    auto snapshot = byWorkload();
+    WorkloadMetrics totals = total();
+
+    util::Table table({"workload", "done", "rej", "exp", "runs",
+                       "share", "batch", "p50 ms", "p95 ms",
+                       "p99 ms", "mean ms", "wait ms", "neural"});
+    auto ms = [](double seconds) {
+        return util::fixedStr(seconds * 1e3, 2);
+    };
+    auto row = [&](const std::string &name,
+                   const WorkloadMetrics &m) {
+        table.addRow({name, std::to_string(m.completed),
+                      std::to_string(m.rejected()),
+                      std::to_string(m.expired),
+                      std::to_string(m.executions),
+                      util::fixedStr(m.shareFactor(), 2),
+                      util::fixedStr(m.batchOccupancy.mean(), 2),
+                      ms(m.latency.p50()), ms(m.latency.p95()),
+                      ms(m.latency.p99()), ms(m.latency.mean()),
+                      ms(m.queueWait.mean()),
+                      util::percentStr(m.neuralFraction())});
+    };
+    for (const auto &[name, m] : snapshot)
+        row(name, m);
+    if (snapshot.size() > 1)
+        row("TOTAL", totals);
+    return table;
+}
+
+} // namespace nsbench::serve

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Serving SLO metrics: latency tails, throughput counters, phase split.
+ *
+ * One thread-safe ServerMetrics instance per Server accumulates the
+ * outcome of every request — admissions, rejections by cause, expiry,
+ * completions with end-to-end latency, queue wait, service time and
+ * the profiler's neural/symbolic split — per workload and in total.
+ * Latency tails (p50/p95/p99) come from util::TailStats streaming
+ * estimators, so the accounting is O(1) per request no matter how
+ * long the server runs.
+ */
+
+#ifndef NSBENCH_SERVE_METRICS_HH
+#define NSBENCH_SERVE_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "serve/request.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace nsbench::serve
+{
+
+/**
+ * Aggregated outcome counters and latency accumulators for one
+ * workload (or the all-workloads total). Plain value type; snapshots
+ * are copies.
+ */
+struct WorkloadMetrics
+{
+    uint64_t submitted = 0;          ///< Admitted into the queue.
+    uint64_t completed = 0;          ///< Finished with status Ok.
+    uint64_t rejectedQueueFull = 0;  ///< Backpressure rejections.
+    uint64_t rejectedDeadline = 0;   ///< Dead-on-arrival rejections.
+    uint64_t rejectedShutdown = 0;   ///< Rejected while draining.
+    uint64_t rejectedUnknown = 0;    ///< Unknown-workload rejections.
+    uint64_t expired = 0;            ///< Admitted but expired in queue.
+    uint64_t executions = 0;         ///< Actual run() invocations.
+    uint64_t batches = 0;            ///< Batches dispatched.
+
+    util::TailStats latency;         ///< End-to-end seconds (Ok only).
+    util::RunningStat queueWait;     ///< Submit -> execution start.
+    util::RunningStat service;       ///< run() wall seconds/execution.
+    util::RunningStat batchOccupancy;///< Requests per dispatched batch.
+    double neuralSeconds = 0.0;      ///< Summed neural-phase op time.
+    double symbolicSeconds = 0.0;    ///< Summed symbolic-phase op time.
+
+    /** Total admission-time rejections. */
+    uint64_t
+    rejected() const
+    {
+        return rejectedQueueFull + rejectedDeadline +
+               rejectedShutdown + rejectedUnknown;
+    }
+
+    /**
+     * Completions served without their own run(): requests the
+     * batcher coalesced onto a shared execution.
+     */
+    uint64_t
+    coalesced() const
+    {
+        return completed > executions ? completed - executions : 0;
+    }
+
+    /** Completions per execution; 1.0 when nothing coalesced. */
+    double
+    shareFactor() const
+    {
+        return executions
+                   ? static_cast<double>(completed) /
+                         static_cast<double>(executions)
+                   : 0.0;
+    }
+
+    /** Neural fraction of attributed phase time. */
+    double
+    neuralFraction() const
+    {
+        double total = neuralSeconds + symbolicSeconds;
+        return total > 0.0 ? neuralSeconds / total : 0.0;
+    }
+};
+
+/**
+ * Thread-safe metrics sink shared by the admission path, the batcher
+ * and the workers.
+ */
+class ServerMetrics
+{
+  public:
+    /** Notes an admitted request. */
+    void recordAdmitted(const std::string &workload);
+
+    /** Notes an admission-time rejection of the given kind. */
+    void recordRejected(const std::string &workload,
+                        RequestStatus status);
+
+    /** Notes a dispatched batch of @p occupancy requests. */
+    void recordBatch(const std::string &workload, size_t occupancy);
+
+    /** Notes one run() execution taking @p serviceSeconds. */
+    void recordExecution(const std::string &workload,
+                         double serviceSeconds);
+
+    /** Notes a completion (Ok or Expired) with its response record. */
+    void recordOutcome(const std::string &workload,
+                       const Response &response);
+
+    /** Snapshot of one workload's aggregates (zeroes if unseen). */
+    WorkloadMetrics workload(const std::string &name) const;
+
+    /** Snapshot of the all-workloads total. */
+    WorkloadMetrics total() const;
+
+    /** Snapshot of every per-workload aggregate. */
+    std::map<std::string, WorkloadMetrics> byWorkload() const;
+
+    /** Clears all aggregates (between load-sweep operating points). */
+    void reset();
+
+    /**
+     * Renders the standard serve report: one row per workload plus a
+     * total row — counts, share factor, latency tails in
+     * milliseconds, and the neural/symbolic split.
+     */
+    util::Table table() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, WorkloadMetrics> perWorkload_;
+    WorkloadMetrics total_;
+};
+
+} // namespace nsbench::serve
+
+#endif // NSBENCH_SERVE_METRICS_HH

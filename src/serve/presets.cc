@@ -1,0 +1,39 @@
+#include "serve/presets.hh"
+
+#include "workloads/nvsa.hh"
+#include "workloads/prae.hh"
+#include "workloads/vsait.hh"
+#include "workloads/zeroc.hh"
+
+namespace nsbench::serve
+{
+
+std::unique_ptr<core::Workload>
+serveFactory(const std::string &name)
+{
+    using namespace nsbench::workloads;
+    if (name == "NVSA") {
+        NvsaConfig config;
+        config.hvDim = 256;
+        config.episodes = 1;
+        return std::make_unique<NvsaWorkload>(config);
+    }
+    if (name == "PrAE") {
+        PraeConfig config;
+        config.episodes = 1;
+        return std::make_unique<PraeWorkload>(config);
+    }
+    if (name == "VSAIT") {
+        VsaitConfig config;
+        config.episodes = 1;
+        return std::make_unique<VsaitWorkload>(config);
+    }
+    if (name == "ZeroC") {
+        ZerocConfig config;
+        config.episodes = 1;
+        return std::make_unique<ZerocWorkload>(config);
+    }
+    return core::WorkloadRegistry::global().create(name);
+}
+
+} // namespace nsbench::serve

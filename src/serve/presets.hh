@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Serve-sized workload presets.
+ *
+ * The characterization configs (the registry defaults) size each
+ * workload for offline profiling — NVSA alone runs for seconds per
+ * invocation. Online serving wants request-sized work: one episode
+ * per request, smaller hypervector spaces where the default is
+ * profiling-sized. serveFactory() builds replicas at those presets;
+ * workloads without an entry fall back to the registry default.
+ */
+
+#ifndef NSBENCH_SERVE_PRESETS_HH
+#define NSBENCH_SERVE_PRESETS_HH
+
+#include <memory>
+#include <string>
+
+#include "core/workload.hh"
+
+namespace nsbench::serve
+{
+
+/**
+ * Builds a serve-sized replica of the named workload; fatal() on
+ * unknown names (same contract as the registry).
+ */
+std::unique_ptr<core::Workload>
+serveFactory(const std::string &name);
+
+} // namespace nsbench::serve
+
+#endif // NSBENCH_SERVE_PRESETS_HH

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Request/response types of the serving runtime.
+ *
+ * A request names a workload, carries the seed of the episode stream
+ * it wants evaluated, and optionally a completion deadline. The
+ * response reports the score plus the latency decomposition the
+ * paper's serving analysis needs: end-to-end latency, queue wait,
+ * service time, and the profiler's neural/symbolic phase split.
+ */
+
+#ifndef NSBENCH_SERVE_REQUEST_HH
+#define NSBENCH_SERVE_REQUEST_HH
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace nsbench::serve
+{
+
+/** Monotonic clock all serving timestamps use. */
+using ServeClock = std::chrono::steady_clock;
+
+/** A time point on the serving clock. */
+using TimePoint = ServeClock::time_point;
+
+/** Sentinel deadline meaning "no deadline". */
+inline TimePoint
+noDeadline()
+{
+    return TimePoint::max();
+}
+
+/** Terminal state of a request. */
+enum class RequestStatus
+{
+    Ok,                     ///< Executed; the response carries a score.
+    RejectedQueueFull,      ///< Backpressure: admission queue was full.
+    RejectedDeadline,       ///< Deadline already expired at admission.
+    RejectedShutdown,       ///< Server draining or stopped.
+    RejectedUnknownWorkload,///< Workload not served by this server.
+    Expired,                ///< Admitted, but the deadline passed in queue.
+};
+
+/** Short stable name for reports and CSV. */
+const char *statusName(RequestStatus status);
+
+/** True for the admission-time rejection statuses. */
+inline bool
+isRejection(RequestStatus status)
+{
+    return status == RequestStatus::RejectedQueueFull ||
+           status == RequestStatus::RejectedDeadline ||
+           status == RequestStatus::RejectedShutdown ||
+           status == RequestStatus::RejectedUnknownWorkload;
+}
+
+/**
+ * Completion record delivered to the request's callback. For Ok
+ * responses every field is set; Expired responses carry timing but
+ * no score; rejected requests never reach a callback (submit reports
+ * the rejection synchronously).
+ */
+struct Response
+{
+    RequestStatus status = RequestStatus::Ok;
+    double score = 0.0;          ///< Workload score; pure in (model, seed).
+    double latencySeconds = 0.0; ///< Submit -> completion.
+    double queueSeconds = 0.0;   ///< Submit -> execution start.
+    double serviceSeconds = 0.0; ///< run() wall time of the execution.
+    double neuralSeconds = 0.0;  ///< Profiler neural-phase op time.
+    double symbolicSeconds = 0.0;///< Profiler symbolic-phase op time.
+    int batchSize = 0;           ///< Requests in the executed batch.
+    int shared = 0;              ///< Requests sharing this execution.
+};
+
+/** Completion callback; invoked exactly once per admitted request. */
+using Callback = std::function<void(const Response &)>;
+
+/** One admitted in-flight request. */
+struct Request
+{
+    uint64_t id = 0;
+    std::string workload;
+    uint64_t seed = 0;
+    TimePoint enqueue{};
+    TimePoint deadline = TimePoint::max();
+    Callback done;
+};
+
+/** A batcher-coalesced group of same-workload requests. */
+struct Batch
+{
+    std::string workload;
+    std::vector<Request> requests;
+};
+
+/** Seconds between two serve-clock points. */
+inline double
+secondsBetween(TimePoint from, TimePoint to)
+{
+    return std::chrono::duration<double>(to - from).count();
+}
+
+} // namespace nsbench::serve
+
+#endif // NSBENCH_SERVE_REQUEST_HH

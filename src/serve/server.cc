@@ -1,0 +1,293 @@
+#include "serve/server.hh"
+
+#include <future>
+#include <map>
+#include <utility>
+
+#include "core/profiler.hh"
+#include "util/logging.hh"
+#include "util/threadpool.hh"
+#include "util/timer.hh"
+
+namespace nsbench::serve
+{
+
+namespace
+{
+
+/** Default replica factory: the process-global workload registry. */
+std::unique_ptr<core::Workload>
+registryFactory(const std::string &name)
+{
+    return core::WorkloadRegistry::global().create(name);
+}
+
+} // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      admission_(options_.queueCapacity),
+      batches_(options_.batchQueueCapacity
+                   ? options_.batchQueueCapacity
+                   : 2 * static_cast<size_t>(
+                             options_.workers > 0 ? options_.workers
+                                                  : 1))
+{
+    util::panicIf(options_.workloads.empty(),
+                  "Server: no workloads to serve");
+    util::panicIf(options_.workers <= 0,
+                  "Server: need at least one worker");
+    if (!options_.factory)
+        options_.factory = registryFactory;
+
+    batcher_ = std::make_unique<Batcher>(
+        admission_, batches_, options_.maxBatch,
+        std::chrono::microseconds(options_.maxWaitUs), metrics_);
+    batcherThread_ = std::thread([this] { batcher_->run(); });
+
+    workers_.reserve(static_cast<size_t>(options_.workers));
+    for (int i = 0; i < options_.workers; ++i)
+        workers_.emplace_back([this, i] { workerMain(i); });
+
+    // Block until every worker finished pre-warming its replicas so
+    // the first request never observes setUp latency.
+    std::unique_lock<std::mutex> lock(readyMu_);
+    readyCv_.wait(lock, [this] {
+        return readyWorkers_ == options_.workers;
+    });
+}
+
+Server::~Server() { shutdown(); }
+
+RequestStatus
+Server::submit(const std::string &workload, uint64_t seed,
+               Callback done, TimePoint deadline)
+{
+    bool known = false;
+    for (const auto &name : options_.workloads)
+        if (name == workload) {
+            known = true;
+            break;
+        }
+    if (!known) {
+        metrics_.recordRejected(workload,
+                                RequestStatus::RejectedUnknownWorkload);
+        return RequestStatus::RejectedUnknownWorkload;
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+        metrics_.recordRejected(workload,
+                                RequestStatus::RejectedShutdown);
+        return RequestStatus::RejectedShutdown;
+    }
+
+    Request request;
+    request.id = nextId_.fetch_add(1, std::memory_order_relaxed);
+    request.workload = workload;
+    request.seed = seed;
+    request.enqueue = ServeClock::now();
+    request.deadline = deadline;
+    request.done = std::move(done);
+
+    if (deadline <= request.enqueue) {
+        metrics_.recordRejected(workload,
+                                RequestStatus::RejectedDeadline);
+        return RequestStatus::RejectedDeadline;
+    }
+
+    if (!admission_.tryPush(std::move(request))) {
+        // tryPush fails both on a full queue and on a closed one;
+        // closure means a shutdown raced this submit.
+        RequestStatus status = admission_.closed()
+                                   ? RequestStatus::RejectedShutdown
+                                   : RequestStatus::RejectedQueueFull;
+        metrics_.recordRejected(workload, status);
+        return status;
+    }
+    metrics_.recordAdmitted(workload);
+    return RequestStatus::Ok;
+}
+
+Response
+Server::call(const std::string &workload, uint64_t seed,
+             TimePoint deadline)
+{
+    auto promise = std::make_shared<std::promise<Response>>();
+    auto future = promise->get_future();
+    RequestStatus status = submit(
+        workload, seed,
+        [promise](const Response &r) { promise->set_value(r); },
+        deadline);
+    if (status != RequestStatus::Ok) {
+        Response rejected;
+        rejected.status = status;
+        return rejected;
+    }
+    return future.get();
+}
+
+void
+Server::shutdown()
+{
+    stopping_.store(true, std::memory_order_release);
+    admission_.close();
+    if (joined_.exchange(true))
+        return;
+    // The batcher drains the admission queue, flushes its pending
+    // batches and closes the batch queue; the workers then drain the
+    // batch queue and exit. Every admitted request completes.
+    if (batcherThread_.joinable())
+        batcherThread_.join();
+    for (auto &worker : workers_)
+        if (worker.joinable())
+            worker.join();
+}
+
+void
+Server::workerMain(int workerIndex)
+{
+    (void)workerIndex;
+    // Serve requests single-threaded on this worker: all parallelFor
+    // kernels run inline, so concurrent workers never contend on the
+    // shared pool and the per-request op stream stays on this thread.
+    util::ThreadPool::SerialScope serial;
+
+    std::map<std::string, Replica> replicas;
+    for (const auto &name : options_.workloads) {
+        Replica replica;
+        replica.workload = options_.factory(name);
+        util::panicIf(!replica.workload,
+                      "Server: factory returned null for " + name);
+        {
+            // Pre-warm under the replica's own profiler so setUp
+            // allocations never pollute the process-global one.
+            core::Profiler::ThreadTargetScope target(replica.profiler);
+            replica.workload->setUp(options_.modelSeed);
+            core::Profiler::flushThisThread();
+        }
+        replicas.emplace(name, std::move(replica));
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(readyMu_);
+        readyWorkers_++;
+    }
+    readyCv_.notify_all();
+
+    while (auto batch = batches_.pop())
+        runBatchOn(replicas, *batch);
+}
+
+void
+Server::runBatchOn(std::map<std::string, Replica> &replicas,
+                   const Batch &batch)
+{
+    auto it = replicas.find(batch.workload);
+    util::panicIf(it == replicas.end(),
+                  "Server: batch for unserved workload " +
+                      batch.workload);
+    Replica &replica = it->second;
+    core::Workload &workload = *replica.workload;
+    const int batchSize = static_cast<int>(batch.requests.size());
+
+    // Group the batch into executions. Coalescing folds requests with
+    // the same effective seed onto one shared run(); seed-insensitive
+    // workloads ignore the seed entirely, so their whole batch is one
+    // group. With coalescing off every request runs alone, in arrival
+    // order.
+    const bool seedMatters = workload.seedSensitive();
+    std::vector<std::pair<uint64_t, std::vector<const Request *>>>
+        groups;
+    if (options_.coalesce) {
+        std::map<uint64_t, size_t> index;
+        for (const Request &request : batch.requests) {
+            uint64_t key = seedMatters ? request.seed : 0;
+            auto found = index.find(key);
+            if (found == index.end()) {
+                index.emplace(key, groups.size());
+                groups.push_back({request.seed, {&request}});
+            } else {
+                groups[found->second].second.push_back(&request);
+            }
+        }
+    } else {
+        for (const Request &request : batch.requests)
+            groups.push_back({request.seed, {&request}});
+    }
+
+    for (auto &[seed, members] : groups) {
+        // Complete queue-expired members without running them.
+        TimePoint start = ServeClock::now();
+        std::vector<const Request *> live;
+        live.reserve(members.size());
+        for (const Request *request : members) {
+            if (request->deadline <= start) {
+                Response expired;
+                expired.status = RequestStatus::Expired;
+                expired.latencySeconds =
+                    secondsBetween(request->enqueue, start);
+                expired.queueSeconds = expired.latencySeconds;
+                expired.batchSize = batchSize;
+                metrics_.recordOutcome(batch.workload, expired);
+                if (request->done)
+                    request->done(expired);
+            } else {
+                live.push_back(request);
+            }
+        }
+        if (live.empty())
+            continue;
+
+        double score = 0.0;
+        double service = 0.0;
+        double neural = 0.0;
+        double symbolic = 0.0;
+        if (options_.profilePhases) {
+            core::Profiler::ThreadTargetScope target(replica.profiler);
+            // reset() also makes this worker the profiler's owner, so
+            // every inline-executed op applies directly.
+            replica.profiler.reset();
+            if (seedMatters)
+                workload.reseedEpisodes(seed);
+            util::WallTimer timer;
+            score = workload.run();
+            service = timer.elapsed();
+            core::Profiler::flushThisThread();
+            neural = replica.profiler
+                         .phaseTotals(core::Phase::Neural)
+                         .seconds;
+            symbolic = replica.profiler
+                           .phaseTotals(core::Phase::Symbolic)
+                           .seconds;
+        } else {
+            core::Profiler::ThreadTargetScope target(replica.profiler);
+            replica.profiler.setEnabled(false);
+            if (seedMatters)
+                workload.reseedEpisodes(seed);
+            util::WallTimer timer;
+            score = workload.run();
+            service = timer.elapsed();
+        }
+        metrics_.recordExecution(batch.workload, service);
+
+        TimePoint end = ServeClock::now();
+        for (const Request *request : live) {
+            Response response;
+            response.status = RequestStatus::Ok;
+            response.score = score;
+            response.latencySeconds =
+                secondsBetween(request->enqueue, end);
+            response.queueSeconds =
+                secondsBetween(request->enqueue, start);
+            response.serviceSeconds = service;
+            response.neuralSeconds = neural;
+            response.symbolicSeconds = symbolic;
+            response.batchSize = batchSize;
+            response.shared = static_cast<int>(live.size());
+            metrics_.recordOutcome(batch.workload, response);
+            if (request->done)
+                request->done(response);
+        }
+    }
+}
+
+} // namespace nsbench::serve

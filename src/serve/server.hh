@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The batched neuro-symbolic inference server.
+ *
+ * A Server owns the admission queue, the batching thread and a pool
+ * of worker threads. Each worker pre-warms one replica of every
+ * served workload — setUp runs once per replica and is reused across
+ * requests — then executes batches popped from the batch queue.
+ *
+ * Determinism contract: a workload's score is a pure function of
+ * (model seed, episode seed). The server relies on this in both
+ * directions. Replicas built from the same model seed are
+ * interchangeable, so a request's score does not depend on which
+ * worker runs it, how requests were batched, or their arrival order.
+ * And equal requests are *coalescible*: when coalescing is enabled
+ * the worker runs each distinct episode seed in a batch once and fans
+ * the score out to every request that asked for it (for workloads
+ * that declare seedSensitive() == false, the whole batch shares one
+ * run). That sharing is where batching's throughput gain comes from
+ * on CPU-bound workloads.
+ *
+ * Each worker pins itself into ThreadPool::SerialScope and installs a
+ * thread-local profiler target, so requests execute single-threaded
+ * on the worker with an exact per-execution neural/symbolic phase
+ * split, and concurrent workers never contend on the shared pool.
+ */
+
+#ifndef NSBENCH_SERVE_SERVER_HH
+#define NSBENCH_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/profiler.hh"
+#include "core/workload.hh"
+#include "serve/batcher.hh"
+#include "serve/metrics.hh"
+#include "serve/queue.hh"
+#include "serve/request.hh"
+
+namespace nsbench::serve
+{
+
+/** Server construction knobs. */
+struct ServerOptions
+{
+    /** Workloads this server hosts (replica of each per worker). */
+    std::vector<std::string> workloads;
+    int workers = 2;              ///< Worker threads (replica sets).
+    int maxBatch = 8;             ///< Batcher coalescing limit.
+    int64_t maxWaitUs = 2000;     ///< Batcher wait for a non-full batch.
+    size_t queueCapacity = 256;   ///< Admission queue bound.
+    size_t batchQueueCapacity = 0;///< Batch queue bound; 0 -> 2*workers.
+    uint64_t modelSeed = 42;      ///< setUp seed for every replica.
+    bool coalesce = true;         ///< Share executions across equal requests.
+    bool profilePhases = true;    ///< Collect the neural/symbolic split.
+    /**
+     * Replica factory; defaults to the global workload registry.
+     * Override to serve reduced-size configs (e.g. a serve-sized
+     * NVSA) without touching the registry.
+     */
+    std::function<std::unique_ptr<core::Workload>(const std::string &)>
+        factory;
+};
+
+/**
+ * Batched serving runtime over pre-warmed workload replicas.
+ */
+class Server
+{
+  public:
+    /**
+     * Builds the replicas and starts the batcher and worker threads.
+     * Blocks until every worker has finished pre-warming, so the
+     * first request never pays setUp cost.
+     */
+    explicit Server(ServerOptions options);
+
+    /** Graceful shutdown (drains admitted work). */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Submits a request. Returns Ok when admitted — the callback will
+     * fire exactly once later — or a rejection status, in which case
+     * the callback is never invoked.
+     */
+    RequestStatus submit(const std::string &workload, uint64_t seed,
+                         Callback done,
+                         TimePoint deadline = noDeadline());
+
+    /** Blocking convenience wrapper: submit and wait for completion. */
+    Response call(const std::string &workload, uint64_t seed,
+                  TimePoint deadline = noDeadline());
+
+    /**
+     * Stops admission, waits for every admitted request to complete,
+     * and joins all threads. Idempotent; also run by the destructor.
+     */
+    void shutdown();
+
+    /** The metrics sink (live; snapshot via its accessors). */
+    ServerMetrics &metrics() { return metrics_; }
+
+    /** Clears metrics between load-sweep operating points. */
+    void resetMetrics() { metrics_.reset(); }
+
+    /** Served workload names, in option order. */
+    const std::vector<std::string> &workloads() const
+    {
+        return options_.workloads;
+    }
+
+    /** The options the server was built with. */
+    const ServerOptions &options() const { return options_; }
+
+  private:
+    /** Per-worker replica with its private profiler. */
+    struct Replica
+    {
+        std::unique_ptr<core::Workload> workload;
+        core::Profiler profiler;
+    };
+
+    /** Worker thread body: pre-warm, signal ready, serve batches. */
+    void workerMain(int workerIndex);
+
+    /** Executes one batch on this worker's replicas. */
+    void runBatchOn(std::map<std::string, Replica> &replicas,
+                    const Batch &batch);
+
+    ServerOptions options_;
+    ServerMetrics metrics_;
+    BoundedQueue<Request> admission_;
+    BoundedQueue<Batch> batches_;
+    std::unique_ptr<Batcher> batcher_;
+    std::thread batcherThread_;
+    std::vector<std::thread> workers_;
+    std::atomic<uint64_t> nextId_{1};
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> joined_{false};
+    std::mutex readyMu_;
+    std::condition_variable readyCv_;
+    int readyWorkers_ = 0;
+};
+
+} // namespace nsbench::serve
+
+#endif // NSBENCH_SERVE_SERVER_HH

@@ -29,6 +29,104 @@ Histogram::binCenter(size_t bin) const
     return lo_ + (static_cast<double>(bin) + 0.5) * width;
 }
 
+P2Quantile::P2Quantile(double q) : q_(q)
+{
+    panicIf(q <= 0.0 || q >= 1.0,
+            "P2Quantile: quantile must lie strictly in (0, 1)");
+    // Desired positions (1-based in the paper): 1, 1+2q, 1+4q,
+    // 3+2q, 5; increments 0, q/2, q, (1+q)/2, 1.
+    desired_[0] = 1.0;
+    desired_[1] = 1.0 + 2.0 * q;
+    desired_[2] = 1.0 + 4.0 * q;
+    desired_[3] = 3.0 + 2.0 * q;
+    desired_[4] = 5.0;
+    increment_[0] = 0.0;
+    increment_[1] = q / 2.0;
+    increment_[2] = q;
+    increment_[3] = (1.0 + q) / 2.0;
+    increment_[4] = 1.0;
+}
+
+void
+P2Quantile::add(double x)
+{
+    count_++;
+    if (count_ <= 5) {
+        // Bootstrap: collect the first five samples sorted.
+        size_t n = static_cast<size_t>(count_);
+        heights_[n - 1] = x;
+        std::sort(heights_, heights_ + n);
+        for (size_t i = 0; i < 5; i++)
+            positions_[i] = static_cast<double>(i + 1);
+        return;
+    }
+
+    // Locate the cell k with q[k] <= x < q[k+1], clamping the
+    // extreme markers to the observed range.
+    size_t k;
+    if (x < heights_[0]) {
+        heights_[0] = x;
+        k = 0;
+    } else if (x >= heights_[4]) {
+        heights_[4] = x;
+        k = 3;
+    } else {
+        k = 0;
+        while (k < 3 && x >= heights_[k + 1])
+            k++;
+    }
+
+    for (size_t i = k + 1; i < 5; i++)
+        positions_[i] += 1.0;
+    for (size_t i = 0; i < 5; i++)
+        desired_[i] += increment_[i];
+
+    // Nudge the three interior markers toward their desired
+    // positions, adjusting heights by the P² parabolic formula (or
+    // linearly when the parabola would cross a neighbour).
+    for (size_t i = 1; i <= 3; i++) {
+        double d = desired_[i] - positions_[i];
+        double below = positions_[i] - positions_[i - 1];
+        double above = positions_[i + 1] - positions_[i];
+        if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+            double sign = d >= 0.0 ? 1.0 : -1.0;
+            double span = positions_[i + 1] - positions_[i - 1];
+            double parabolic =
+                heights_[i] +
+                sign / span *
+                    ((below + sign) *
+                         (heights_[i + 1] - heights_[i]) / above +
+                     (above - sign) *
+                         (heights_[i] - heights_[i - 1]) / below);
+            if (heights_[i - 1] < parabolic &&
+                parabolic < heights_[i + 1]) {
+                heights_[i] = parabolic;
+            } else {
+                size_t j = d >= 0.0 ? i + 1 : i - 1;
+                heights_[i] += sign *
+                               (heights_[j] - heights_[i]) /
+                               (positions_[j] - positions_[i]);
+            }
+            positions_[i] += sign;
+        }
+    }
+}
+
+double
+P2Quantile::value() const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (count_ <= 5) {
+        // Exact small-sample quantile, consistent with percentile().
+        std::vector<double> sorted(heights_,
+                                   heights_ + static_cast<size_t>(
+                                                  count_));
+        return percentile(std::move(sorted), q_ * 100.0);
+    }
+    return heights_[2];
+}
+
 double
 percentile(std::vector<double> samples, double p)
 {

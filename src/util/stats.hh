@@ -109,6 +109,90 @@ class Histogram
  */
 double percentile(std::vector<double> samples, double p);
 
+/**
+ * Streaming quantile estimator (Jain & Chlamtac's P² algorithm).
+ *
+ * Tracks one quantile of an unbounded stream in O(1) memory and O(1)
+ * per sample: five markers straddle the target quantile and drift
+ * toward their ideal positions by parabolic interpolation. With five
+ * or fewer samples the estimate is exact (sorted-sample
+ * interpolation, matching util::percentile). The estimator is fully
+ * deterministic — the same sample sequence always yields the same
+ * estimate — which the serving runtime relies on for reproducible
+ * latency reports.
+ */
+class P2Quantile
+{
+  public:
+    /** @param q Target quantile in (0, 1), e.g. 0.99 for p99. */
+    explicit P2Quantile(double q);
+
+    /** Folds one sample into the estimate. */
+    void add(double x);
+
+    /** Current quantile estimate; 0 when no samples were added. */
+    double value() const;
+
+    /** Number of samples folded in so far. */
+    uint64_t count() const { return count_; }
+
+    /** The quantile this estimator tracks, in (0, 1). */
+    double quantile() const { return q_; }
+
+  private:
+    double q_;
+    uint64_t count_ = 0;
+    double heights_[5] = {};   ///< Marker heights q[i].
+    double positions_[5] = {}; ///< Actual marker positions n[i].
+    double desired_[5] = {};   ///< Desired marker positions n'[i].
+    double increment_[5] = {}; ///< Desired-position increments dn'[i].
+};
+
+/**
+ * The latency tail summary the serving metrics report: running
+ * mean/min/max plus streaming p50/p95/p99.
+ */
+class TailStats
+{
+  public:
+    /** Folds one sample into every accumulator. */
+    void
+    add(double x)
+    {
+        stat_.add(x);
+        p50_.add(x);
+        p95_.add(x);
+        p99_.add(x);
+    }
+
+    /** Number of samples folded in so far. */
+    uint64_t count() const { return stat_.count(); }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return stat_.mean(); }
+
+    /** Smallest sample seen; +inf when empty. */
+    double min() const { return stat_.min(); }
+
+    /** Largest sample seen; -inf when empty. */
+    double max() const { return stat_.max(); }
+
+    /** Streaming median estimate. */
+    double p50() const { return p50_.value(); }
+
+    /** Streaming 95th-percentile estimate. */
+    double p95() const { return p95_.value(); }
+
+    /** Streaming 99th-percentile estimate. */
+    double p99() const { return p99_.value(); }
+
+  private:
+    RunningStat stat_;
+    P2Quantile p50_{0.50};
+    P2Quantile p95_{0.95};
+    P2Quantile p99_{0.99};
+};
+
 } // namespace nsbench::util
 
 #endif // NSBENCH_UTIL_STATS_HH

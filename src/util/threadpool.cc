@@ -46,6 +46,11 @@ ThreadPool::~ThreadPool()
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
+        // Destruction while a region is in flight would leave workers
+        // touching a Job on a dead caller's stack; fail loudly instead
+        // (see the shutdown contract in the header).
+        panicIf(job_ != nullptr,
+                "ThreadPool destroyed while a parallelFor is active");
         stop_ = true;
     }
     wakeCv_.notify_all();
@@ -57,6 +62,16 @@ bool
 ThreadPool::inParallelRegion()
 {
     return tlInRegion;
+}
+
+ThreadPool::SerialScope::SerialScope() : prev_(tlInRegion)
+{
+    tlInRegion = true;
+}
+
+ThreadPool::SerialScope::~SerialScope()
+{
+    tlInRegion = prev_;
 }
 
 void

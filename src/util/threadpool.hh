@@ -60,7 +60,19 @@ class ThreadPool
     /** Creates a pool of the given total width (minimum 1). */
     explicit ThreadPool(int threads);
 
-    /** Joins all workers. Must not race an active parallelFor. */
+    /**
+     * Joins all workers.
+     *
+     * Shutdown contract: the destructor must not race an active
+     * parallelFor on this pool. parallelFor blocks its caller until
+     * the region completes, so the contract is only at risk when
+     * *another* thread is inside parallelFor while this one
+     * destroys the pool — external serialization (e.g. the serve
+     * runtime's drain: stop producers, drain queues, join consumers,
+     * then destroy) must make that impossible. The destructor
+     * asserts the quiescence it relies on: a region still in flight
+     * is a fatal error, not undefined behaviour.
+     */
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -82,6 +94,29 @@ class ThreadPool
 
     /** True while the calling thread is executing inside a region. */
     static bool inParallelRegion();
+
+    /**
+     * RAII scope that pins the calling thread to serial kernel
+     * execution: while alive, every parallelFor issued from this
+     * thread runs inline (the nested-region fast path) instead of
+     * dispatching to the pool. The serving runtime wraps each
+     * request-execution thread in one of these, so concurrent
+     * replicas never contend for the global pool and a request's
+     * entire op stream stays on its worker thread — which is what
+     * makes per-request profiler attribution exact. Scopes nest.
+     */
+    class SerialScope
+    {
+      public:
+        SerialScope();
+        ~SerialScope();
+
+        SerialScope(const SerialScope &) = delete;
+        SerialScope &operator=(const SerialScope &) = delete;
+
+      private:
+        bool prev_;
+    };
 
     /** Installs the post-region sync hook (see SyncHook). */
     static void setSyncHook(SyncHook hook);

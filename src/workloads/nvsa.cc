@@ -121,6 +121,16 @@ NvsaWorkload::setUp(uint64_t seed)
     }
 }
 
+void
+NvsaWorkload::reseedEpisodes(uint64_t seed)
+{
+    // Only the puzzle stream restarts; perception weights and the
+    // codebooks (the model) are untouched, so long-lived serve
+    // replicas answer a seed-s request exactly like a fresh one.
+    generator_ = std::make_unique<data::RavenGenerator>(config_.grid,
+                                                        seed);
+}
+
 uint64_t
 NvsaWorkload::storageBytes() const
 {

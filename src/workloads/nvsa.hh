@@ -64,6 +64,8 @@ class NvsaWorkload : public core::Workload
 
     void setUp(uint64_t seed) override;
     double run() override;
+    /** Resets the puzzle generator only; codebooks and weights stay. */
+    void reseedEpisodes(uint64_t seed) override;
     core::OpGraph opGraph() const override;
     uint64_t storageBytes() const override;
 

@@ -50,6 +50,15 @@ PraeWorkload::setUp(uint64_t seed)
     }
 }
 
+void
+PraeWorkload::reseedEpisodes(uint64_t seed)
+{
+    // Only the puzzle stream restarts; perception and the
+    // precomputed rule tables (the model) are untouched.
+    generator_ = std::make_unique<data::RavenGenerator>(config_.grid,
+                                                        seed);
+}
+
 uint64_t
 PraeWorkload::storageBytes() const
 {

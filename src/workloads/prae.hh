@@ -58,6 +58,8 @@ class PraeWorkload : public core::Workload
 
     void setUp(uint64_t seed) override;
     double run() override;
+    /** Resets the puzzle generator only; rule tables stay. */
+    void reseedEpisodes(uint64_t seed) override;
     core::OpGraph opGraph() const override;
     uint64_t storageBytes() const override;
 

@@ -56,6 +56,15 @@ VsaitWorkload::setUp(uint64_t seed)
         {config_.hvDim, config_.patch * config_.patch}, *rng_);
 }
 
+void
+VsaitWorkload::reseedEpisodes(uint64_t seed)
+{
+    // Only the episode image stream restarts (salted so it is
+    // decoupled from the weight-init draws setUp takes from the
+    // same seed); convs and the LSH projection are untouched.
+    rng_ = std::make_unique<util::Rng>(seed ^ 0xE9150DE5ULL);
+}
+
 uint64_t
 VsaitWorkload::storageBytes() const
 {

@@ -63,6 +63,8 @@ class VsaitWorkload : public core::Workload
 
     void setUp(uint64_t seed) override;
     double run() override;
+    /** Resets the episode RNG only; convs and projection stay. */
+    void reseedEpisodes(uint64_t seed) override;
     core::OpGraph opGraph() const override;
     uint64_t storageBytes() const override;
 

@@ -84,6 +84,14 @@ ZerocWorkload::setUp(uint64_t seed)
     };
 }
 
+void
+ZerocWorkload::reseedEpisodes(uint64_t seed)
+{
+    // Only the scene stream restarts (salted like VSAIT's); energy
+    // models and the shared net are untouched.
+    rng_ = std::make_unique<util::Rng>(seed ^ 0xE9150DE5ULL);
+}
+
 uint64_t
 ZerocWorkload::storageBytes() const
 {

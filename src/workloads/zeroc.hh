@@ -60,6 +60,8 @@ class ZerocWorkload : public core::Workload
 
     void setUp(uint64_t seed) override;
     double run() override;
+    /** Resets the scene RNG only; energy models and net stay. */
+    void reseedEpisodes(uint64_t seed) override;
     core::OpGraph opGraph() const override;
     uint64_t storageBytes() const override;
 

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Batcher unit tests: size-triggered dispatch, timer-triggered
+ * dispatch, per-workload separation, and the drain-then-close
+ * handoff to the worker side.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "serve/batcher.hh"
+#include "serve/metrics.hh"
+#include "serve/queue.hh"
+
+namespace
+{
+
+using namespace nsbench;
+using namespace std::chrono_literals;
+
+serve::Request
+makeRequest(const std::string &workload, uint64_t seed)
+{
+    serve::Request request;
+    request.workload = workload;
+    request.seed = seed;
+    request.enqueue = serve::ServeClock::now();
+    return request;
+}
+
+/** Runs a batcher over its own thread for the test's lifetime. */
+struct BatcherHarness
+{
+    explicit BatcherHarness(int max_batch,
+                            std::chrono::microseconds max_wait)
+        : in(64), out(64),
+          batcher(in, out, max_batch, max_wait, metrics),
+          thread([this] { batcher.run(); })
+    {}
+
+    ~BatcherHarness()
+    {
+        in.close();
+        thread.join();
+    }
+
+    serve::BoundedQueue<serve::Request> in;
+    serve::BoundedQueue<serve::Batch> out;
+    serve::ServerMetrics metrics;
+    serve::Batcher batcher;
+    std::thread thread;
+};
+
+TEST(ServeBatcher, DispatchesWhenBatchFills)
+{
+    BatcherHarness harness(4, 10s);
+    for (uint64_t i = 0; i < 4; i++)
+        ASSERT_TRUE(harness.in.push(makeRequest("A", i)));
+
+    // The wait timer is effectively infinite, so only the size
+    // trigger can have dispatched this batch.
+    auto batch = harness.out.pop();
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->workload, "A");
+    ASSERT_EQ(batch->requests.size(), 4u);
+    for (uint64_t i = 0; i < 4; i++)
+        EXPECT_EQ(batch->requests[i].seed, i);
+}
+
+TEST(ServeBatcher, DispatchesPartialBatchAfterMaxWait)
+{
+    BatcherHarness harness(8, 5ms);
+    ASSERT_TRUE(harness.in.push(makeRequest("A", 1)));
+    ASSERT_TRUE(harness.in.push(makeRequest("A", 2)));
+
+    auto start = serve::ServeClock::now();
+    auto batch = harness.out.pop();
+    double waited = serve::secondsBetween(start,
+                                          serve::ServeClock::now());
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->requests.size(), 2u);
+    EXPECT_LT(waited, 1.0);
+}
+
+TEST(ServeBatcher, KeepsWorkloadsInSeparateBatches)
+{
+    BatcherHarness harness(2, 10s);
+    ASSERT_TRUE(harness.in.push(makeRequest("A", 1)));
+    ASSERT_TRUE(harness.in.push(makeRequest("B", 1)));
+    ASSERT_TRUE(harness.in.push(makeRequest("A", 2)));
+    ASSERT_TRUE(harness.in.push(makeRequest("B", 2)));
+
+    std::vector<serve::Batch> batches;
+    batches.push_back(*harness.out.pop());
+    batches.push_back(*harness.out.pop());
+    for (const auto &batch : batches) {
+        EXPECT_EQ(batch.requests.size(), 2u);
+        for (const auto &request : batch.requests)
+            EXPECT_EQ(request.workload, batch.workload);
+    }
+    EXPECT_NE(batches[0].workload, batches[1].workload);
+}
+
+TEST(ServeBatcher, DrainFlushesPendingAndClosesOutput)
+{
+    serve::BoundedQueue<serve::Request> in(64);
+    serve::BoundedQueue<serve::Batch> out(64);
+    serve::ServerMetrics metrics;
+    serve::Batcher batcher(in, out, 8, std::chrono::seconds(10),
+                           metrics);
+    std::thread thread([&] { batcher.run(); });
+
+    ASSERT_TRUE(in.push(makeRequest("A", 1)));
+    ASSERT_TRUE(in.push(makeRequest("B", 2)));
+    in.close();
+    thread.join();
+
+    // Both pending singletons flushed despite their infinite timers,
+    // then the batch queue closed: drain strands nothing.
+    int batches = 0;
+    while (auto batch = out.pop()) {
+        EXPECT_EQ(batch->requests.size(), 1u);
+        batches++;
+    }
+    EXPECT_EQ(batches, 2);
+    EXPECT_TRUE(out.drained());
+}
+
+TEST(ServeBatcher, RecordsBatchOccupancy)
+{
+    {
+        BatcherHarness harness(2, 10s);
+        for (uint64_t i = 0; i < 6; i++)
+            ASSERT_TRUE(harness.in.push(makeRequest("A", i)));
+        for (int b = 0; b < 3; b++)
+            ASSERT_TRUE(harness.out.pop().has_value());
+        serve::WorkloadMetrics m = harness.metrics.workload("A");
+        EXPECT_EQ(m.batches, 3u);
+        EXPECT_DOUBLE_EQ(m.batchOccupancy.mean(), 2.0);
+    }
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Load-generator tests: request accounting closes, both disciplines
+ * drain fully, and the workload mix is honoured.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fake_workload.hh"
+#include "serve/loadgen.hh"
+#include "serve/server.hh"
+
+namespace
+{
+
+using namespace nsbench;
+using tests::FakeCounters;
+using tests::FakeWorkload;
+
+serve::ServerOptions
+fakeServer(FakeCounters &counters)
+{
+    serve::ServerOptions options;
+    options.workloads = {"Fake"};
+    options.workers = 2;
+    options.profilePhases = false;
+    options.factory = [&counters](const std::string &) {
+        return std::make_unique<FakeWorkload>(counters,
+                                              /*seed_sensitive=*/true,
+                                              /*sleep_ms=*/1);
+    };
+    return options;
+}
+
+void
+expectClosedAccounting(const serve::LoadgenReport &report)
+{
+    EXPECT_EQ(report.submitted, report.admitted + report.rejected);
+    EXPECT_EQ(report.admitted, report.completed + report.expired);
+}
+
+TEST(ServeLoadgen, OpenLoopDrainsEveryAdmittedRequest)
+{
+    FakeCounters counters;
+    serve::Server server(fakeServer(counters));
+    serve::LoadgenOptions options;
+    options.openLoop = true;
+    options.rateHz = 500.0;
+    options.durationSeconds = 0.3;
+    serve::LoadgenReport report =
+        serve::runLoadgen(server, options);
+
+    EXPECT_GT(report.submitted, 0u);
+    expectClosedAccounting(report);
+    EXPECT_GT(report.throughput(), 0.0);
+    EXPECT_EQ(server.metrics().workload("Fake").completed,
+              report.completed);
+}
+
+TEST(ServeLoadgen, ClosedLoopDrainsEveryAdmittedRequest)
+{
+    FakeCounters counters;
+    serve::Server server(fakeServer(counters));
+    serve::LoadgenOptions options;
+    options.openLoop = false;
+    options.clients = 4;
+    options.durationSeconds = 0.3;
+    serve::LoadgenReport report =
+        serve::runLoadgen(server, options);
+
+    EXPECT_GT(report.submitted, 0u);
+    expectClosedAccounting(report);
+    EXPECT_EQ(report.rejected, 0u);
+}
+
+TEST(ServeLoadgen, SeedUniverseBoundsTheSeedsRequested)
+{
+    FakeCounters counters;
+    auto server_options = fakeServer(counters);
+    server_options.coalesce = false;
+    serve::Server server(std::move(server_options));
+
+    serve::LoadgenOptions options;
+    options.openLoop = true;
+    options.rateHz = 400.0;
+    options.durationSeconds = 0.25;
+    options.seedUniverse = 4;
+    options.zipfExponent = 1.2;
+    serve::LoadgenReport report =
+        serve::runLoadgen(server, options);
+    EXPECT_GT(report.completed, 0u);
+    // Four distinct seeds at most -> at most four distinct scores
+    // (the fake's score is injective in the seed modulo 100000).
+    // Verified through the share factor instead would need
+    // coalescing; here we just require the run to complete cleanly.
+    expectClosedAccounting(report);
+}
+
+TEST(ServeLoadgen, HonoursExplicitWorkloadMix)
+{
+    FakeCounters counters_a;
+    FakeCounters counters_b;
+    serve::ServerOptions server_options;
+    server_options.workloads = {"A", "B"};
+    server_options.workers = 2;
+    server_options.profilePhases = false;
+    server_options.factory = [&](const std::string &name) {
+        FakeCounters &counters =
+            name == "A" ? counters_a : counters_b;
+        return std::make_unique<FakeWorkload>(counters, true, 0);
+    };
+    serve::Server server(std::move(server_options));
+
+    serve::LoadgenOptions options;
+    options.openLoop = false;
+    options.clients = 2;
+    options.durationSeconds = 0.2;
+    options.mix = {{"A", 1.0}};
+    serve::LoadgenReport report =
+        serve::runLoadgen(server, options);
+
+    EXPECT_GT(report.completed, 0u);
+    EXPECT_GT(server.metrics().workload("A").completed, 0u);
+    EXPECT_EQ(server.metrics().workload("B").completed, 0u);
+}
+
+} // namespace

@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Server behaviour tests over the fake workload: admission control,
+ * deadlines, coalescing, graceful drain, and callback delivery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "fake_workload.hh"
+#include "serve/server.hh"
+
+namespace
+{
+
+using namespace nsbench;
+using namespace std::chrono_literals;
+using tests::FakeCounters;
+using tests::FakeWorkload;
+
+serve::ServerOptions
+fakeOptions(FakeCounters &counters, bool seed_sensitive,
+            int sleep_ms = 0)
+{
+    serve::ServerOptions options;
+    options.workloads = {"Fake"};
+    options.workers = 1;
+    options.maxBatch = 4;
+    options.maxWaitUs = 2000;
+    options.profilePhases = false;
+    options.factory = [&counters, seed_sensitive,
+                       sleep_ms](const std::string &) {
+        return std::make_unique<FakeWorkload>(counters,
+                                              seed_sensitive,
+                                              sleep_ms);
+    };
+    return options;
+}
+
+TEST(ServeServer, PrewarmsOneReplicaPerWorkerBeforeServing)
+{
+    FakeCounters counters;
+    auto options = fakeOptions(counters, true);
+    options.workers = 3;
+    serve::Server server(std::move(options));
+    // The constructor blocks until pre-warm completes: one setUp per
+    // (worker, workload) and no runs yet.
+    EXPECT_EQ(counters.setUps.load(), 3u);
+    EXPECT_EQ(counters.runs.load(), 0u);
+}
+
+TEST(ServeServer, CallReturnsTheDeterministicScore)
+{
+    FakeCounters counters;
+    serve::Server server(fakeOptions(counters, true));
+
+    serve::Response first = server.call("Fake", 7);
+    serve::Response again = server.call("Fake", 7);
+    serve::Response other = server.call("Fake", 8);
+
+    EXPECT_EQ(first.status, serve::RequestStatus::Ok);
+    EXPECT_EQ(first.score, again.score);
+    EXPECT_NE(first.score, other.score);
+    EXPECT_GT(first.latencySeconds, 0.0);
+    EXPECT_GE(first.latencySeconds, first.queueSeconds);
+}
+
+TEST(ServeServer, RejectsUnknownWorkload)
+{
+    FakeCounters counters;
+    serve::Server server(fakeOptions(counters, true));
+    serve::Response response = server.call("NoSuch", 1);
+    EXPECT_EQ(response.status,
+              serve::RequestStatus::RejectedUnknownWorkload);
+    EXPECT_EQ(
+        server.metrics().workload("NoSuch").rejectedUnknown, 1u);
+}
+
+TEST(ServeServer, RejectsDeadOnArrivalDeadline)
+{
+    FakeCounters counters;
+    serve::Server server(fakeOptions(counters, true));
+    serve::Response response = server.call(
+        "Fake", 1, serve::ServeClock::now() - 1ms);
+    EXPECT_EQ(response.status,
+              serve::RequestStatus::RejectedDeadline);
+    EXPECT_EQ(counters.runs.load(), 0u);
+}
+
+TEST(ServeServer, ExpiresRequestsThatOutwaitTheirDeadline)
+{
+    FakeCounters counters;
+    // 30 ms of service per run on a single worker: the second
+    // request's 5 ms deadline expires while it queues.
+    serve::Server server(fakeOptions(counters, true, 30));
+
+    std::atomic<int> expired{0};
+    std::atomic<int> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    int outstanding = 2;
+    auto callback = [&](const serve::Response &response) {
+        if (response.status == serve::RequestStatus::Expired)
+            expired.fetch_add(1);
+        else
+            done.fetch_add(1);
+        std::lock_guard<std::mutex> lock(mu);
+        if (--outstanding == 0)
+            cv.notify_all();
+    };
+
+    ASSERT_EQ(server.submit("Fake", 1, callback),
+              serve::RequestStatus::Ok);
+    ASSERT_EQ(server.submit("Fake", 2, callback,
+                            serve::ServeClock::now() + 5ms),
+              serve::RequestStatus::Ok);
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return outstanding == 0; });
+    }
+    EXPECT_EQ(done.load(), 1);
+    EXPECT_EQ(expired.load(), 1);
+    EXPECT_EQ(server.metrics().workload("Fake").expired, 1u);
+}
+
+TEST(ServeServer, BackpressureRejectsWhenQueueFills)
+{
+    FakeCounters counters;
+    auto options = fakeOptions(counters, true, 50);
+    options.queueCapacity = 2;
+    options.maxBatch = 1;
+    serve::Server server(std::move(options));
+
+    // Saturate the single slow worker, then overfill the queue.
+    std::atomic<int> completions{0};
+    auto callback = [&](const serve::Response &) {
+        completions.fetch_add(1);
+    };
+    int admitted = 0;
+    int rejected = 0;
+    for (uint64_t i = 0; i < 12; i++) {
+        serve::RequestStatus status =
+            server.submit("Fake", i, callback);
+        if (status == serve::RequestStatus::Ok)
+            admitted++;
+        else if (status == serve::RequestStatus::RejectedQueueFull)
+            rejected++;
+    }
+    EXPECT_GT(rejected, 0);
+    server.shutdown();
+    // Graceful drain: every admitted request completed, rejected
+    // requests never saw a callback.
+    EXPECT_EQ(completions.load(), admitted);
+    EXPECT_EQ(server.metrics().workload("Fake").rejectedQueueFull,
+              static_cast<uint64_t>(rejected));
+}
+
+TEST(ServeServer, CoalescesSameSeedRequests)
+{
+    FakeCounters counters;
+    auto options = fakeOptions(counters, true, 5);
+    options.maxBatch = 8;
+    options.maxWaitUs = 50000;
+    serve::Server server(std::move(options));
+
+    // Warm-up request so the batcher timer dynamics are the only
+    // variable, then 8 requests for two distinct seeds.
+    server.call("Fake", 99);
+    uint64_t runsBefore = counters.runs.load();
+
+    std::atomic<int> outstanding{8};
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<double> scoresBySeed[2];
+    std::mutex scoresMu;
+    for (int i = 0; i < 8; i++) {
+        uint64_t seed = static_cast<uint64_t>(i % 2);
+        ASSERT_EQ(server.submit(
+                      "Fake", seed,
+                      [&, seed](const serve::Response &response) {
+                          {
+                              std::lock_guard<std::mutex> lock(
+                                  scoresMu);
+                              scoresBySeed[seed].push_back(
+                                  response.score);
+                          }
+                          std::lock_guard<std::mutex> lock(mu);
+                          if (outstanding.fetch_sub(1) == 1)
+                              cv.notify_all();
+                      }),
+                  serve::RequestStatus::Ok);
+    }
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return outstanding.load() == 0; });
+    }
+
+    // Two distinct seeds -> at most a handful of runs, far fewer
+    // than 8; every member of a seed group got the same score.
+    uint64_t runs = counters.runs.load() - runsBefore;
+    EXPECT_LT(runs, 8u);
+    for (const auto &scores : scoresBySeed) {
+        ASSERT_FALSE(scores.empty());
+        for (double score : scores)
+            EXPECT_EQ(score, scores.front());
+    }
+}
+
+TEST(ServeServer, SeedInsensitiveWorkloadsCoalesceWholeBatches)
+{
+    FakeCounters counters;
+    auto options = fakeOptions(counters, /*seed_sensitive=*/false, 5);
+    options.maxBatch = 8;
+    options.maxWaitUs = 50000;
+    serve::Server server(std::move(options));
+
+    server.call("Fake", 0);
+    uint64_t runsBefore = counters.runs.load();
+    uint64_t reseedsBefore = counters.reseeds.load();
+
+    std::atomic<int> outstanding{8};
+    std::mutex mu;
+    std::condition_variable cv;
+    for (uint64_t i = 0; i < 8; i++)
+        ASSERT_EQ(server.submit("Fake", i,
+                                [&](const serve::Response &) {
+                                    std::lock_guard<std::mutex> lock(
+                                        mu);
+                                    if (outstanding.fetch_sub(1) == 1)
+                                        cv.notify_all();
+                                }),
+                  serve::RequestStatus::Ok);
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return outstanding.load() == 0; });
+    }
+
+    // Eight distinct seeds, but the workload ignores them: they
+    // coalesce onto far fewer runs and never trigger a reseed.
+    EXPECT_LT(counters.runs.load() - runsBefore, 8u);
+    EXPECT_EQ(counters.reseeds.load(), reseedsBefore);
+}
+
+TEST(ServeServer, CoalesceOffRunsEveryRequest)
+{
+    FakeCounters counters;
+    auto options = fakeOptions(counters, true);
+    options.coalesce = false;
+    options.maxBatch = 8;
+    serve::Server server(std::move(options));
+
+    for (int i = 0; i < 6; i++)
+        server.call("Fake", 3);
+    EXPECT_EQ(counters.runs.load(), 6u);
+    EXPECT_DOUBLE_EQ(
+        server.metrics().workload("Fake").shareFactor(), 1.0);
+}
+
+TEST(ServeServer, ShutdownDrainsAndThenRejects)
+{
+    FakeCounters counters;
+    serve::Server server(fakeOptions(counters, true, 2));
+
+    std::atomic<int> completions{0};
+    for (uint64_t i = 0; i < 10; i++)
+        ASSERT_EQ(server.submit("Fake", i,
+                                [&](const serve::Response &response) {
+                                    EXPECT_EQ(
+                                        response.status,
+                                        serve::RequestStatus::Ok);
+                                    completions.fetch_add(1);
+                                }),
+                  serve::RequestStatus::Ok);
+    server.shutdown();
+    EXPECT_EQ(completions.load(), 10);
+
+    serve::Response late = server.call("Fake", 1);
+    EXPECT_EQ(late.status, serve::RequestStatus::RejectedShutdown);
+    // shutdown() is idempotent (the destructor calls it again).
+    server.shutdown();
+}
+
+TEST(ServeServer, MetricsAccountEveryOutcome)
+{
+    FakeCounters counters;
+    serve::Server server(fakeOptions(counters, true));
+    for (uint64_t i = 0; i < 5; i++)
+        server.call("Fake", i);
+    serve::WorkloadMetrics m = server.metrics().workload("Fake");
+    EXPECT_EQ(m.submitted, 5u);
+    EXPECT_EQ(m.completed, 5u);
+    EXPECT_EQ(m.rejected(), 0u);
+    EXPECT_EQ(m.latency.count(), 5u);
+    EXPECT_GT(m.latency.p99(), 0.0);
+    EXPECT_GE(m.executions, 1u);
+
+    server.resetMetrics();
+    EXPECT_EQ(server.metrics().workload("Fake").submitted, 0u);
+}
+
+} // namespace

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <random>
+#include <vector>
 
 #include "util/stats.hh"
 
@@ -85,6 +88,103 @@ TEST(Percentile, Interpolates)
     std::vector<double> v{0.0, 10.0};
     EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
     EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(P2Quantile, EmptyReturnsZero)
+{
+    P2Quantile q(0.5);
+    EXPECT_EQ(q.count(), 0u);
+    EXPECT_DOUBLE_EQ(q.value(), 0.0);
+}
+
+TEST(P2Quantile, SmallSamplesAreExact)
+{
+    // Up to five samples the estimator must agree exactly with the
+    // sorted-sample percentile it is standing in for.
+    std::vector<double> samples{9.0, 1.0, 7.0, 3.0, 5.0};
+    for (double p : {0.25, 0.5, 0.9}) {
+        P2Quantile q(p);
+        std::vector<double> seen;
+        for (double x : samples) {
+            q.add(x);
+            seen.push_back(x);
+            EXPECT_DOUBLE_EQ(q.value(), percentile(seen, p * 100.0))
+                << "quantile " << p << " after " << seen.size()
+                << " samples";
+        }
+    }
+}
+
+TEST(P2Quantile, TracksUniformRamp)
+{
+    // 0..9999 shuffled deterministically; the p-quantile of the
+    // uniform ramp is ~p * 10000.
+    std::vector<double> samples;
+    for (int i = 0; i < 10000; i++)
+        samples.push_back(static_cast<double>(i));
+    std::mt19937_64 engine(123);
+    std::shuffle(samples.begin(), samples.end(), engine);
+
+    for (double p : {0.5, 0.95, 0.99}) {
+        P2Quantile q(p);
+        for (double x : samples)
+            q.add(x);
+        double exact = percentile(samples, p * 100.0);
+        // P^2 is an estimate; 2% of the value range is the accuracy
+        // the serve latency tails need.
+        EXPECT_NEAR(q.value(), exact, 200.0)
+            << "quantile " << p;
+    }
+}
+
+TEST(P2Quantile, TracksHeavyTail)
+{
+    // Exponential-ish tail, the shape serve latencies actually have.
+    std::mt19937_64 engine(7);
+    std::exponential_distribution<double> dist(1.0 / 5.0);
+    std::vector<double> samples;
+    P2Quantile p99(0.99);
+    for (int i = 0; i < 20000; i++) {
+        double x = dist(engine);
+        samples.push_back(x);
+        p99.add(x);
+    }
+    double exact = percentile(samples, 99.0);
+    EXPECT_NEAR(p99.value(), exact, 0.15 * exact);
+}
+
+TEST(P2Quantile, Deterministic)
+{
+    // Same sample sequence, same estimate — bit for bit.
+    auto run = [] {
+        P2Quantile q(0.95);
+        std::mt19937_64 engine(42);
+        std::uniform_real_distribution<double> dist(0.0, 1.0);
+        for (int i = 0; i < 5000; i++)
+            q.add(dist(engine));
+        return q.value();
+    };
+    EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(P2QuantileDeath, RejectsDegenerateQuantile)
+{
+    EXPECT_DEATH(P2Quantile(0.0), "strictly in");
+    EXPECT_DEATH(P2Quantile(1.0), "strictly in");
+}
+
+TEST(TailStats, CombinesMomentsAndTails)
+{
+    TailStats t;
+    for (int i = 1; i <= 1000; i++)
+        t.add(static_cast<double>(i));
+    EXPECT_EQ(t.count(), 1000u);
+    EXPECT_DOUBLE_EQ(t.mean(), 500.5);
+    EXPECT_DOUBLE_EQ(t.min(), 1.0);
+    EXPECT_DOUBLE_EQ(t.max(), 1000.0);
+    EXPECT_NEAR(t.p50(), 500.0, 25.0);
+    EXPECT_NEAR(t.p95(), 950.0, 25.0);
+    EXPECT_NEAR(t.p99(), 990.0, 25.0);
 }
 
 } // namespace

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <mutex>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -153,6 +154,88 @@ TEST(ThreadPool, GrainForTargetsWork)
     EXPECT_EQ(grainFor(500.0, 1000.0), 2);
     EXPECT_EQ(grainFor(1e9, 1000.0), 1);  // Huge items: chunk of one.
     EXPECT_GE(grainFor(0.0, 1000.0), 1);  // Degenerate weight.
+}
+
+TEST(ThreadPool, DestructionOrderingAfterRegions)
+{
+    // Regression for the shutdown contract the serve drain path
+    // relies on: once parallelFor has returned, the pool is
+    // quiescent and may be destroyed immediately — no grace period,
+    // no lingering worker touching the dead region. Tight
+    // create/use/destroy cycles flush out destructor races.
+    for (int cycle = 0; cycle < 50; cycle++) {
+        ThreadPool pool(4);
+        std::atomic<int64_t> sum{0};
+        pool.parallelFor(0, 256, 8, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; i++)
+                sum.fetch_add(i, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(sum.load(), 256 * 255 / 2);
+        // Destructor runs here, immediately after the region.
+    }
+}
+
+TEST(ThreadPool, DestructionOfIdlePool)
+{
+    // Pools that never ran a region must also tear down cleanly.
+    for (int cycle = 0; cycle < 50; cycle++)
+        ThreadPool pool(8);
+}
+
+TEST(ThreadPool, SerialScopeForcesInlineExecution)
+{
+    ThreadPool pool(4);
+    EXPECT_FALSE(ThreadPool::inParallelRegion());
+    {
+        ThreadPool::SerialScope serial;
+        EXPECT_TRUE(ThreadPool::inParallelRegion());
+        // Inside the scope every lane must run on the calling
+        // thread: record the executing thread of each chunk.
+        std::thread::id self = std::this_thread::get_id();
+        std::atomic<bool> foreign{false};
+        pool.parallelFor(0, 1000, 7, [&](int64_t, int64_t) {
+            if (std::this_thread::get_id() != self)
+                foreign.store(true);
+        });
+        EXPECT_FALSE(foreign.load());
+    }
+    EXPECT_FALSE(ThreadPool::inParallelRegion());
+}
+
+TEST(ThreadPool, SerialScopeNests)
+{
+    ThreadPool::SerialScope outer;
+    {
+        ThreadPool::SerialScope inner;
+        EXPECT_TRUE(ThreadPool::inParallelRegion());
+    }
+    // The inner scope must restore, not clear, the region flag.
+    EXPECT_TRUE(ThreadPool::inParallelRegion());
+}
+
+TEST(ThreadPool, ConcurrentSerialScopesStayIsolated)
+{
+    // Two threads under SerialScope issuing parallelFor at the same
+    // time: both must run inline without touching the shared pool
+    // (this is exactly the serve worker configuration).
+    ThreadPool pool(4);
+    auto worker = [&](std::vector<int64_t> *out) {
+        ThreadPool::SerialScope serial;
+        out->assign(2000, 0);
+        pool.parallelFor(0, 2000, 13, [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; i++)
+                (*out)[static_cast<size_t>(i)] = i * 7;
+        });
+    };
+    std::vector<int64_t> a, b;
+    std::thread ta(worker, &a);
+    std::thread tb(worker, &b);
+    ta.join();
+    tb.join();
+    for (int64_t i = 0; i < 2000; i++) {
+        ASSERT_EQ(a[static_cast<size_t>(i)], i * 7);
+        ASSERT_EQ(b[static_cast<size_t>(i)], i * 7);
+    }
 }
 
 TEST(ThreadPool, OversubscribedPoolStillCorrect)

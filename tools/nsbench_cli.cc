@@ -6,6 +6,15 @@
  *   list                      registered workloads
  *   devices                   modeled devices
  *   run <workload> [options]  profile one workload and print reports
+ *   serve [options]           serve workloads under closed-loop load
+ *   loadgen [options]         serve under an open-loop Poisson load
+ *
+ * `serve` and `loadgen` start a batching inference server over
+ * pre-warmed replicas, drive it with the built-in load generator for
+ * a configured window, then drain gracefully and print the SLO
+ * report (p50/p95/p99 latency, throughput, neural/symbolic split).
+ * They share options; they differ only in the default discipline
+ * (closed loop vs open loop, overridable with --open/--closed).
  *
  * Options for `run`:
  *   --seed N       RNG seed (default 42)
@@ -23,9 +32,15 @@
 
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/profiler.hh"
+#include "serve/loadgen.hh"
+#include "serve/presets.hh"
+#include "serve/server.hh"
 #include "core/report.hh"
 #include "core/workload.hh"
 #include "sim/device.hh"
@@ -53,7 +68,16 @@ usage()
            "  nsbench run <workload> [--seed N] [--runs N]\n"
            "              [--threads N] [--simd scalar|avx2|auto]\n"
            "              [--arena on|off] [--csv]\n"
-           "              [--device NAME|all]\n";
+           "              [--device NAME|all]\n"
+           "  nsbench serve|loadgen [--workloads A,B,...]\n"
+           "              [--workers N] [--max-batch N]\n"
+           "              [--max-wait-us N] [--queue N]\n"
+           "              [--model-seed N] [--no-coalesce]\n"
+           "              [--preset serve|default]\n"
+           "              [--open|--closed] [--rate HZ] [--clients N]\n"
+           "              [--duration S] [--seed N]\n"
+           "              [--seed-universe N] [--zipf S]\n"
+           "              [--deadline-ms MS] [--mix A=W,B=W] [--csv]\n";
     return 2;
 }
 
@@ -248,6 +272,163 @@ cmdRun(int argc, char **argv)
     return 0;
 }
 
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::stringstream stream(text);
+    std::string part;
+    while (std::getline(stream, part, ','))
+        if (!part.empty())
+            parts.push_back(part);
+    return parts;
+}
+
+int
+cmdServe(int argc, char **argv, bool open_loop)
+{
+    serve::ServerOptions server_options;
+    server_options.workloads = {"LNN", "LTN", "NLM"};
+    serve::LoadgenOptions load_options;
+    load_options.openLoop = open_loop;
+    bool csv = false;
+    bool use_preset = true;
+
+    for (int i = 0; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workloads") {
+            server_options.workloads = splitList(next());
+        } else if (arg == "--workers") {
+            server_options.workers = std::atoi(next());
+        } else if (arg == "--max-batch") {
+            server_options.maxBatch = std::atoi(next());
+        } else if (arg == "--max-wait-us") {
+            server_options.maxWaitUs = std::atoll(next());
+        } else if (arg == "--queue") {
+            server_options.queueCapacity =
+                static_cast<size_t>(std::atoll(next()));
+        } else if (arg == "--model-seed") {
+            server_options.modelSeed =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--no-coalesce") {
+            server_options.coalesce = false;
+        } else if (arg == "--preset") {
+            std::string mode = next();
+            if (mode == "serve") {
+                use_preset = true;
+            } else if (mode == "default") {
+                use_preset = false;
+            } else {
+                std::cerr << "--preset must be serve or default\n";
+                return 2;
+            }
+        } else if (arg == "--open") {
+            load_options.openLoop = true;
+        } else if (arg == "--closed") {
+            load_options.openLoop = false;
+        } else if (arg == "--rate") {
+            load_options.rateHz = std::atof(next());
+        } else if (arg == "--clients") {
+            load_options.clients = std::atoi(next());
+        } else if (arg == "--duration") {
+            load_options.durationSeconds = std::atof(next());
+        } else if (arg == "--seed") {
+            load_options.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--seed-universe") {
+            load_options.seedUniverse =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--zipf") {
+            load_options.zipfExponent = std::atof(next());
+        } else if (arg == "--deadline-ms") {
+            load_options.deadlineMs = std::atof(next());
+        } else if (arg == "--mix") {
+            load_options.mix.clear();
+            for (const auto &entry : splitList(next())) {
+                auto eq = entry.find('=');
+                std::string name = entry.substr(0, eq);
+                double weight =
+                    eq == std::string::npos
+                        ? 1.0
+                        : std::atof(entry.substr(eq + 1).c_str());
+                load_options.mix.emplace_back(name, weight);
+            }
+        } else if (arg == "--threads") {
+            int threads = std::atoi(next());
+            if (threads < 1) {
+                std::cerr << "--threads must be positive\n";
+                return 2;
+            }
+            util::ThreadPool::setGlobalThreads(threads);
+        } else if (arg == "--csv") {
+            csv = true;
+        } else {
+            std::cerr << "unknown option " << arg << "\n";
+            return usage();
+        }
+    }
+
+    auto &registry = core::WorkloadRegistry::global();
+    for (const auto &name : server_options.workloads) {
+        if (!registry.contains(name)) {
+            std::cerr << "unknown workload '" << name
+                      << "'; try `nsbench list`\n";
+            return 1;
+        }
+    }
+    if (use_preset)
+        server_options.factory = serve::serveFactory;
+
+    if (!csv) {
+        std::cout << "serving:  ";
+        for (size_t i = 0; i < server_options.workloads.size(); i++)
+            std::cout << (i ? "," : "")
+                      << server_options.workloads[i];
+        std::cout << "\nworkers:  " << server_options.workers
+                  << "  max-batch " << server_options.maxBatch
+                  << "  max-wait "
+                  << server_options.maxWaitUs << "us  queue "
+                  << server_options.queueCapacity << "  coalesce "
+                  << (server_options.coalesce ? "on" : "off")
+                  << "\ndriving:  "
+                  << (load_options.openLoop ? "open loop" : "closed loop");
+        if (load_options.openLoop)
+            std::cout << " at " << load_options.rateHz << " req/s";
+        else
+            std::cout << " with " << load_options.clients
+                      << " client(s)";
+        std::cout << " for "
+                  << util::fixedStr(load_options.durationSeconds, 1)
+                  << "s\n\n"
+                  << std::flush;
+    }
+
+    serve::Server server(std::move(server_options));
+    serve::LoadgenReport report =
+        serve::runLoadgen(server, load_options);
+    server.shutdown();
+
+    printTable(server.metrics().table(), csv);
+    if (!csv) {
+        std::cout << "\noffered:  "
+                  << util::fixedStr(report.offeredRate, 1)
+                  << " req/s\nserved:   "
+                  << util::fixedStr(report.throughput(), 1)
+                  << " req/s\nsubmitted " << report.submitted
+                  << ", completed " << report.completed
+                  << ", expired " << report.expired << ", rejected "
+                  << report.rejected << " over "
+                  << util::humanSeconds(report.wallSeconds) << "\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -263,5 +444,9 @@ main(int argc, char **argv)
         return cmdDevices();
     if (cmd == "run")
         return cmdRun(argc - 2, argv + 2);
+    if (cmd == "serve")
+        return cmdServe(argc - 2, argv + 2, /*open_loop=*/false);
+    if (cmd == "loadgen")
+        return cmdServe(argc - 2, argv + 2, /*open_loop=*/true);
     return usage();
 }
