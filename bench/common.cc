@@ -1,7 +1,9 @@
 #include "common.hh"
 
+#include <fstream>
 #include <iostream>
 
+#include "util/logging.hh"
 #include "util/timer.hh"
 #include "workloads/register.hh"
 
@@ -50,6 +52,30 @@ printHeader(const std::string &title, const std::string &paper_ref)
 {
     std::cout << "\n=== " << title << " ===\n"
               << "reproduces: " << paper_ref << "\n\n";
+}
+
+void
+writeBenchJson(int argc, char **argv, const std::string &json)
+{
+    std::string path;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            path = argv[i + 1];
+            break;
+        }
+        if (arg.rfind("--json=", 0) == 0) {
+            path = arg.substr(7);
+            break;
+        }
+    }
+    if (path.empty())
+        return;
+    std::ofstream out(path);
+    util::panicIf(!out, "writeBenchJson: cannot open " + path);
+    out << json << "\n";
+    util::panicIf(!out.good(),
+                  "writeBenchJson: write failed for " + path);
 }
 
 } // namespace nsbench::bench

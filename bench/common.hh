@@ -42,6 +42,15 @@ const std::vector<std::string> &paperOrder();
 /** Prints the standard bench header with the figure/table reference. */
 void printHeader(const std::string &title, const std::string &paper_ref);
 
+/**
+ * Machine-readable result emission: when the bench was invoked with
+ * `--json <path>` (or `--json=<path>`), writes @p json — the same
+ * payload the bench prints on its BENCH_JSON stdout line — to that
+ * file. Without the flag this is a no-op, so benches call it
+ * unconditionally.
+ */
+void writeBenchJson(int argc, char **argv, const std::string &json);
+
 } // namespace nsbench::bench
 
 #endif // NSBENCH_BENCH_COMMON_HH

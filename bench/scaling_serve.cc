@@ -101,7 +101,7 @@ measure(const Subject &subject, int max_batch)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     workloads::registerAllWorkloads();
     bench::printHeader("Batched serving throughput/latency scaling",
@@ -168,5 +168,6 @@ main()
                  "on at least two workloads: "
               << passing << "/3 pass.\n"
               << "\nBENCH_JSON " << json.str() << "\n";
+    bench::writeBenchJson(argc, argv, json.str());
     return passing >= 2 ? 0 : 1;
 }

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Process-wide memoization switch.
+ *
+ * Both cache levels — the serve-side result cache and the symbolic
+ * precompute cache — default to the NSBENCH_CACHE environment
+ * variable and can be overridden programmatically (the CLI's --cache
+ * flag). Caching is opt-in: unset means off, so every pre-existing
+ * run, golden and figure is produced by the exact historical code
+ * path.
+ */
+
+#ifndef NSBENCH_CACHE_CONFIG_HH
+#define NSBENCH_CACHE_CONFIG_HH
+
+namespace nsbench::cache
+{
+
+/**
+ * Whether memoization is enabled: the programmatic override when one
+ * was set, else NSBENCH_CACHE (on/1/true enables, off/0/false or
+ * unset disables, anything else is fatal).
+ */
+bool enabled();
+
+/** Forces caching on or off for this process (--cache). */
+void setEnabled(bool enabled);
+
+/** Drops the override; enabled() falls back to the environment. */
+void resetEnabled();
+
+} // namespace nsbench::cache
+
+#endif // NSBENCH_CACHE_CONFIG_HH

@@ -1,0 +1,191 @@
+#include "cache/precompute.hh"
+
+#include <condition_variable>
+#include <list>
+#include <map>
+#include <mutex>
+
+#include "cache/config.hh"
+#include "core/profiler.hh"
+
+namespace nsbench::cache
+{
+
+namespace
+{
+
+/** One keyed structure; waiters hold the shared_ptr so eviction or
+ *  clear() can never strand a thread blocked on an in-flight build. */
+struct Slot {
+    std::shared_ptr<const void> value;
+    uint64_t bytes = 0;
+    bool ready = false;
+    bool failed = false;
+};
+
+} // namespace
+
+struct PrecomputeCache::Impl {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    uint64_t maxBytes = 0;
+    uint64_t residentBytes = 0;
+    std::map<std::string, std::shared_ptr<Slot>> slots;
+    /** Ready keys only; front = most recently used. */
+    std::list<std::string> lru;
+    std::map<std::string, std::list<std::string>::iterator> lruIndex;
+    uint64_t hits = 0;
+    uint64_t builds = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+
+    /** Evicts ready LRU entries until the budget holds (mu held). */
+    void
+    enforceBudget()
+    {
+        while (residentBytes > maxBytes && !lru.empty()) {
+            const std::string victim = lru.back();
+            auto it = slots.find(victim);
+            if (it != slots.end()) {
+                residentBytes -= it->second->bytes;
+                slots.erase(it);
+            }
+            lruIndex.erase(victim);
+            lru.pop_back();
+            evictions++;
+        }
+    }
+};
+
+PrecomputeCache::PrecomputeCache(uint64_t max_bytes)
+    : impl_(new Impl)
+{
+    impl_->maxBytes = max_bytes == 0 ? 1 : max_bytes;
+}
+
+PrecomputeCache::~PrecomputeCache() = default;
+
+std::shared_ptr<const void>
+PrecomputeCache::getOrBuildErased(const std::string &key,
+                                  const ErasedBuild &build,
+                                  uint64_t *bytes, bool *hit)
+{
+    if (!enabled()) {
+        auto built = build();
+        *bytes = built.second;
+        *hit = false;
+        return built.first;
+    }
+
+    Impl &impl = *impl_;
+    std::unique_lock<std::mutex> lock(impl.mu);
+    for (;;) {
+        auto it = impl.slots.find(key);
+        if (it != impl.slots.end()) {
+            std::shared_ptr<Slot> slot = it->second;
+            impl.cv.wait(lock, [&slot] {
+                return slot->ready || slot->failed;
+            });
+            if (slot->failed) {
+                // The builder threw; if the dead slot is still
+                // mapped, unmap it and retry as the new builder.
+                auto again = impl.slots.find(key);
+                if (again != impl.slots.end() &&
+                    again->second == slot)
+                    impl.slots.erase(again);
+                continue;
+            }
+            auto lru_it = impl.lruIndex.find(key);
+            if (lru_it != impl.lruIndex.end())
+                impl.lru.splice(impl.lru.begin(), impl.lru,
+                                lru_it->second);
+            impl.hits++;
+            *bytes = slot->bytes;
+            *hit = true;
+            lock.unlock();
+            // Reuse shows up as "cached" churn, never as live bytes:
+            // the structure was not allocated by this run.
+            core::globalProfiler().recordCachedAlloc(slot->bytes);
+            return slot->value;
+        }
+
+        auto slot = std::make_shared<Slot>();
+        impl.slots[key] = slot;
+        impl.builds++;
+        lock.unlock();
+
+        std::pair<std::shared_ptr<const void>, uint64_t> built;
+        try {
+            built = build();
+        } catch (...) {
+            lock.lock();
+            slot->failed = true;
+            auto again = impl.slots.find(key);
+            if (again != impl.slots.end() && again->second == slot)
+                impl.slots.erase(again);
+            impl.cv.notify_all();
+            throw;
+        }
+
+        lock.lock();
+        slot->value = built.first;
+        slot->bytes = built.second;
+        slot->ready = true;
+        impl.residentBytes += slot->bytes;
+        impl.lru.push_front(key);
+        impl.lruIndex[key] = impl.lru.begin();
+        impl.insertions++;
+        impl.enforceBudget();
+        impl.cv.notify_all();
+        *bytes = slot->bytes;
+        *hit = false;
+        return slot->value;
+    }
+}
+
+void
+PrecomputeCache::setMaxBytes(uint64_t max_bytes)
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->maxBytes = max_bytes == 0 ? 1 : max_bytes;
+    impl_->enforceBudget();
+}
+
+PrecomputeStats
+PrecomputeCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    PrecomputeStats out;
+    out.hits = impl_->hits;
+    out.builds = impl_->builds;
+    out.insertions = impl_->insertions;
+    out.evictions = impl_->evictions;
+    out.residentBytes = impl_->residentBytes;
+    out.entries = impl_->lru.size();
+    return out;
+}
+
+void
+PrecomputeCache::clear()
+{
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    // Only drop settled entries; in-flight builds finish normally.
+    for (auto it = impl_->slots.begin(); it != impl_->slots.end();) {
+        if (it->second->ready)
+            it = impl_->slots.erase(it);
+        else
+            ++it;
+    }
+    impl_->lru.clear();
+    impl_->lruIndex.clear();
+    impl_->residentBytes = 0;
+}
+
+PrecomputeCache &
+PrecomputeCache::global()
+{
+    static PrecomputeCache instance;
+    return instance;
+}
+
+} // namespace nsbench::cache

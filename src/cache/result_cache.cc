@@ -1,0 +1,117 @@
+#include "cache/result_cache.hh"
+
+#include <algorithm>
+#include <functional>
+
+namespace nsbench::cache
+{
+
+ResultCache::ResultCache(ResultCacheOptions options)
+    : options_(options)
+{
+    if (options_.shards == 0)
+        options_.shards = 1;
+    if (options_.maxBytes == 0)
+        options_.maxBytes = 1;
+    bytesPerShard_ =
+        std::max<uint64_t>(1, options_.maxBytes / options_.shards);
+    shards_.resize(options_.shards);
+}
+
+std::string
+ResultCache::keyString(const std::string &workload,
+                       uint64_t model_seed, uint64_t episode_seed)
+{
+    return workload + "/m" + std::to_string(model_seed) + "/e" +
+           std::to_string(episode_seed);
+}
+
+uint64_t
+ResultCache::entryCost(const std::string &key)
+{
+    // Two copies of the key (LRU node + index), the score, list and
+    // hash node overhead. Approximate but consistent, which is all a
+    // byte budget needs.
+    return 2 * key.size() + 64;
+}
+
+ResultCache::Shard &
+ResultCache::shardFor(const std::string &key)
+{
+    size_t h = std::hash<std::string>{}(key);
+    return shards_[h % shards_.size()];
+}
+
+bool
+ResultCache::lookup(const std::string &key, double *score)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+        shard.misses++;
+        return false;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    shard.hits++;
+    if (score != nullptr)
+        *score = it->second->second;
+    return true;
+}
+
+uint64_t
+ResultCache::insert(const std::string &key, double score)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+        it->second->second = score;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return 0;
+    }
+    shard.lru.emplace_front(key, score);
+    shard.index[key] = shard.lru.begin();
+    shard.bytes += entryCost(key);
+    shard.insertions++;
+
+    uint64_t evicted = 0;
+    while (shard.bytes > bytesPerShard_ && shard.lru.size() > 1) {
+        const std::string &victim = shard.lru.back().first;
+        shard.bytes -= entryCost(victim);
+        shard.index.erase(victim);
+        shard.lru.pop_back();
+        shard.evictions++;
+        evicted++;
+    }
+    return evicted;
+}
+
+ResultCacheStats
+ResultCache::stats() const
+{
+    ResultCacheStats out;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        out.hits += shard.hits;
+        out.misses += shard.misses;
+        out.insertions += shard.insertions;
+        out.evictions += shard.evictions;
+        out.bytes += shard.bytes;
+        out.entries += shard.lru.size();
+    }
+    return out;
+}
+
+void
+ResultCache::clear()
+{
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        shard.lru.clear();
+        shard.index.clear();
+        shard.bytes = 0;
+    }
+}
+
+} // namespace nsbench::cache

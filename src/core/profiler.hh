@@ -87,6 +87,8 @@ struct MemChurn
     uint64_t frees = 0;          ///< Storage buffers released.
     uint64_t recycledAllocs = 0; ///< Allocs served by arena reuse.
     uint64_t recycledBytes = 0;  ///< Logical bytes of those allocs.
+    uint64_t cachedAllocs = 0;   ///< Structures reused from a cache.
+    uint64_t cachedBytes = 0;    ///< Logical bytes of those reuses.
 
     /** Allocations that had to hit the heap. */
     uint64_t freshAllocs() const { return allocs - recycledAllocs; }
@@ -99,6 +101,8 @@ struct MemChurn
         frees += other.frees;
         recycledAllocs += other.recycledAllocs;
         recycledBytes += other.recycledBytes;
+        cachedAllocs += other.cachedAllocs;
+        cachedBytes += other.cachedBytes;
     }
 };
 
@@ -214,6 +218,14 @@ class Profiler
 
     /** Notes a tensor deallocation of @p bytes. */
     void recordFree(uint64_t bytes);
+
+    /**
+     * Notes the reuse of @p bytes of precomputed structure served
+     * from a cache instead of being rebuilt. Touches only the churn
+     * counters (cachedAllocs/cachedBytes) — never live or peak bytes,
+     * which describe what THIS run allocated (Fig. 3b stays honest).
+     */
+    void recordCachedAlloc(uint64_t bytes);
 
     /** Live tensor bytes right now. */
     uint64_t

@@ -88,20 +88,24 @@ Table
 memoryTable(const Profiler &profiler)
 {
     Table table({"phase", "peak-live", "allocated", "allocs",
-                 "fresh", "recycled", "recycled-bytes"});
+                 "fresh", "recycled", "recycled-bytes", "cached",
+                 "cached-bytes"});
     for (Phase phase :
          {Phase::Neural, Phase::Symbolic, Phase::Untagged}) {
         uint64_t peak = profiler.peakBytesIn(phase);
         uint64_t alloc = profiler.allocatedBytesIn(phase);
         MemChurn churn = profiler.memChurnIn(phase);
-        if (peak == 0 && alloc == 0 && churn.allocs == 0)
+        if (peak == 0 && alloc == 0 && churn.allocs == 0 &&
+            churn.cachedAllocs == 0)
             continue;
         table.addRow({std::string(phaseName(phase)), humanBytes(peak),
                       humanBytes(alloc),
                       std::to_string(churn.allocs),
                       std::to_string(churn.freshAllocs()),
                       std::to_string(churn.recycledAllocs),
-                      humanBytes(churn.recycledBytes)});
+                      humanBytes(churn.recycledBytes),
+                      std::to_string(churn.cachedAllocs),
+                      humanBytes(churn.cachedBytes)});
     }
     return table;
 }

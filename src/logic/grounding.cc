@@ -1,0 +1,75 @@
+#include "logic/grounding.hh"
+
+#include <set>
+#include <utility>
+
+#include "core/profiler.hh"
+
+namespace nsbench::logic
+{
+
+using core::OpCategory;
+using core::ScopedOp;
+
+uint64_t
+GroundedIndex::graphBytes() const
+{
+    uint64_t bytes = initialBounds.size() * sizeof(TruthBounds);
+    for (const auto &group : byRule) {
+        for (const auto &inst : group)
+            bytes += (inst.body.size() + 1) * sizeof(int64_t);
+    }
+    return bytes;
+}
+
+GroundedIndex
+buildGroundedIndex(const KnowledgeBase &kb)
+{
+    // Saturate a scratch copy so the caller's KB stays at its base
+    // facts; remember those base facts to seed the truth bounds.
+    KnowledgeBase scratch = kb;
+    std::set<GroundAtom> base_facts;
+    for (size_t p = 0; p < scratch.numPredicates(); p++) {
+        for (const auto &fact :
+             scratch.facts(static_cast<PredId>(p))) {
+            base_facts.insert(fact);
+        }
+    }
+
+    GroundedIndex g;
+    scratch.forwardChain();
+
+    auto atom_id = [&](const GroundAtom &atom) -> int64_t {
+        auto it = g.atomIds.find(atom);
+        if (it != g.atomIds.end())
+            return static_cast<int64_t>(it->second);
+        size_t id = g.initialBounds.size();
+        g.atomIds.emplace(atom, id);
+        g.initialBounds.push_back(base_facts.count(atom)
+                                      ? TruthBounds::certainTrue()
+                                      : TruthBounds::unknown());
+        return static_cast<int64_t>(id);
+    };
+
+    for (const auto &rule : scratch.rules()) {
+        ScopedOp op("formula_grounding", OpCategory::Other);
+        auto instances = scratch.enumerateGroundings(rule);
+        std::vector<GroundedIndex::Instance> group;
+        group.reserve(instances.size());
+        for (const auto &inst : instances) {
+            GroundedIndex::Instance gi;
+            for (const auto &atom : inst.body)
+                gi.body.push_back(atom_id(atom));
+            gi.head = atom_id(inst.head);
+            group.push_back(std::move(gi));
+        }
+        op.setFlops(static_cast<double>(group.size()) *
+                    static_cast<double>(rule.body.size() + 1));
+        op.setBytesRead(static_cast<double>(group.size()) * 32.0);
+        op.setBytesWritten(static_cast<double>(group.size()) * 16.0);
+        g.byRule.push_back(std::move(group));
+    }
+    return g;
+}
+
+} // namespace nsbench::logic

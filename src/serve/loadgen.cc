@@ -18,47 +18,8 @@ namespace nsbench::serve
 namespace
 {
 
-/**
- * Samples seeds from a bounded universe with Zipf popularity skew:
- * rank r (1-based) is drawn with probability proportional to r^-s.
- * Precomputes the CDF once; each sample is a binary search.
- */
-class SeedSampler
-{
-  public:
-    SeedSampler(uint64_t universe, double exponent)
-        : universe_(universe)
-    {
-        if (universe_ == 0 || exponent <= 0.0)
-            return;
-        cdf_.reserve(universe_);
-        double total = 0.0;
-        for (uint64_t rank = 1; rank <= universe_; ++rank) {
-            total += std::pow(static_cast<double>(rank), -exponent);
-            cdf_.push_back(total);
-        }
-        for (double &c : cdf_)
-            c /= total;
-    }
-
-    /** Draws the next seed; @p fallback numbers unique requests. */
-    uint64_t
-    sample(util::Rng &rng, uint64_t fallback) const
-    {
-        if (universe_ == 0)
-            return fallback;
-        if (cdf_.empty())
-            return static_cast<uint64_t>(rng.uniformInt(
-                0, static_cast<int64_t>(universe_) - 1));
-        double u = rng.uniformDouble();
-        auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-        return static_cast<uint64_t>(it - cdf_.begin());
-    }
-
-  private:
-    uint64_t universe_;
-    std::vector<double> cdf_;
-};
+/** The Zipf sampler lives in loadgen.hh so tests can reach it. */
+using SeedSampler = ZipfSeedSampler;
 
 /** Samples workload names from the configured mix. */
 class MixSampler

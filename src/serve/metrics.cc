@@ -29,7 +29,9 @@ void
 ServerMetrics::recordAdmitted(const std::string &workload)
 {
     std::lock_guard<std::mutex> lock(mu_);
+    perWorkload_[workload].offered++;
     perWorkload_[workload].submitted++;
+    total_.offered++;
     total_.submitted++;
 }
 
@@ -39,6 +41,7 @@ ServerMetrics::recordRejected(const std::string &workload,
 {
     std::lock_guard<std::mutex> lock(mu_);
     auto bump = [status](WorkloadMetrics &m) {
+        m.offered++;
         switch (status) {
         case RequestStatus::RejectedQueueFull:
             m.rejectedQueueFull++;
@@ -112,6 +115,44 @@ ServerMetrics::recordOutcome(const std::string &workload,
     add(total_);
 }
 
+void
+ServerMetrics::recordCacheHit(const std::string &workload)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    perWorkload_[workload].cacheHits++;
+    total_.cacheHits++;
+}
+
+void
+ServerMetrics::recordCacheMiss(const std::string &workload)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    perWorkload_[workload].cacheMisses++;
+    total_.cacheMisses++;
+}
+
+void
+ServerMetrics::recordCacheEvictions(const std::string &workload,
+                                    uint64_t n)
+{
+    if (n == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    perWorkload_[workload].cacheEvictions += n;
+    total_.cacheEvictions += n;
+}
+
+void
+ServerMetrics::recordSingleFlight(const std::string &workload,
+                                  uint64_t n)
+{
+    if (n == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    perWorkload_[workload].singleFlightShared += n;
+    total_.singleFlightShared += n;
+}
+
 WorkloadMetrics
 ServerMetrics::workload(const std::string &name) const
 {
@@ -149,8 +190,9 @@ ServerMetrics::table() const
     WorkloadMetrics totals = total();
 
     util::Table table({"workload", "done", "rej", "exp", "runs",
-                       "share", "batch", "p50 ms", "p95 ms",
-                       "p99 ms", "mean ms", "wait ms", "neural"});
+                       "share", "batch", "hit%", "sf", "p50 ms",
+                       "p95 ms", "p99 ms", "mean ms", "wait ms",
+                       "neural"});
     auto ms = [](double seconds) {
         return util::fixedStr(seconds * 1e3, 2);
     };
@@ -162,6 +204,8 @@ ServerMetrics::table() const
                       std::to_string(m.executions),
                       util::fixedStr(m.shareFactor(), 2),
                       util::fixedStr(m.batchOccupancy.mean(), 2),
+                      util::percentStr(m.cacheHitRate()),
+                      std::to_string(m.singleFlightShared),
                       ms(m.latency.p50()), ms(m.latency.p95()),
                       ms(m.latency.p99()), ms(m.latency.mean()),
                       ms(m.queueWait.mean()),

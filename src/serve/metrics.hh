@@ -33,6 +33,13 @@ namespace nsbench::serve
  */
 struct WorkloadMetrics
 {
+    /**
+     * Every request that reached submit(): admissions plus every
+     * rejection. Offered load is the correct denominator for
+     * acceptance/goodput math — `completed` must never be divided by
+     * a window that silently includes queue-full rejects.
+     */
+    uint64_t offered = 0;
     uint64_t submitted = 0;          ///< Admitted into the queue.
     uint64_t completed = 0;          ///< Finished with status Ok.
     uint64_t rejectedQueueFull = 0;  ///< Backpressure rejections.
@@ -42,6 +49,10 @@ struct WorkloadMetrics
     uint64_t expired = 0;            ///< Admitted but expired in queue.
     uint64_t executions = 0;         ///< Actual run() invocations.
     uint64_t batches = 0;            ///< Batches dispatched.
+    uint64_t cacheHits = 0;          ///< Result-cache hits at admission.
+    uint64_t cacheMisses = 0;        ///< Result-cache misses.
+    uint64_t cacheEvictions = 0;     ///< Result-cache entries evicted.
+    uint64_t singleFlightShared = 0; ///< Followers fanned a leader's result.
 
     util::TailStats latency;         ///< End-to-end seconds (Ok only).
     util::RunningStat queueWait;     ///< Submit -> execution start.
@@ -85,6 +96,16 @@ struct WorkloadMetrics
         double total = neuralSeconds + symbolicSeconds;
         return total > 0.0 ? neuralSeconds / total : 0.0;
     }
+
+    /** Result-cache hit fraction of all lookups; 0 when uncached. */
+    double
+    cacheHitRate() const
+    {
+        uint64_t lookups = cacheHits + cacheMisses;
+        return lookups ? static_cast<double>(cacheHits) /
+                             static_cast<double>(lookups)
+                       : 0.0;
+    }
 };
 
 /**
@@ -111,6 +132,18 @@ class ServerMetrics
     /** Notes a completion (Ok or Expired) with its response record. */
     void recordOutcome(const std::string &workload,
                        const Response &response);
+
+    /** Notes a result-cache hit served at admission. */
+    void recordCacheHit(const std::string &workload);
+
+    /** Notes a result-cache miss. */
+    void recordCacheMiss(const std::string &workload);
+
+    /** Notes @p n entries evicted while caching a result. */
+    void recordCacheEvictions(const std::string &workload, uint64_t n);
+
+    /** Notes @p n followers fanned a single-flight leader's result. */
+    void recordSingleFlight(const std::string &workload, uint64_t n);
 
     /** Snapshot of one workload's aggregates (zeroes if unseen). */
     WorkloadMetrics workload(const std::string &name) const;

@@ -61,8 +61,11 @@ isRejection(RequestStatus status)
 /**
  * Completion record delivered to the request's callback. For Ok
  * responses every field is set; Expired responses carry timing but
- * no score; rejected requests never reach a callback (submit reports
- * the rejection synchronously).
+ * no score. Requests rejected at submit() never reach a callback
+ * (submit reports the rejection synchronously) — with one exception:
+ * a request admitted as a single-flight follower (submit returned
+ * Ok) receives a rejection-status response through its callback if
+ * its leader subsequently failed admission.
  */
 struct Response
 {
@@ -75,6 +78,7 @@ struct Response
     double symbolicSeconds = 0.0;///< Profiler symbolic-phase op time.
     int batchSize = 0;           ///< Requests in the executed batch.
     int shared = 0;              ///< Requests sharing this execution.
+    bool cached = false;         ///< Served from the result cache.
 };
 
 /** Completion callback; invoked exactly once per admitted request. */

@@ -1,5 +1,6 @@
 #include "serve/server.hh"
 
+#include <algorithm>
 #include <future>
 #include <map>
 #include <utility>
@@ -39,6 +40,24 @@ Server::Server(ServerOptions options)
                   "Server: need at least one worker");
     if (!options_.factory)
         options_.factory = registryFactory;
+
+    if (options_.resultCache) {
+        cache::ResultCacheOptions cacheOptions;
+        cacheOptions.maxBytes = options_.cacheBytes;
+        cacheOptions.shards = options_.cacheShards;
+        cache_ =
+            std::make_unique<cache::ResultCache>(cacheOptions);
+        // Probe each workload's seed sensitivity once: insensitive
+        // workloads fold every episode seed onto one cache entry.
+        // Construction is cheap (setUp is where the cost lives).
+        for (const auto &name : options_.workloads) {
+            auto probe = options_.factory(name);
+            util::panicIf(!probe,
+                          "Server: factory returned null for " +
+                              name);
+            seedSensitive_[name] = probe->seedSensitive();
+        }
+    }
 
     batcher_ = std::make_unique<Batcher>(
         admission_, batches_, options_.maxBatch,
@@ -94,6 +113,52 @@ Server::submit(const std::string &workload, uint64_t seed,
         return RequestStatus::RejectedDeadline;
     }
 
+    std::string key;
+    if (cache_) {
+        // Seed-insensitive workloads score identically for every
+        // episode seed; canonicalise onto seed 0 so all of them share
+        // one entry.
+        key = cache::ResultCache::keyString(
+            workload, options_.modelSeed,
+            seedSensitive_.at(workload) ? seed : 0);
+        double score = 0.0;
+        if (cache_->lookup(key, &score)) {
+            metrics_.recordCacheHit(workload);
+            metrics_.recordAdmitted(workload);
+            Response response;
+            response.status = RequestStatus::Ok;
+            response.score = score;
+            response.cached = true;
+            response.shared = 1;
+            response.latencySeconds = secondsBetween(
+                request.enqueue, ServeClock::now());
+            metrics_.recordOutcome(workload, response);
+            if (request.done)
+                request.done(response);
+            return RequestStatus::Ok;
+        }
+        metrics_.recordCacheMiss(workload);
+
+        // Single-flight: park this request behind an in-flight miss
+        // on the same key; the leader's completion fans out to it.
+        Flight flight;
+        flight.id = request.id;
+        flight.enqueue = request.enqueue;
+        flight.deadline = request.deadline;
+        flight.done = request.done;
+        if (flights_.join(key, std::move(flight)) ==
+            cache::SingleFlight<Flight>::Role::Follower)
+            return RequestStatus::Ok;
+
+        // Leader: wrap the callback so completion (or queue expiry)
+        // caches the score and releases the followers.
+        Callback inner = std::move(request.done);
+        request.done = [this, workload, key,
+                        inner](const Response &response) {
+            finishFlight(workload, key, inner, response);
+        };
+    }
+
     if (!admission_.tryPush(std::move(request))) {
         // tryPush fails both on a full queue and on a closed one;
         // closure means a shutdown raced this submit.
@@ -101,10 +166,71 @@ Server::submit(const std::string &workload, uint64_t seed,
                                    ? RequestStatus::RejectedShutdown
                                    : RequestStatus::RejectedQueueFull;
         metrics_.recordRejected(workload, status);
+        if (cache_)
+            abortFlight(workload, key, status);
         return status;
     }
     metrics_.recordAdmitted(workload);
     return RequestStatus::Ok;
+}
+
+void
+Server::finishFlight(const std::string &workload,
+                     const std::string &key, const Callback &inner,
+                     const Response &response)
+{
+    if (response.status == RequestStatus::Ok) {
+        uint64_t evicted = cache_->insert(key, response.score);
+        metrics_.recordCacheEvictions(workload, evicted);
+    }
+    // Insert-then-finish: a request arriving in between hits the
+    // fresh cache entry directly, so nobody can join a dead flight.
+    std::vector<Flight> waiters = flights_.finish(key);
+    if (inner)
+        inner(response);
+    if (waiters.empty())
+        return;
+    metrics_.recordSingleFlight(workload, waiters.size());
+
+    TimePoint now = ServeClock::now();
+    for (Flight &waiter : waiters) {
+        Response fanned = response;
+        // The follower shares the leader's execution but not its
+        // timeline; phase seconds are zeroed so the leader's
+        // share-divided attribution stays one-pass exact.
+        fanned.shared = 1;
+        fanned.neuralSeconds = 0.0;
+        fanned.symbolicSeconds = 0.0;
+        fanned.latencySeconds = secondsBetween(waiter.enqueue, now);
+        fanned.queueSeconds =
+            std::max(0.0, fanned.latencySeconds -
+                              fanned.serviceSeconds);
+        if (fanned.status == RequestStatus::Ok &&
+            waiter.deadline <= now) {
+            fanned.status = RequestStatus::Expired;
+            fanned.queueSeconds = fanned.latencySeconds;
+        }
+        metrics_.recordAdmitted(workload);
+        metrics_.recordOutcome(workload, fanned);
+        if (waiter.done)
+            waiter.done(fanned);
+    }
+}
+
+void
+Server::abortFlight(const std::string &workload,
+                    const std::string &key, RequestStatus status)
+{
+    std::vector<Flight> waiters = flights_.finish(key);
+    TimePoint now = ServeClock::now();
+    for (Flight &waiter : waiters) {
+        metrics_.recordRejected(workload, status);
+        Response rejected;
+        rejected.status = status;
+        rejected.latencySeconds = secondsBetween(waiter.enqueue, now);
+        if (waiter.done)
+            waiter.done(rejected);
+    }
 }
 
 Response

@@ -39,6 +39,8 @@
 #include <thread>
 #include <vector>
 
+#include "cache/result_cache.hh"
+#include "cache/single_flight.hh"
 #include "core/profiler.hh"
 #include "core/workload.hh"
 #include "serve/batcher.hh"
@@ -62,6 +64,18 @@ struct ServerOptions
     uint64_t modelSeed = 42;      ///< setUp seed for every replica.
     bool coalesce = true;         ///< Share executions across equal requests.
     bool profilePhases = true;    ///< Collect the neural/symbolic split.
+    /**
+     * Enables the request-result cache: repeats of a completed
+     * (workload, episode seed) are answered at admission without a
+     * run(), and concurrent misses on one key execute once
+     * (single-flight). Valid because scores are pure in (model seed,
+     * episode seed) — the determinism contract above. Default off so
+     * every existing test and bench sees the historical execution
+     * counts; the CLI/bench layer opts in via NSBENCH_CACHE/--cache.
+     */
+    bool resultCache = false;
+    uint64_t cacheBytes = 64ull << 20; ///< Result-cache byte budget.
+    size_t cacheShards = 8;            ///< Result-cache shard count.
     /**
      * Replica factory; defaults to the global workload registry.
      * Override to serve reduced-size configs (e.g. a serve-sized
@@ -124,12 +138,28 @@ class Server
     /** The options the server was built with. */
     const ServerOptions &options() const { return options_; }
 
+    /** The result cache, or nullptr when disabled. */
+    const cache::ResultCache *
+    resultCache() const
+    {
+        return cache_.get();
+    }
+
   private:
     /** Per-worker replica with its private profiler. */
     struct Replica
     {
         std::unique_ptr<core::Workload> workload;
         core::Profiler profiler;
+    };
+
+    /** A parked single-flight follower awaiting its leader's result. */
+    struct Flight
+    {
+        uint64_t id = 0;
+        TimePoint enqueue{};
+        TimePoint deadline = TimePoint::max();
+        Callback done;
     };
 
     /** Worker thread body: pre-warm, signal ready, serve batches. */
@@ -139,11 +169,31 @@ class Server
     void runBatchOn(std::map<std::string, Replica> &replicas,
                     const Batch &batch);
 
+    /**
+     * Leader-completion hook: caches an Ok score, then fans the
+     * leader's outcome to every parked follower of @p key.
+     */
+    void finishFlight(const std::string &workload,
+                      const std::string &key, const Callback &inner,
+                      const Response &response);
+
+    /**
+     * Leader-admission-failure hook: delivers @p status to every
+     * parked follower (they were told Ok at submit, so the rejection
+     * must reach them through their callbacks).
+     */
+    void abortFlight(const std::string &workload,
+                     const std::string &key, RequestStatus status);
+
     ServerOptions options_;
     ServerMetrics metrics_;
     BoundedQueue<Request> admission_;
     BoundedQueue<Batch> batches_;
     std::unique_ptr<Batcher> batcher_;
+    std::unique_ptr<cache::ResultCache> cache_;
+    cache::SingleFlight<Flight> flights_;
+    /** Per-workload seedSensitive(), probed once at construction. */
+    std::map<std::string, bool> seedSensitive_;
     std::thread batcherThread_;
     std::vector<std::thread> workers_;
     std::atomic<uint64_t> nextId_{1};

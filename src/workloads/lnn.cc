@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <set>
 
+#include "cache/precompute.hh"
 #include "core/profiler.hh"
+#include "logic/grounding.hh"
 #include "tensor/fused.hh"
 #include "tensor/ops.hh"
 #include "util/logging.hh"
@@ -45,69 +47,54 @@ LnnWorkload::storageBytes() const
     return university_ ? university_->kb.factBytes() : 0;
 }
 
+std::string
+LnnWorkload::groundingKey() const
+{
+    // The grounded index is pure in the KB, which is pure in the
+    // generator knobs and the model seed.
+    return "lnn/grounded/d" + std::to_string(config_.departments) +
+           "/p" + std::to_string(config_.professorsPerDept) + "/s" +
+           std::to_string(config_.studentsPerDept) + "/c" +
+           std::to_string(config_.coursesPerProf) + "/m" +
+           std::to_string(seed_);
+}
+
 double
 LnnWorkload::run()
 {
     util::panicIf(!university_, "LNN: setUp() not called");
-    // Work on a scratch copy so repeated runs start identically.
-    logic::KnowledgeBase kb = university_->kb;
-    std::set<GroundAtom> base_facts;
-    for (size_t p = 0; p < kb.numPredicates(); p++) {
-        for (const auto &fact :
-             kb.facts(static_cast<logic::PredId>(p))) {
-            base_facts.insert(fact);
-        }
-    }
 
     // ---- Symbolic: grounding. Saturate to enumerate candidate
     // atoms, then ground every rule into formula-graph instances.
-    Grounded g;
+    // Memoized: the index is immutable and pure in the model seed,
+    // so with the precompute cache on, replicas and repeat runs
+    // share one build.
+    cache::CacheHandle<logic::GroundedIndex> handle;
     {
         PhaseScope symbolic(Phase::Symbolic, "lnn/grounding");
-        kb.forwardChain();
-
-        auto atom_id = [&](const GroundAtom &atom) -> int64_t {
-            auto it = g.atomIds.find(atom);
-            if (it != g.atomIds.end())
-                return static_cast<int64_t>(it->second);
-            size_t id = g.bounds.size();
-            g.atomIds.emplace(atom, id);
-            g.bounds.push_back(base_facts.count(atom)
-                                   ? TruthBounds::certainTrue()
-                                   : TruthBounds::unknown());
-            return static_cast<int64_t>(id);
-        };
-
-        for (const auto &rule : kb.rules()) {
-            ScopedOp op("formula_grounding", OpCategory::Other);
-            auto instances = kb.enumerateGroundings(rule);
-            std::vector<Grounded::Instance> group;
-            group.reserve(instances.size());
-            for (const auto &inst : instances) {
-                Grounded::Instance gi;
-                for (const auto &atom : inst.body)
-                    gi.body.push_back(atom_id(atom));
-                gi.head = atom_id(inst.head);
-                group.push_back(std::move(gi));
-            }
-            op.setFlops(static_cast<double>(group.size()) *
-                        static_cast<double>(rule.body.size() + 1));
-            op.setBytesRead(static_cast<double>(group.size()) * 32.0);
-            op.setBytesWritten(
-                static_cast<double>(group.size()) * 16.0);
-            g.byRule.push_back(std::move(group));
-        }
+        handle =
+            cache::PrecomputeCache::global()
+                .getOrBuild<logic::GroundedIndex>(
+                    groundingKey(), [this]() {
+                        cache::Sized<logic::GroundedIndex> out;
+                        out.value =
+                            std::make_shared<logic::GroundedIndex>(
+                                logic::buildGroundedIndex(
+                                    university_->kb));
+                        out.bytes = out.value->graphBytes();
+                        return out;
+                    });
     }
+    const logic::GroundedIndex &g = *handle;
+    // Per-run mutable neuron state; the shared index stays const.
+    std::vector<TruthBounds> bounds = g.initialBounds;
 
-    auto n_atoms = static_cast<int64_t>(g.bounds.size());
+    auto n_atoms = static_cast<int64_t>(bounds.size());
 
     // Account the grounded formula graph as symbolic working-set
-    // memory (it is the LNN's intermediate state).
-    uint64_t graph_bytes = g.bounds.size() * sizeof(TruthBounds);
-    for (const auto &group : g.byRule) {
-        for (const auto &inst : group)
-            graph_bytes += (inst.body.size() + 1) * sizeof(int64_t);
-    }
+    // memory (it is the LNN's intermediate state) — on hits as well
+    // as builds, so logical peaks match the uncached run exactly.
+    uint64_t graph_bytes = g.graphBytes();
     {
         PhaseScope symbolic(Phase::Symbolic, "lnn/grounding");
         core::globalProfiler().recordAlloc(graph_bytes);
@@ -124,8 +111,8 @@ LnnWorkload::run()
             PhaseScope neural(Phase::Neural, "lnn/state_pack");
             ScopedOp op("bound_pack", OpCategory::DataMovement);
             for (int64_t i = 0; i < n_atoms; i++) {
-                lower(i, 0) = g.bounds[static_cast<size_t>(i)].lower;
-                upper(i, 0) = g.bounds[static_cast<size_t>(i)].upper;
+                lower(i, 0) = bounds[static_cast<size_t>(i)].lower;
+                upper(i, 0) = bounds[static_cast<size_t>(i)].upper;
             }
             op.setBytesRead(static_cast<double>(n_atoms) * 8.0);
             op.setBytesWritten(static_cast<double>(n_atoms) * 8.0);
@@ -187,7 +174,7 @@ LnnWorkload::run()
                     ScopedOp op("bound_update", OpCategory::Other);
                     int64_t c1 = std::min(c0 + chunk, inst_n);
                     for (int64_t i = c0; i < c1; i++) {
-                        auto &head = g.bounds[static_cast<size_t>(
+                        auto &head = bounds[static_cast<size_t>(
                             group[static_cast<size_t>(i)].head)];
                         float new_lower =
                             std::max(head.lower, and_lower.flat(i));
@@ -255,7 +242,7 @@ LnnWorkload::run()
                     int64_t c1 = std::min(c0 + chunk, inst_n);
                     for (int64_t i = c0; i < c1; i++) {
                         for (int64_t j = 0; j < k; j++) {
-                            auto &atom = g.bounds[static_cast<size_t>(
+                            auto &atom = bounds[static_cast<size_t>(
                                 group[static_cast<size_t>(i)]
                                     .body[static_cast<size_t>(j)])];
                             float new_upper = std::min(
@@ -291,7 +278,7 @@ LnnWorkload::run()
     for (const auto &[atom, id] : g.atomIds) {
         if (atom.predicate != university_->seniorStudent)
             continue;
-        if (g.bounds[id].isTrue()) {
+        if (bounds[id].isTrue()) {
             proven++;
             if (expected.count(atom))
                 proven_correct++;

@@ -73,21 +73,8 @@ class LnnWorkload : public core::Workload
     LnnConfig config_;
     uint64_t seed_ = 0;
 
-    /** Grounded formula graph, rebuilt per run. */
-    struct Grounded
-    {
-        /** Atom id per distinct ground atom. */
-        std::map<logic::GroundAtom, size_t> atomIds;
-        std::vector<logic::TruthBounds> bounds;
-        /** Body atom ids + head atom id per rule instance. */
-        struct Instance
-        {
-            std::vector<int64_t> body;
-            int64_t head;
-        };
-        /** Instances grouped by rule. */
-        std::vector<std::vector<Instance>> byRule;
-    };
+    /** Precompute-cache key of the grounded formula graph. */
+    std::string groundingKey() const;
 
     std::unique_ptr<data::UniversityKb> university_;
     std::set<logic::GroundAtom> expectedSenior_;

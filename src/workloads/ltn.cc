@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "cache/precompute.hh"
 #include "core/profiler.hh"
 #include "logic/fuzzy.hh"
 #include "tensor/fused.hh"
@@ -65,60 +66,108 @@ reichenbachImplies(Tensor &out, const Tensor &a, const Tensor &b)
         });
 }
 
-} // namespace
-
-void
-LtnWorkload::setUp(uint64_t seed)
+/**
+ * Samples the dataset and constructs the predicate-MLP weights from
+ * its class statistics, all off one RNG stream seeded with the model
+ * seed. Pure in (config, seed).
+ */
+std::shared_ptr<const LtnModel>
+buildLtnModel(const LtnConfig &config, uint64_t seed)
 {
+    auto model = std::make_shared<LtnModel>();
     util::Rng rng(seed);
-    dataset_ = std::make_unique<data::RelationalDataset>(
-        data::makeRelationalDataset(config_.people,
-                                    config_.featureDim,
-                                    config_.friendsPerPerson, rng));
-    friends_ = dataset_->friendMatrix();
+    model->dataset = data::makeRelationalDataset(
+        config.people, config.featureDim, config.friendsPerPerson,
+        rng);
+    model->friends = model->dataset.friendMatrix();
 
     // Construct predicate-MLP weights from the class statistics: the
     // first hidden unit carries the discriminant direction, the rest
     // are low-amplitude random features (trained stand-in).
-    Tensor direction({config_.featureDim});
+    Tensor direction({config.featureDim});
     int smokers = 0;
-    for (int i = 0; i < config_.people; i++) {
-        float sign =
-            dataset_->smokes[static_cast<size_t>(i)] ? 1.0f : -1.0f;
+    for (int i = 0; i < config.people; i++) {
+        float sign = model->dataset.smokes[static_cast<size_t>(i)]
+                         ? 1.0f
+                         : -1.0f;
         if (sign > 0)
             smokers++;
-        for (int f = 0; f < config_.featureDim; f++)
-            direction(f) += sign * dataset_->features(i, f);
+        for (int f = 0; f < config.featureDim; f++)
+            direction(f) += sign * model->dataset.features(i, f);
     }
     float norm = 0.0f;
-    for (int f = 0; f < config_.featureDim; f++)
+    for (int f = 0; f < config.featureDim; f++)
         norm += direction(f) * direction(f);
     norm = std::sqrt(norm) + 1e-9f;
 
     auto make_predicate = [&](float hidden_gain, float out_gain,
                               Tensor &w1, Tensor &w2, Tensor &w3) {
-        w1 = Tensor::randn({config_.hidden, config_.featureDim}, rng,
+        w1 = Tensor::randn({config.hidden, config.featureDim}, rng,
                            0.0f, 0.05f);
-        for (int f = 0; f < config_.featureDim; f++)
+        for (int f = 0; f < config.featureDim; f++)
             w1(0, f) = hidden_gain * direction(f) / norm;
         // The second hidden layer forwards the discriminant unit.
-        w2 = Tensor::randn({config_.hidden, config_.hidden}, rng,
-                           0.0f, 0.02f);
+        w2 = Tensor::randn({config.hidden, config.hidden}, rng, 0.0f,
+                           0.02f);
         w2(0, 0) = 1.5f;
-        w3 = Tensor::randn({1, config_.hidden}, rng, 0.0f, 0.02f);
+        w3 = Tensor::randn({1, config.hidden}, rng, 0.0f, 0.02f);
         w3(0, 0) = out_gain;
     };
-    make_predicate(2.0f, 3.0f, smokesW1_, smokesW2_, smokesW3_);
-    make_predicate(2.0f, 2.0f, cancerW1_, cancerW2_, cancerW3_);
+    make_predicate(2.0f, 3.0f, model->smokesW1, model->smokesW2,
+                   model->smokesW3);
+    make_predicate(2.0f, 2.0f, model->cancerW1, model->cancerW2,
+                   model->cancerW3);
+    return model;
+}
+
+} // namespace
+
+uint64_t
+LtnModel::bytes() const
+{
+    uint64_t total = 0;
+    for (const Tensor *t :
+         {&dataset.features, &friends, &smokesW1, &smokesW2,
+          &smokesW3, &cancerW1, &cancerW2, &cancerW3}) {
+        if (!t->empty())
+            total += t->bytes();
+    }
+    return total;
+}
+
+void
+LtnWorkload::setUp(uint64_t seed)
+{
+    // The dataset and weights share one RNG stream, so the bundle is
+    // memoized whole, keyed on every knob the stream touches.
+    LtnConfig config = config_;
+    model_ =
+        cache::PrecomputeCache::global()
+            .getOrBuild<LtnModel>(
+                "ltn/model/p" + std::to_string(config.people) +
+                    "/f" + std::to_string(config.featureDim) + "/h" +
+                    std::to_string(config.hidden) + "/k" +
+                    std::to_string(config.friendsPerPerson) + "/s" +
+                    std::to_string(seed),
+                [&config, seed]() {
+                    cache::Sized<LtnModel> out;
+                    out.value = buildLtnModel(config, seed);
+                    out.bytes = out.value->bytes();
+                    return out;
+                })
+            .value;
 }
 
 uint64_t
 LtnWorkload::storageBytes() const
 {
+    if (!model_)
+        return 0;
     uint64_t bytes = 0;
     for (const Tensor *t :
-         {&smokesW1_, &smokesW2_, &smokesW3_, &cancerW1_, &cancerW2_,
-          &cancerW3_, &friends_}) {
+         {&model_->smokesW1, &model_->smokesW2, &model_->smokesW3,
+          &model_->cancerW1, &model_->cancerW2, &model_->cancerW3,
+          &model_->friends}) {
         if (!t->empty())
             bytes += t->bytes();
     }
@@ -128,7 +177,7 @@ LtnWorkload::storageBytes() const
 double
 LtnWorkload::run()
 {
-    util::panicIf(!dataset_, "LTN: setUp() not called");
+    util::panicIf(!model_, "LTN: setUp() not called");
     int64_t n = config_.people;
     double satisfaction_sum = 0.0;
 
@@ -137,19 +186,20 @@ LtnWorkload::run()
         Tensor smokes, cancer;
         {
             PhaseScope neural(Phase::Neural, "ltn/grounding_eval");
-            Tensor x = tensor::transfer(dataset_->features, "h2d");
+            Tensor x =
+                tensor::transfer(model_->dataset.features, "h2d");
             Tensor hs = tensor::tanhOp(
-                tensor::linear(x, smokesW1_, Tensor()));
+                tensor::linear(x, model_->smokesW1, Tensor()));
             Tensor hs2 = tensor::tanhOp(
-                tensor::linear(hs, smokesW2_, Tensor()));
+                tensor::linear(hs, model_->smokesW2, Tensor()));
             smokes = tensor::sigmoid(
-                tensor::linear(hs2, smokesW3_, Tensor()));
+                tensor::linear(hs2, model_->smokesW3, Tensor()));
             Tensor hc = tensor::tanhOp(
-                tensor::linear(x, cancerW1_, Tensor()));
+                tensor::linear(x, model_->cancerW1, Tensor()));
             Tensor hc2 = tensor::tanhOp(
-                tensor::linear(hc, cancerW2_, Tensor()));
+                tensor::linear(hc, model_->cancerW2, Tensor()));
             cancer = tensor::sigmoid(
-                tensor::linear(hc2, cancerW3_, Tensor()));
+                tensor::linear(hc2, model_->cancerW3, Tensor()));
         }
 
         // ---- Symbolic: evaluate the fuzzy theory.
@@ -174,11 +224,12 @@ LtnWorkload::run()
             Tensor ones_row = Tensor::ones({1, n});
             Tensor sx = tensor::matmul(smokes, ones_row); // [n, n]
             Tensor sy = tensor::transpose2d(sx);
-            tensor::mulInPlace(sx, friends_);
+            tensor::mulInPlace(sx, model_->friends);
             Tensor &antecedent = sx;
             reichenbachImplies(antecedent, antecedent, sy);
             Tensor &impl2 = antecedent;
-            Tensor relevant = tensor::maskedSelect(impl2, friends_);
+            Tensor relevant =
+                tensor::maskedSelect(impl2, model_->friends);
             if (relevant.numel() > 0) {
                 axiom_truths.push_back(
                     aggregateForAll(relevant.data()));

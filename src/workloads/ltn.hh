@@ -36,6 +36,26 @@ struct LtnConfig
 };
 
 /**
+ * One LTN instance's full model state: the sampled relational
+ * dataset, the friendship indicator matrix, and the constructed
+ * predicate-MLP weights. The dataset sampler and the weight
+ * initializer consume a single RNG stream, so the pieces are only
+ * reproducible together — the bundle is cached whole, pure in
+ * (config, model seed), and shared read-only across replicas via the
+ * precompute cache.
+ */
+struct LtnModel
+{
+    data::RelationalDataset dataset;
+    tensor::Tensor friends;
+    tensor::Tensor smokesW1, smokesW2, smokesW3;
+    tensor::Tensor cancerW1, cancerW2, cancerW3;
+
+    /** Resident bytes of the tensors in the bundle. */
+    uint64_t bytes() const;
+};
+
+/**
  * End-to-end LTN querying/reasoning on the smokers-friends-cancer
  * theory.
  */
@@ -69,11 +89,8 @@ class LtnWorkload : public core::Workload
 
   private:
     LtnConfig config_;
-    std::unique_ptr<data::RelationalDataset> dataset_;
-    /** Constructed predicate-MLP weights (trained stand-ins). */
-    tensor::Tensor smokesW1_, smokesW2_, smokesW3_;
-    tensor::Tensor cancerW1_, cancerW2_, cancerW3_;
-    tensor::Tensor friends_;
+    /** Shared immutable model bundle (possibly cache-served). */
+    std::shared_ptr<const LtnModel> model_;
 };
 
 } // namespace nsbench::workloads

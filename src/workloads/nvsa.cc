@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cache/precompute.hh"
 #include "core/profiler.hh"
 #include "core/sparsity.hh"
 #include "tensor/fused.hh"
@@ -58,6 +59,82 @@ const std::array<VsaRule, 8> vsaRules = {{
 
 } // namespace
 
+namespace
+{
+
+/** Builds the full codebook bundle from its own RNG stream. */
+std::shared_ptr<const NvsaCodebooks>
+buildCodebooks(const NvsaConfig &config, uint64_t seed)
+{
+    auto books = std::make_shared<NvsaCodebooks>();
+    util::Rng rng(seed ^ 0x5678);
+    for (AttributeId attr : data::allAttributes) {
+        int domain = data::attributeDomain(attr, config.grid);
+        Tensor base = vsa::unitaryVector(config.hvDim, rng);
+        // Atom for value v is the (v+1)-th convolution power, so no
+        // value maps to the degenerate identity impulse.
+        Tensor atoms({domain, config.hvDim});
+        for (int v = 0; v < domain; v++) {
+            Tensor atom = vsa::convPower(base, v + 1);
+            auto src = atom.data();
+            for (int64_t i = 0; i < config.hvDim; i++)
+                atoms(v, i) = src[static_cast<size_t>(i)];
+        }
+        books->attributeBooks.push_back(
+            std::make_unique<vsa::Codebook>(std::move(atoms)));
+        books->bases.push_back(std::move(base));
+    }
+
+    // The object-combination codebook (type x size x color): the
+    // large quasi-orthogonal store behind the paper's Takeaway 4.
+    int types = data::attributeDomain(AttributeId::Type, config.grid);
+    int sizes = data::attributeDomain(AttributeId::Size, config.grid);
+    int colors =
+        data::attributeDomain(AttributeId::Color, config.grid);
+    Tensor combos({types * sizes * colors, config.hvDim});
+    int64_t row = 0;
+    for (int t = 0; t < types; t++) {
+        for (int s = 0; s < sizes; s++) {
+            Tensor ts = vsa::fftCircularConvolve(
+                books->attributeBooks[1]->atom(t),
+                books->attributeBooks[2]->atom(s));
+            for (int c = 0; c < colors; c++) {
+                Tensor tsc = vsa::fftCircularConvolve(
+                    ts, books->attributeBooks[3]->atom(c));
+                auto src = tsc.data();
+                for (int64_t i = 0; i < config.hvDim; i++)
+                    combos(row, i) = src[static_cast<size_t>(i)];
+                row++;
+            }
+        }
+    }
+    books->comboBook =
+        std::make_unique<vsa::Codebook>(std::move(combos));
+    if (config.quantizedComboBook) {
+        books->quantizedCombo =
+            std::make_unique<vsa::QuantizedCodebook>(
+                *books->comboBook);
+    }
+    return books;
+}
+
+} // namespace
+
+uint64_t
+NvsaCodebooks::bytes() const
+{
+    uint64_t total = 0;
+    for (const auto &book : attributeBooks)
+        total += book->bytes();
+    for (const auto &base : bases)
+        total += base.bytes();
+    if (comboBook)
+        total += comboBook->bytes();
+    if (quantizedCombo)
+        total += quantizedCombo->bytes();
+    return total;
+}
+
 void
 NvsaWorkload::setUp(uint64_t seed)
 {
@@ -69,56 +146,26 @@ NvsaWorkload::setUp(uint64_t seed)
     perception_ = std::make_unique<RavenPerception>(config_.grid,
                                                     seed ^ 0x1234);
 
-    util::Rng rng(seed ^ 0x5678);
-    attributeBooks_.clear();
-    bases_.clear();
-    for (AttributeId attr : data::allAttributes) {
-        int domain = data::attributeDomain(attr, config_.grid);
-        Tensor base = vsa::unitaryVector(config_.hvDim, rng);
-        // Atom for value v is the (v+1)-th convolution power, so no
-        // value maps to the degenerate identity impulse.
-        Tensor atoms({domain, config_.hvDim});
-        for (int v = 0; v < domain; v++) {
-            Tensor atom = vsa::convPower(base, v + 1);
-            auto src = atom.data();
-            for (int64_t i = 0; i < config_.hvDim; i++)
-                atoms(v, i) = src[static_cast<size_t>(i)];
-        }
-        attributeBooks_.push_back(
-            std::make_unique<vsa::Codebook>(std::move(atoms)));
-        bases_.push_back(std::move(base));
-    }
-
-    // The object-combination codebook (type x size x color): the
-    // large quasi-orthogonal store behind the paper's Takeaway 4.
-    int types = data::attributeDomain(AttributeId::Type, config_.grid);
-    int sizes = data::attributeDomain(AttributeId::Size, config_.grid);
-    int colors =
-        data::attributeDomain(AttributeId::Color, config_.grid);
-    Tensor combos({types * sizes * colors, config_.hvDim});
-    int64_t row = 0;
-    for (int t = 0; t < types; t++) {
-        for (int s = 0; s < sizes; s++) {
-            Tensor ts = vsa::fftCircularConvolve(
-                attributeBooks_[1]->atom(t),
-                attributeBooks_[2]->atom(s));
-            for (int c = 0; c < colors; c++) {
-                Tensor tsc = vsa::fftCircularConvolve(
-                    ts, attributeBooks_[3]->atom(c));
-                auto src = tsc.data();
-                for (int64_t i = 0; i < config_.hvDim; i++)
-                    combos(row, i) = src[static_cast<size_t>(i)];
-                row++;
-            }
-        }
-    }
-    comboBook_ = std::make_unique<vsa::Codebook>(std::move(combos));
-    if (config_.quantizedComboBook) {
-        quantizedCombo_ =
-            std::make_unique<vsa::QuantizedCodebook>(*comboBook_);
-    } else {
-        quantizedCombo_.reset();
-    }
+    // The codebook bundle draws from its own RNG stream (seed ^
+    // 0x5678), so serving it from the precompute cache leaves the
+    // generator and perception streams — and therefore every score —
+    // bit-identical to a fresh build.
+    std::string key =
+        "nvsa/books/g" + std::to_string(config_.grid) + "/d" +
+        std::to_string(config_.hvDim) + "/q" +
+        std::to_string(config_.quantizedComboBook ? 1 : 0) + "/s" +
+        std::to_string(seed);
+    NvsaConfig config = config_;
+    books_ = cache::PrecomputeCache::global()
+                 .getOrBuild<NvsaCodebooks>(
+                     key,
+                     [&config, seed]() {
+                         cache::Sized<NvsaCodebooks> out;
+                         out.value = buildCodebooks(config, seed);
+                         out.bytes = out.value->bytes();
+                         return out;
+                     })
+                 .value;
 }
 
 void
@@ -135,13 +182,15 @@ uint64_t
 NvsaWorkload::storageBytes() const
 {
     uint64_t bytes = perception_ ? perception_->storageBytes() : 0;
-    for (const auto &book : attributeBooks_)
+    if (!books_)
+        return bytes;
+    for (const auto &book : books_->attributeBooks)
         bytes += book->bytes();
     // A quantized combination book replaces the FP32 one in memory.
-    if (quantizedCombo_)
-        bytes += quantizedCombo_->bytes();
-    else if (comboBook_)
-        bytes += comboBook_->bytes();
+    if (books_->quantizedCombo)
+        bytes += books_->quantizedCombo->bytes();
+    else if (books_->comboBook)
+        bytes += books_->comboBook->bytes();
     return bytes;
 }
 
@@ -160,7 +209,7 @@ NvsaWorkload::encodePanel(const PanelBelief &belief,
         // NVSA sparsifies the PMF before the transform; entries
         // below 1% contribute nothing and are skipped (the Fig. 5
         // sparsity this stage records).
-        hvs[a] = attributeBooks_[a]->encodePmf(belief.pmfs[a], stage,
+        hvs[a] = books_->attributeBooks[a]->encodePmf(belief.pmfs[a], stage,
                                                0.01f);
     }
     return hvs;
@@ -224,8 +273,8 @@ NvsaWorkload::solvePuzzle(const data::RpmPuzzle &puzzle)
                 Tensor placed = vsa::permuteShift(
                     object, static_cast<int64_t>(o) * 7 + 1);
                 vsa::CleanupResult check =
-                    quantizedCombo_ ? quantizedCombo_->cleanup(object)
-                                    : comboBook_->cleanup(object);
+                    books_->quantizedCombo ? books_->quantizedCombo->cleanup(object)
+                                    : books_->comboBook->cleanup(object);
                 (void)check;
                 objects.push_back(std::move(placed));
             }
@@ -251,7 +300,7 @@ NvsaWorkload::solvePuzzle(const data::RpmPuzzle &puzzle)
     {
         PhaseScope symbolic(Phase::Symbolic, "nvsa/rule_detect");
         for (size_t a = 0; a < data::numAttributes; a++) {
-            const Tensor &base = bases_[a];
+            const Tensor &base = books_->bases[a];
             auto hv = [&](int row, int col) -> const Tensor & {
                 return ctx_hv[static_cast<size_t>(row * 3 + col)][a];
             };
@@ -344,7 +393,7 @@ NvsaWorkload::solvePuzzle(const data::RpmPuzzle &puzzle)
     {
         PhaseScope symbolic(Phase::Symbolic, "nvsa/rule_exec");
         for (size_t a = 0; a < data::numAttributes; a++) {
-            const Tensor &base = bases_[a];
+            const Tensor &base = books_->bases[a];
             auto hv = [&](int row, int col) -> const Tensor & {
                 return ctx_hv[static_cast<size_t>(row * 3 + col)][a];
             };
@@ -382,7 +431,7 @@ NvsaWorkload::solvePuzzle(const data::RpmPuzzle &puzzle)
                 break;
               }
             }
-            answer_pmfs[a] = attributeBooks_[a]->decodePmf(
+            answer_pmfs[a] = books_->attributeBooks[a]->decodePmf(
                 pred,
                 "vsa_to_pmf/" +
                     std::string(data::attributeName(

@@ -41,6 +41,29 @@ struct NvsaConfig
 };
 
 /**
+ * The seed-invariant symbolic model state of one NVSA instance: the
+ * per-attribute fractional-power codebooks, their convolution bases,
+ * and the (type x size x color) combination codebook. Pure in
+ * (config, model seed) — the codebook RNG stream is independent of
+ * the puzzle and perception streams — so one bundle is shareable
+ * read-only across replicas and runs via the precompute cache.
+ */
+struct NvsaCodebooks
+{
+    /** One fractional-power codebook per attribute. */
+    std::vector<std::unique_ptr<vsa::Codebook>> attributeBooks;
+    /** Convolution base per attribute. */
+    std::vector<tensor::Tensor> bases;
+    /** Bound-product codebook over (type,size,color) combinations. */
+    std::unique_ptr<vsa::Codebook> comboBook;
+    /** Optional INT8 mirror of the combination codebook. */
+    std::unique_ptr<vsa::QuantizedCodebook> quantizedCombo;
+
+    /** Resident bytes of every codebook and base. */
+    uint64_t bytes() const;
+};
+
+/**
  * End-to-end NVSA: perception -> PMF-to-VSA -> algebraic rule
  * detection -> rule execution -> VSA-to-PMF -> answer selection.
  */
@@ -76,14 +99,8 @@ class NvsaWorkload : public core::Workload
     NvsaConfig config_;
     std::unique_ptr<data::RavenGenerator> generator_;
     std::unique_ptr<RavenPerception> perception_;
-    /** One fractional-power codebook per attribute. */
-    std::vector<std::unique_ptr<vsa::Codebook>> attributeBooks_;
-    /** Bound-product codebook over (type,size,color) combinations. */
-    std::unique_ptr<vsa::Codebook> comboBook_;
-    /** Optional INT8 mirror of the combination codebook. */
-    std::unique_ptr<vsa::QuantizedCodebook> quantizedCombo_;
-    /** Convolution base per attribute. */
-    std::vector<tensor::Tensor> bases_;
+    /** Shared immutable codebook bundle (possibly cache-served). */
+    std::shared_ptr<const NvsaCodebooks> books_;
 
     /** Encodes one panel's PMFs into attribute hypervectors. */
     std::array<tensor::Tensor, data::numAttributes>

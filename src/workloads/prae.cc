@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cache/precompute.hh"
 #include "core/profiler.hh"
 #include "core/sparsity.hh"
 #include "tensor/ops.hh"
@@ -19,19 +20,18 @@ using core::ScopedOp;
 using data::AttributeId;
 using tensor::Tensor;
 
-void
-PraeWorkload::setUp(uint64_t seed)
+namespace
 {
-    generator_ = std::make_unique<data::RavenGenerator>(config_.grid,
-                                                        seed);
-    perception_ = std::make_unique<RavenPerception>(config_.grid,
-                                                    seed ^ 0x9999);
 
-    // Pre-compute the rule tables the abduction engine enumerates.
+/** Enumerates the full rule tables for one grid size. */
+std::shared_ptr<const PraeRuleTables>
+buildRuleTables(int grid)
+{
+    auto tables = std::make_shared<PraeRuleTables>();
     for (size_t a = 0; a < data::numAttributes; a++) {
-        int domain = data::attributeDomain(data::allAttributes[a],
-                                           config_.grid);
-        RuleTable &table = ruleTables_[a];
+        int domain =
+            data::attributeDomain(data::allAttributes[a], grid);
+        PraeRuleTables::Table &table = tables->tables[a];
         table.domain = domain;
         table.rules = data::enumerateRules(domain);
         table.apply.resize(table.rules.size());
@@ -48,6 +48,46 @@ PraeWorkload::setUp(uint64_t seed)
             }
         }
     }
+    return tables;
+}
+
+} // namespace
+
+uint64_t
+PraeRuleTables::bytes() const
+{
+    uint64_t total = 0;
+    for (const auto &table : tables) {
+        total += table.rules.size() * sizeof(data::AttributeRule);
+        for (const auto &map : table.apply)
+            total += map.size() * sizeof(int);
+    }
+    return total;
+}
+
+void
+PraeWorkload::setUp(uint64_t seed)
+{
+    generator_ = std::make_unique<data::RavenGenerator>(config_.grid,
+                                                        seed);
+    perception_ = std::make_unique<RavenPerception>(config_.grid,
+                                                    seed ^ 0x9999);
+
+    // Pre-compute the rule tables the abduction engine enumerates.
+    // They depend on the grid alone — no seed — so every replica at
+    // the same grid shares one memoized copy when the cache is on.
+    int grid = config_.grid;
+    ruleTables_ =
+        cache::PrecomputeCache::global()
+            .getOrBuild<PraeRuleTables>(
+                "prae/tables/g" + std::to_string(grid),
+                [grid]() {
+                    cache::Sized<PraeRuleTables> out;
+                    out.value = buildRuleTables(grid);
+                    out.bytes = out.value->bytes();
+                    return out;
+                })
+            .value;
 }
 
 void
@@ -63,9 +103,11 @@ uint64_t
 PraeWorkload::storageBytes() const
 {
     uint64_t bytes = perception_ ? perception_->storageBytes() : 0;
-    for (const auto &table : ruleTables_) {
-        for (const auto &map : table.apply)
-            bytes += map.size() * sizeof(int);
+    if (ruleTables_) {
+        for (const auto &table : ruleTables_->tables) {
+            for (const auto &map : table.apply)
+                bytes += map.size() * sizeof(int);
+        }
     }
     return bytes;
 }
@@ -143,7 +185,8 @@ PraeWorkload::solvePuzzle(const data::RpmPuzzle &puzzle)
     {
         PhaseScope symbolic(Phase::Symbolic, "prae/abduction");
         for (size_t a = 0; a < data::numAttributes; a++) {
-            const RuleTable &table = ruleTables_[a];
+            const PraeRuleTables::Table &table =
+                ruleTables_->tables[a];
             int domain = table.domain;
             posteriors[a].assign(table.rules.size(), 0.0);
 
@@ -216,7 +259,8 @@ PraeWorkload::solvePuzzle(const data::RpmPuzzle &puzzle)
     {
         PhaseScope symbolic(Phase::Symbolic, "prae/execution");
         for (size_t a = 0; a < data::numAttributes; a++) {
-            const RuleTable &table = ruleTables_[a];
+            const PraeRuleTables::Table &table =
+                ruleTables_->tables[a];
             int domain = table.domain;
             predicted[a] = Tensor({domain});
 

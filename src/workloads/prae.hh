@@ -34,6 +34,28 @@ struct PraeConfig
 };
 
 /**
+ * The abduction engine's enumerated rule tables: candidate rules
+ * plus predicted-value maps per attribute. Pure in the grid size
+ * alone (no seed enters their construction), so one instance is
+ * shareable read-only across every replica and seed via the
+ * precompute cache.
+ */
+struct PraeRuleTables
+{
+    struct Table
+    {
+        std::vector<data::AttributeRule> rules;
+        /** apply[r][a1 * domain + a2] = a3 or -1. */
+        std::vector<std::vector<int>> apply;
+        int domain = 0;
+    };
+    std::array<Table, data::numAttributes> tables;
+
+    /** Resident bytes of the apply maps. */
+    uint64_t bytes() const;
+};
+
+/**
  * End-to-end PrAE: perception -> scene inference -> probabilistic
  * abduction -> probabilistic execution -> answer selection.
  */
@@ -69,15 +91,8 @@ class PraeWorkload : public core::Workload
     PraeConfig config_;
     std::unique_ptr<data::RavenGenerator> generator_;
     std::unique_ptr<RavenPerception> perception_;
-    /** Candidate rules plus predicted-value maps per attribute. */
-    struct RuleTable
-    {
-        std::vector<data::AttributeRule> rules;
-        /** apply[r][a1 * domain + a2] = a3 or -1. */
-        std::vector<std::vector<int>> apply;
-        int domain = 0;
-    };
-    std::array<RuleTable, data::numAttributes> ruleTables_;
+    /** Shared immutable rule tables (possibly cache-served). */
+    std::shared_ptr<const PraeRuleTables> ruleTables_;
 
     bool solvePuzzle(const data::RpmPuzzle &puzzle);
 };

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Sharded result-cache tests: key canonicalisation, LRU eviction
+ * order, byte bounds, refresh semantics and counter aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cache/result_cache.hh"
+
+namespace
+{
+
+using namespace nsbench;
+using cache::ResultCache;
+using cache::ResultCacheOptions;
+using cache::ResultCacheStats;
+
+/** Single-shard cache sized for exactly @p entries equal-cost keys. */
+ResultCache
+singleShardFor(size_t entries, const std::string &sample_key)
+{
+    ResultCacheOptions options;
+    options.shards = 1;
+    options.maxBytes = entries * ResultCache::entryCost(sample_key);
+    return ResultCache(options);
+}
+
+TEST(CacheResult, KeyStringEncodesEveryComponent)
+{
+    EXPECT_EQ(ResultCache::keyString("NVSA", 42, 7), "NVSA/m42/e7");
+    EXPECT_NE(ResultCache::keyString("NVSA", 42, 7),
+              ResultCache::keyString("NVSA", 42, 8));
+    EXPECT_NE(ResultCache::keyString("NVSA", 42, 7),
+              ResultCache::keyString("NVSA", 43, 7));
+    EXPECT_NE(ResultCache::keyString("NVSA", 42, 7),
+              ResultCache::keyString("PrAE", 42, 7));
+}
+
+TEST(CacheResult, MissThenInsertThenHit)
+{
+    ResultCache cache;
+    double score = 0.0;
+    EXPECT_FALSE(cache.lookup("k", &score));
+    cache.insert("k", 0.75);
+    ASSERT_TRUE(cache.lookup("k", &score));
+    EXPECT_DOUBLE_EQ(score, 0.75);
+
+    ResultCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.insertions, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(CacheResult, EvictsLeastRecentlyUsedFirst)
+{
+    // Room for three equal-cost keys; a lookup refreshes recency, so
+    // inserting a fourth key evicts the least recently TOUCHED entry,
+    // not the oldest insertion.
+    ResultCache cache = singleShardFor(3, "k0");
+    cache.insert("k0", 0.0);
+    cache.insert("k1", 1.0);
+    cache.insert("k2", 2.0);
+
+    double score = 0.0;
+    ASSERT_TRUE(cache.lookup("k0", &score)); // k1 is now LRU.
+    cache.insert("k3", 3.0);
+
+    EXPECT_FALSE(cache.lookup("k1", &score));
+    EXPECT_TRUE(cache.lookup("k0", &score));
+    EXPECT_TRUE(cache.lookup("k2", &score));
+    EXPECT_TRUE(cache.lookup("k3", &score));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(CacheResult, ByteBudgetBoundsResidency)
+{
+    ResultCacheOptions options;
+    options.shards = 4;
+    options.maxBytes = 4096;
+    ResultCache cache(options);
+
+    for (int i = 0; i < 1000; i++) {
+        cache.insert("workload/m42/e" + std::to_string(i),
+                     static_cast<double>(i));
+    }
+    ResultCacheStats stats = cache.stats();
+    EXPECT_LE(stats.bytes, options.maxBytes);
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_GT(stats.entries, 0u);
+}
+
+TEST(CacheResult, ReinsertRefreshesInsteadOfDuplicating)
+{
+    ResultCache cache;
+    cache.insert("k", 0.25);
+    cache.insert("k", 0.5);
+    EXPECT_EQ(cache.stats().entries, 1u);
+    double score = 0.0;
+    ASSERT_TRUE(cache.lookup("k", &score));
+    EXPECT_DOUBLE_EQ(score, 0.5);
+}
+
+TEST(CacheResult, ClearDropsEverything)
+{
+    ResultCache cache;
+    cache.insert("a", 1.0);
+    cache.insert("b", 2.0);
+    cache.clear();
+    ResultCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.bytes, 0u);
+    double score = 0.0;
+    EXPECT_FALSE(cache.lookup("a", &score));
+}
+
+} // namespace

@@ -6,11 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
+#include <vector>
 
 #include "fake_workload.hh"
 #include "serve/loadgen.hh"
 #include "serve/server.hh"
+#include "util/rng.hh"
 
 namespace
 {
@@ -96,6 +99,63 @@ TEST(ServeLoadgen, SeedUniverseBoundsTheSeedsRequested)
     // Verified through the share factor instead would need
     // coalescing; here we just require the run to complete cleanly.
     expectClosedAccounting(report);
+}
+
+TEST(ServeLoadgen, ZipfRankFrequenciesMatchTheExponent)
+{
+    // With exponent s, P(rank r) ~ r^-s, so the rank-1 : rank-k
+    // frequency ratio must approach k^s. 200k draws keep the
+    // sampling error well under the 25% tolerance.
+    constexpr uint64_t universe = 32;
+    constexpr double exponent = 1.1;
+    constexpr int draws = 200000;
+    serve::ZipfSeedSampler sampler(universe, exponent);
+    util::Rng rng(1234);
+
+    std::vector<uint64_t> counts(universe, 0);
+    for (int i = 0; i < draws; i++) {
+        uint64_t seed = sampler.sample(rng, 0);
+        ASSERT_LT(seed, universe);
+        counts[seed]++;
+    }
+
+    ASSERT_GT(counts[7], 0u);
+    double ratio = static_cast<double>(counts[0]) /
+                   static_cast<double>(counts[7]);
+    double expected = std::pow(8.0, exponent);
+    EXPECT_NEAR(ratio, expected, 0.25 * expected);
+    // The head of the distribution is strictly rank-ordered.
+    EXPECT_GT(counts[0], counts[1]);
+    EXPECT_GT(counts[1], counts[3]);
+    EXPECT_GT(counts[3], counts[7]);
+}
+
+TEST(ServeLoadgen, ZipfZeroExponentSamplesUniformly)
+{
+    constexpr uint64_t universe = 16;
+    constexpr int draws = 160000;
+    serve::ZipfSeedSampler sampler(universe, 0.0);
+    util::Rng rng(99);
+
+    std::vector<uint64_t> counts(universe, 0);
+    for (int i = 0; i < draws; i++)
+        counts[sampler.sample(rng, 0)]++;
+
+    uint64_t lo = counts[0], hi = counts[0];
+    for (uint64_t c : counts) {
+        lo = std::min(lo, c);
+        hi = std::max(hi, c);
+    }
+    EXPECT_GT(lo, 0u);
+    EXPECT_LT(static_cast<double>(hi) / static_cast<double>(lo),
+              1.25);
+}
+
+TEST(ServeLoadgen, ZipfEmptyUniverseReturnsTheFallbackSeed)
+{
+    serve::ZipfSeedSampler sampler(0, 1.1);
+    util::Rng rng(7);
+    EXPECT_EQ(sampler.sample(rng, 42u), 42u);
 }
 
 TEST(ServeLoadgen, HonoursExplicitWorkloadMix)

@@ -286,6 +286,44 @@ TEST(ServeServer, ShutdownDrainsAndThenRejects)
     server.shutdown();
 }
 
+TEST(ServeServer, OfferedLoadCountsRejectionsSeparately)
+{
+    // Regression: rejected requests must not dilute throughput math.
+    // `offered` counts every submit() (admitted + rejected) while
+    // `completed` only counts Ok finishes, so acceptance and goodput
+    // denominators stay honest under backpressure.
+    FakeCounters counters;
+    auto options = fakeOptions(counters, true, 50);
+    options.queueCapacity = 2;
+    options.maxBatch = 1;
+    serve::Server server(std::move(options));
+
+    std::atomic<int> completions{0};
+    auto callback = [&](const serve::Response &) {
+        completions.fetch_add(1);
+    };
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    for (uint64_t i = 0; i < 10; i++) {
+        if (server.submit("Fake", i, callback) ==
+            serve::RequestStatus::Ok)
+            admitted++;
+        else
+            rejected++;
+    }
+    ASSERT_GT(rejected, 0u);
+    server.shutdown();
+
+    serve::WorkloadMetrics m = server.metrics().workload("Fake");
+    EXPECT_EQ(m.offered, 10u);
+    EXPECT_EQ(m.offered, m.submitted + m.rejected());
+    EXPECT_EQ(m.submitted, admitted);
+    EXPECT_EQ(m.rejected(), rejected);
+    EXPECT_EQ(m.completed, admitted);
+    serve::WorkloadMetrics t = server.metrics().total();
+    EXPECT_EQ(t.offered, 10u);
+}
+
 TEST(ServeServer, MetricsAccountEveryOutcome)
 {
     FakeCounters counters;

@@ -25,6 +25,11 @@
  *                  (default: NSBENCH_SIMD env var, else CPUID)
  *   --arena MODE   tensor allocator: "on" (size-classed arena) or
  *                  "off" (plain heap; default, or NSBENCH_ARENA env)
+ *   --cache MODE   memoization: "on" enables the seed-invariant
+ *                  precompute cache (and, for serve/loadgen, the
+ *                  request-result cache); "off" disables both
+ *                  (default: NSBENCH_CACHE env var, else off)
+ *   --cache-mb N   byte budget per cache level, in MiB
  *   --csv          emit CSV instead of aligned tables
  *   --device NAME  also project the op stream onto one device
  *                  ("all" projects onto every modeled device)
@@ -37,6 +42,8 @@
 #include <utility>
 #include <vector>
 
+#include "cache/config.hh"
+#include "cache/precompute.hh"
 #include "core/profiler.hh"
 #include "serve/loadgen.hh"
 #include "serve/presets.hh"
@@ -67,12 +74,14 @@ usage()
            "  nsbench devices\n"
            "  nsbench run <workload> [--seed N] [--runs N]\n"
            "              [--threads N] [--simd scalar|avx2|auto]\n"
-           "              [--arena on|off] [--csv]\n"
+           "              [--arena on|off] [--cache on|off]\n"
+           "              [--cache-mb N] [--csv]\n"
            "              [--device NAME|all]\n"
            "  nsbench serve|loadgen [--workloads A,B,...]\n"
            "              [--workers N] [--max-batch N]\n"
            "              [--max-wait-us N] [--queue N]\n"
            "              [--model-seed N] [--no-coalesce]\n"
+           "              [--cache on|off] [--cache-mb N]\n"
            "              [--preset serve|default]\n"
            "              [--open|--closed] [--rate HZ] [--clients N]\n"
            "              [--duration S] [--seed N]\n"
@@ -88,6 +97,37 @@ printTable(const util::Table &table, bool csv)
         table.printCsv(std::cout);
     else
         table.print(std::cout);
+}
+
+/** Handles --cache on|off; exits with usage error on anything else. */
+bool
+parseCacheMode(const std::string &mode)
+{
+    if (mode == "on") {
+        cache::setEnabled(true);
+        return true;
+    }
+    if (mode == "off") {
+        cache::setEnabled(false);
+        return false;
+    }
+    std::cerr << "--cache must be on or off\n";
+    std::exit(2);
+}
+
+/** One-line summary of the precompute cache's residency. */
+void
+printPrecomputeLine()
+{
+    cache::PrecomputeStats stats =
+        cache::PrecomputeCache::global().stats();
+    std::cout << "precompute cache: "
+              << util::humanBytes(stats.residentBytes)
+              << " resident in " << stats.entries << " entr"
+              << (stats.entries == 1 ? "y" : "ies") << " ("
+              << stats.hits << " hit(s), " << stats.builds
+              << " build(s), " << stats.evictions
+              << " eviction(s))\n";
 }
 
 int
@@ -179,6 +219,11 @@ cmdRun(int argc, char **argv)
                 std::cerr << "--arena must be on or off\n";
                 return 2;
             }
+        } else if (arg == "--cache") {
+            parseCacheMode(next());
+        } else if (arg == "--cache-mb") {
+            uint64_t mb = std::strtoull(next(), nullptr, 10);
+            cache::PrecomputeCache::global().setMaxBytes(mb << 20);
         } else if (arg == "--csv") {
             csv = true;
         } else if (arg == "--device") {
@@ -229,7 +274,8 @@ cmdRun(int argc, char **argv)
                   << "\nthreads:  " << util::ThreadPool::globalThreads()
                   << "\nsimd:     " << util::simd::activeBackendName()
                   << "\narena:    " << tensor::activeAllocatorName()
-                  << "\n\n";
+                  << "\ncache:    "
+                  << (cache::enabled() ? "on" : "off") << "\n\n";
     }
 
     printTable(core::phaseBreakdownTable(prof), csv);
@@ -239,6 +285,12 @@ cmdRun(int argc, char **argv)
     printTable(core::topOpsTable(prof, 12), csv);
     std::cout << "\n";
     printTable(core::memoryTable(prof), csv);
+    if (!csv && cache::enabled()) {
+        // Precompute residency lives outside the logical-liveness
+        // peaks above; report it alongside the memory table.
+        std::cout << "\n";
+        printPrecomputeLine();
+    }
     if (!prof.sparsityRecords().empty()) {
         std::cout << "\n";
         printTable(core::sparsityTable(prof), csv);
@@ -293,6 +345,9 @@ cmdServe(int argc, char **argv, bool open_loop)
     load_options.openLoop = open_loop;
     bool csv = false;
     bool use_preset = true;
+    // Both cache levels follow NSBENCH_CACHE unless --cache says
+    // otherwise.
+    server_options.resultCache = cache::enabled();
 
     for (int i = 0; i < argc; i++) {
         std::string arg = argv[i];
@@ -319,6 +374,12 @@ cmdServe(int argc, char **argv, bool open_loop)
                 std::strtoull(next(), nullptr, 10);
         } else if (arg == "--no-coalesce") {
             server_options.coalesce = false;
+        } else if (arg == "--cache") {
+            server_options.resultCache = parseCacheMode(next());
+        } else if (arg == "--cache-mb") {
+            uint64_t mb = std::strtoull(next(), nullptr, 10);
+            server_options.cacheBytes = mb << 20;
+            cache::PrecomputeCache::global().setMaxBytes(mb << 20);
         } else if (arg == "--preset") {
             std::string mode = next();
             if (mode == "serve") {
@@ -396,6 +457,8 @@ cmdServe(int argc, char **argv, bool open_loop)
                   << server_options.maxWaitUs << "us  queue "
                   << server_options.queueCapacity << "  coalesce "
                   << (server_options.coalesce ? "on" : "off")
+                  << "  cache "
+                  << (server_options.resultCache ? "on" : "off")
                   << "\ndriving:  "
                   << (load_options.openLoop ? "open loop" : "closed loop");
         if (load_options.openLoop)
@@ -425,6 +488,17 @@ cmdServe(int argc, char **argv, bool open_loop)
                   << ", expired " << report.expired << ", rejected "
                   << report.rejected << " over "
                   << util::humanSeconds(report.wallSeconds) << "\n";
+        if (const cache::ResultCache *rc = server.resultCache()) {
+            cache::ResultCacheStats stats = rc->stats();
+            std::cout << "result cache: " << stats.hits
+                      << " hit(s), " << stats.misses << " miss(es), "
+                      << stats.evictions << " eviction(s), "
+                      << util::humanBytes(stats.bytes) << " in "
+                      << stats.entries << " entr"
+                      << (stats.entries == 1 ? "y" : "ies") << "\n";
+        }
+        if (cache::enabled())
+            printPrecomputeLine();
     }
     return 0;
 }
