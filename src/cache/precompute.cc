@@ -5,8 +5,11 @@
 #include <map>
 #include <mutex>
 
+#include <stdexcept>
+
 #include "cache/config.hh"
 #include "core/profiler.hh"
+#include "util/failpoint.hh"
 
 namespace nsbench::cache
 {
@@ -116,6 +119,13 @@ PrecomputeCache::getOrBuildErased(const std::string &key,
 
         std::pair<std::shared_ptr<const void>, uint64_t> built;
         try {
+            // Chaos site: the builder dies mid-build. The failed-slot
+            // protocol below must wake the waiters and let the next
+            // caller retry as the new builder.
+            if (NSBENCH_FAILPOINT(
+                    util::failpoints::sites::kPrecomputeBuild))
+                throw std::runtime_error(
+                    "injected precompute build fault");
             built = build();
         } catch (...) {
             lock.lock();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <functional>
 
+#include "util/failpoint.hh"
+
 namespace nsbench::cache
 {
 
@@ -62,6 +64,11 @@ ResultCache::lookup(const std::string &key, double *score)
 uint64_t
 ResultCache::insert(const std::string &key, double score)
 {
+    // Chaos site: the insert is dropped on the floor, as if the shard
+    // lost the write. Later lookups miss and recompute — correctness
+    // never depends on an insert landing.
+    if (NSBENCH_FAILPOINT(util::failpoints::sites::kResultInsert))
+        return 0;
     Shard &shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(key);

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/failpoint.hh"
 #include "util/logging.hh"
 
 namespace nsbench::serve
@@ -48,7 +49,12 @@ Batcher::admit(Request request)
     if (pending.requests.empty())
         pending.flushAt = ServeClock::now() + maxWait_;
     pending.requests.push_back(std::move(request));
-    if (static_cast<int>(pending.requests.size()) >= maxBatch_) {
+    // Chaos site: dispatch the batch before it fills. Coalescing
+    // degrades (smaller batches, lower share factor) but every
+    // request still ships — a graceful-degradation fault.
+    if (static_cast<int>(pending.requests.size()) >= maxBatch_ ||
+        NSBENCH_FAILPOINT(
+            util::failpoints::sites::kBatcherCoalesce)) {
         auto node = pending_.extract(
             pending_.find(pending.requests.front().workload));
         dispatch(node.key(), node.mapped());

@@ -62,6 +62,7 @@ struct Tracker
     uint64_t outstanding = 0;
     std::atomic<uint64_t> completed{0};
     std::atomic<uint64_t> expired{0};
+    std::atomic<uint64_t> failed{0};
 
     Callback
     makeCallback()
@@ -73,6 +74,8 @@ struct Tracker
         return [this](const Response &response) {
             if (response.status == RequestStatus::Ok)
                 completed.fetch_add(1, std::memory_order_relaxed);
+            else if (response.status == RequestStatus::Failed)
+                failed.fetch_add(1, std::memory_order_relaxed);
             else
                 expired.fetch_add(1, std::memory_order_relaxed);
             std::lock_guard<std::mutex> lock(mu);
@@ -154,6 +157,7 @@ runOpenLoop(Server &server, const LoadgenOptions &options)
     report.wallSeconds = wall.elapsed();
     report.completed = tracker.completed.load();
     report.expired = tracker.expired.load();
+    report.failed = tracker.failed.load();
     report.offeredRate = options.durationSeconds > 0.0
                              ? static_cast<double>(report.submitted) /
                                    options.durationSeconds
@@ -175,6 +179,7 @@ runClosedLoop(Server &server, const LoadgenOptions &options)
     std::atomic<uint64_t> admitted{0};
     std::atomic<uint64_t> completed{0};
     std::atomic<uint64_t> expired{0};
+    std::atomic<uint64_t> failed{0};
     std::atomic<uint64_t> rejected{0};
 
     util::WallTimer wall;
@@ -201,6 +206,10 @@ runClosedLoop(Server &server, const LoadgenOptions &options)
                     admitted.fetch_add(1);
                     expired.fetch_add(1);
                     break;
+                case RequestStatus::Failed:
+                    admitted.fetch_add(1);
+                    failed.fetch_add(1);
+                    break;
                 default:
                     rejected.fetch_add(1);
                     break;
@@ -221,6 +230,7 @@ runClosedLoop(Server &server, const LoadgenOptions &options)
     report.admitted = admitted.load();
     report.completed = completed.load();
     report.expired = expired.load();
+    report.failed = failed.load();
     report.rejected = rejected.load();
     report.offeredRate = options.durationSeconds > 0.0
                              ? static_cast<double>(report.submitted) /

@@ -108,6 +108,7 @@ struct LoadgenReport
     uint64_t admitted = 0;     ///< Requests the server accepted.
     uint64_t completed = 0;    ///< Callbacks with status Ok.
     uint64_t expired = 0;      ///< Callbacks with status Expired.
+    uint64_t failed = 0;       ///< Callbacks with status Failed.
     uint64_t rejected = 0;     ///< Admission-time rejections.
     double offeredRate = 0.0;  ///< submitted / window seconds.
 

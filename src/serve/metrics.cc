@@ -19,8 +19,12 @@ statusName(RequestStatus status)
         return "rejected_shutdown";
     case RequestStatus::RejectedUnknownWorkload:
         return "rejected_unknown_workload";
+    case RequestStatus::RejectedOverload:
+        return "rejected_overload";
     case RequestStatus::Expired:
         return "expired";
+    case RequestStatus::Failed:
+        return "failed";
     }
     return "unknown";
 }
@@ -54,6 +58,9 @@ ServerMetrics::recordRejected(const std::string &workload,
             break;
         case RequestStatus::RejectedUnknownWorkload:
             m.rejectedUnknown++;
+            break;
+        case RequestStatus::RejectedOverload:
+            m.rejectedOverload++;
             break;
         default:
             break;
@@ -99,7 +106,20 @@ ServerMetrics::recordOutcome(const std::string &workload,
             m.expired++;
             return;
         }
+        if (response.status == RequestStatus::Failed) {
+            m.failed++;
+            return;
+        }
+        if (isRejection(response.status))
+            return; // Fanned-out leader failure; counted at record.
         m.completed++;
+        // retries are counted at the attempt (recordRetry) so they
+        // cover requests that later expire or fail too; here only
+        // note that this completion needed at least one.
+        if (response.retries > 0)
+            m.retriedOk++;
+        if (response.stale)
+            m.staleServed++;
         m.latency.add(response.latencySeconds);
         m.queueWait.add(response.queueSeconds);
         // Shared executions attribute their phase split once per
@@ -113,6 +133,38 @@ ServerMetrics::recordOutcome(const std::string &workload,
     };
     add(perWorkload_[workload]);
     add(total_);
+}
+
+void
+ServerMetrics::recordWorkerFault(const std::string &workload)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    perWorkload_[workload].workerFaults++;
+    total_.workerFaults++;
+}
+
+void
+ServerMetrics::recordRetry(const std::string &workload)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    perWorkload_[workload].retries++;
+    total_.retries++;
+}
+
+void
+ServerMetrics::recordReplicaReplaced(const std::string &workload)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    perWorkload_[workload].replicasReplaced++;
+    total_.replicasReplaced++;
+}
+
+void
+ServerMetrics::recordCallbackFailure(const std::string &workload)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    perWorkload_[workload].callbackFailures++;
+    total_.callbackFailures++;
 }
 
 void
@@ -210,6 +262,44 @@ ServerMetrics::table() const
                       ms(m.latency.p99()), ms(m.latency.mean()),
                       ms(m.queueWait.mean()),
                       util::percentStr(m.neuralFraction())});
+    };
+    for (const auto &[name, m] : snapshot)
+        row(name, m);
+    if (snapshot.size() > 1)
+        row("TOTAL", totals);
+    return table;
+}
+
+bool
+ServerMetrics::hasResilienceEvents() const
+{
+    WorkloadMetrics totals = total();
+    return totals.workerFaults || totals.retries ||
+           totals.staleServed || totals.failed ||
+           totals.rejectedOverload || totals.replicasReplaced ||
+           totals.callbackFailures;
+}
+
+util::Table
+ServerMetrics::resilienceTable() const
+{
+    auto snapshot = byWorkload();
+    WorkloadMetrics totals = total();
+
+    util::Table table({"workload", "faults", "retries", "retried_ok",
+                       "stale", "failed", "shed", "replaced",
+                       "cb_err", "success%"});
+    auto row = [&](const std::string &name,
+                   const WorkloadMetrics &m) {
+        table.addRow({name, std::to_string(m.workerFaults),
+                      std::to_string(m.retries),
+                      std::to_string(m.retriedOk),
+                      std::to_string(m.staleServed),
+                      std::to_string(m.failed),
+                      std::to_string(m.rejectedOverload),
+                      std::to_string(m.replicasReplaced),
+                      std::to_string(m.callbackFailures),
+                      util::percentStr(m.successRate())});
     };
     for (const auto &[name, m] : snapshot)
         row(name, m);

@@ -46,13 +46,21 @@ struct WorkloadMetrics
     uint64_t rejectedDeadline = 0;   ///< Dead-on-arrival rejections.
     uint64_t rejectedShutdown = 0;   ///< Rejected while draining.
     uint64_t rejectedUnknown = 0;    ///< Unknown-workload rejections.
+    uint64_t rejectedOverload = 0;   ///< Shed by the overload gate.
     uint64_t expired = 0;            ///< Admitted but expired in queue.
+    uint64_t failed = 0;             ///< Failed after every retry.
     uint64_t executions = 0;         ///< Actual run() invocations.
     uint64_t batches = 0;            ///< Batches dispatched.
     uint64_t cacheHits = 0;          ///< Result-cache hits at admission.
     uint64_t cacheMisses = 0;        ///< Result-cache misses.
     uint64_t cacheEvictions = 0;     ///< Result-cache entries evicted.
     uint64_t singleFlightShared = 0; ///< Followers fanned a leader's result.
+    uint64_t workerFaults = 0;       ///< run() attempts that threw.
+    uint64_t retries = 0;            ///< Re-attempts after a fault.
+    uint64_t retriedOk = 0;          ///< Completions that needed a retry.
+    uint64_t staleServed = 0;        ///< Cache fallbacks after failure.
+    uint64_t replicasReplaced = 0;   ///< Supervisor replica rebuilds.
+    uint64_t callbackFailures = 0;   ///< Client callbacks that threw.
 
     util::TailStats latency;         ///< End-to-end seconds (Ok only).
     util::RunningStat queueWait;     ///< Submit -> execution start.
@@ -66,7 +74,21 @@ struct WorkloadMetrics
     rejected() const
     {
         return rejectedQueueFull + rejectedDeadline +
-               rejectedShutdown + rejectedUnknown;
+               rejectedShutdown + rejectedUnknown + rejectedOverload;
+    }
+
+    /**
+     * Fraction of requests that reached execution and eventually
+     * completed (Ok, including stale fallbacks): 1.0 means the
+     * resilience layer absorbed every injected fault.
+     */
+    double
+    successRate() const
+    {
+        uint64_t finished = completed + failed;
+        return finished ? static_cast<double>(completed) /
+                              static_cast<double>(finished)
+                        : 1.0;
     }
 
     /**
@@ -133,6 +155,18 @@ class ServerMetrics
     void recordOutcome(const std::string &workload,
                        const Response &response);
 
+    /** Notes one run() attempt that threw (injected or real). */
+    void recordWorkerFault(const std::string &workload);
+
+    /** Notes one re-attempt after a faulted run(). */
+    void recordRetry(const std::string &workload);
+
+    /** Notes a supervisor replica rebuild after a poisoned run. */
+    void recordReplicaReplaced(const std::string &workload);
+
+    /** Notes a client callback that threw (contained by the server). */
+    void recordCallbackFailure(const std::string &workload);
+
     /** Notes a result-cache hit served at admission. */
     void recordCacheHit(const std::string &workload);
 
@@ -163,6 +197,16 @@ class ServerMetrics
      * milliseconds, and the neural/symbolic split.
      */
     util::Table table() const;
+
+    /**
+     * Renders the resilience report: faults absorbed, retries, stale
+     * fallbacks, terminal failures, overload sheds, replica
+     * replacements and contained callback exceptions per workload.
+     */
+    util::Table resilienceTable() const;
+
+    /** True when any resilience counter is nonzero (worth printing). */
+    bool hasResilienceEvents() const;
 
   private:
     mutable std::mutex mu_;

@@ -13,14 +13,17 @@
 #ifndef NSBENCH_SERVE_QUEUE_HH
 #define NSBENCH_SERVE_QUEUE_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "serve/request.hh"
+#include "util/failpoint.hh"
 #include "util/logging.hh"
 
 namespace nsbench::serve
@@ -50,6 +53,11 @@ class BoundedQueue
     bool
     tryPush(T item)
     {
+        // Chaos site: a transient "full" answer — the caller's
+        // admission-control rejection path fires without the queue
+        // actually filling, and nothing is enqueued or lost.
+        if (NSBENCH_FAILPOINT(util::failpoints::sites::kQueueTryPush))
+            return false;
         {
             std::lock_guard<std::mutex> lock(mu_);
             if (closed_ || items_.size() >= capacity_)
@@ -88,6 +96,7 @@ class BoundedQueue
     std::optional<T>
     pop()
     {
+        injectStall();
         std::unique_lock<std::mutex> lock(mu_);
         canPop_.wait(lock,
                      [&] { return closed_ || !items_.empty(); });
@@ -102,6 +111,7 @@ class BoundedQueue
     std::optional<T>
     popUntil(TimePoint deadline)
     {
+        injectStall();
         std::unique_lock<std::mutex> lock(mu_);
         canPop_.wait_until(lock, deadline, [&] {
             return closed_ || !items_.empty();
@@ -164,6 +174,19 @@ class BoundedQueue
     size_t capacity() const { return capacity_; }
 
   private:
+    /**
+     * Chaos site: a consumer stall. The blocked time models a worker
+     * or batcher hiccup — items are delayed, never dropped, so the
+     * close/drain protocol's guarantees are what's under test.
+     */
+    static void
+    injectStall()
+    {
+        if (NSBENCH_FAILPOINT(util::failpoints::sites::kQueuePop))
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(200));
+    }
+
     /** Pops the head; mu_ must be held and items_ non-empty. */
     std::optional<T>
     takeLocked(std::unique_lock<std::mutex> &lock)

@@ -42,7 +42,9 @@ enum class RequestStatus
     RejectedDeadline,       ///< Deadline already expired at admission.
     RejectedShutdown,       ///< Server draining or stopped.
     RejectedUnknownWorkload,///< Workload not served by this server.
+    RejectedOverload,       ///< Shed at admission by the overload gate.
     Expired,                ///< Admitted, but the deadline passed in queue.
+    Failed,                 ///< Execution failed after every retry.
 };
 
 /** Short stable name for reports and CSV. */
@@ -55,7 +57,8 @@ isRejection(RequestStatus status)
     return status == RequestStatus::RejectedQueueFull ||
            status == RequestStatus::RejectedDeadline ||
            status == RequestStatus::RejectedShutdown ||
-           status == RequestStatus::RejectedUnknownWorkload;
+           status == RequestStatus::RejectedUnknownWorkload ||
+           status == RequestStatus::RejectedOverload;
 }
 
 /**
@@ -79,6 +82,8 @@ struct Response
     int batchSize = 0;           ///< Requests in the executed batch.
     int shared = 0;              ///< Requests sharing this execution.
     bool cached = false;         ///< Served from the result cache.
+    bool stale = false;          ///< Cache fallback after a failed run.
+    int retries = 0;             ///< Failed attempts before this outcome.
 };
 
 /** Completion callback; invoked exactly once per admitted request. */

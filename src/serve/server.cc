@@ -1,11 +1,15 @@
 #include "serve/server.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <map>
+#include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "core/profiler.hh"
+#include "util/failpoint.hh"
 #include "util/logging.hh"
 #include "util/threadpool.hh"
 #include "util/timer.hh"
@@ -16,11 +20,34 @@ namespace nsbench::serve
 namespace
 {
 
+namespace fp = util::failpoints;
+
 /** Default replica factory: the process-global workload registry. */
 std::unique_ptr<core::Workload>
 registryFactory(const std::string &name)
 {
     return core::WorkloadRegistry::global().create(name);
+}
+
+/** Injected transient run() failure: retried in place. */
+struct FaultInjected : std::runtime_error
+{
+    FaultInjected() : std::runtime_error("injected run fault") {}
+};
+
+/** Injected replica poison: the supervisor rebuilds the replica. */
+struct ReplicaPoisoned : std::runtime_error
+{
+    ReplicaPoisoned() : std::runtime_error("injected replica poison")
+    {}
+};
+
+/** Exponential backoff for retry @p attempt (1-based), shift-capped. */
+std::chrono::microseconds
+backoffFor(int64_t base_us, int attempt)
+{
+    int shift = std::min(attempt - 1, 10);
+    return std::chrono::microseconds(base_us << shift);
 }
 
 } // namespace
@@ -122,7 +149,8 @@ Server::submit(const std::string &workload, uint64_t seed,
             workload, options_.modelSeed,
             seedSensitive_.at(workload) ? seed : 0);
         double score = 0.0;
-        if (cache_->lookup(key, &score)) {
+        if (options_.cacheAdmissionLookup &&
+            cache_->lookup(key, &score)) {
             metrics_.recordCacheHit(workload);
             metrics_.recordAdmitted(workload);
             Response response;
@@ -133,11 +161,11 @@ Server::submit(const std::string &workload, uint64_t seed,
             response.latencySeconds = secondsBetween(
                 request.enqueue, ServeClock::now());
             metrics_.recordOutcome(workload, response);
-            if (request.done)
-                request.done(response);
+            deliver(workload, request.done, response);
             return RequestStatus::Ok;
         }
-        metrics_.recordCacheMiss(workload);
+        if (options_.cacheAdmissionLookup)
+            metrics_.recordCacheMiss(workload);
 
         // Single-flight: park this request behind an in-flight miss
         // on the same key; the leader's completion fans out to it.
@@ -159,12 +187,28 @@ Server::submit(const std::string &workload, uint64_t seed,
         };
     }
 
-    if (!admission_.tryPush(std::move(request))) {
+    // Overload gate: shed before the queue is hard-full so waits stay
+    // bounded and the rejection is distinguishable from backpressure.
+    // The failpoint forces a shed regardless of occupancy.
+    bool shed = false;
+    if (options_.shedAtOccupancy > 0.0) {
+        auto limit = static_cast<size_t>(
+            options_.shedAtOccupancy *
+            static_cast<double>(admission_.capacity()));
+        if (admission_.size() >= std::max<size_t>(limit, 1))
+            shed = true;
+    }
+    if (NSBENCH_FAILPOINT(fp::sites::kAdmissionShed))
+        shed = true;
+
+    if (shed || !admission_.tryPush(std::move(request))) {
         // tryPush fails both on a full queue and on a closed one;
         // closure means a shutdown raced this submit.
-        RequestStatus status = admission_.closed()
-                                   ? RequestStatus::RejectedShutdown
-                                   : RequestStatus::RejectedQueueFull;
+        RequestStatus status =
+            shed ? RequestStatus::RejectedOverload
+                 : admission_.closed()
+                       ? RequestStatus::RejectedShutdown
+                       : RequestStatus::RejectedQueueFull;
         metrics_.recordRejected(workload, status);
         if (cache_)
             abortFlight(workload, key, status);
@@ -172,6 +216,25 @@ Server::submit(const std::string &workload, uint64_t seed,
     }
     metrics_.recordAdmitted(workload);
     return RequestStatus::Ok;
+}
+
+void
+Server::deliver(const std::string &workload, const Callback &done,
+                const Response &response)
+{
+    if (!done)
+        return;
+    try {
+        done(response);
+        // Chaos site: the callback throws *after* its side effects
+        // (models user code that records the result, then dies) —
+        // the exactly-once delivery already happened; what's under
+        // test is that the worker thread survives it.
+        if (NSBENCH_FAILPOINT(fp::sites::kCallback))
+            throw FaultInjected();
+    } catch (...) {
+        metrics_.recordCallbackFailure(workload);
+    }
 }
 
 void
@@ -186,8 +249,7 @@ Server::finishFlight(const std::string &workload,
     // Insert-then-finish: a request arriving in between hits the
     // fresh cache entry directly, so nobody can join a dead flight.
     std::vector<Flight> waiters = flights_.finish(key);
-    if (inner)
-        inner(response);
+    deliver(workload, inner, response);
     if (waiters.empty())
         return;
     metrics_.recordSingleFlight(workload, waiters.size());
@@ -212,8 +274,7 @@ Server::finishFlight(const std::string &workload,
         }
         metrics_.recordAdmitted(workload);
         metrics_.recordOutcome(workload, fanned);
-        if (waiter.done)
-            waiter.done(fanned);
+        deliver(workload, waiter.done, fanned);
     }
 }
 
@@ -228,8 +289,7 @@ Server::abortFlight(const std::string &workload,
         Response rejected;
         rejected.status = status;
         rejected.latencySeconds = secondsBetween(waiter.enqueue, now);
-        if (waiter.done)
-            waiter.done(rejected);
+        deliver(workload, waiter.done, rejected);
     }
 }
 
@@ -312,15 +372,15 @@ Server::runBatchOn(std::map<std::string, Replica> &replicas,
                   "Server: batch for unserved workload " +
                       batch.workload);
     Replica &replica = it->second;
-    core::Workload &workload = *replica.workload;
     const int batchSize = static_cast<int>(batch.requests.size());
 
     // Group the batch into executions. Coalescing folds requests with
     // the same effective seed onto one shared run(); seed-insensitive
     // workloads ignore the seed entirely, so their whole batch is one
     // group. With coalescing off every request runs alone, in arrival
-    // order.
-    const bool seedMatters = workload.seedSensitive();
+    // order. (No reference to *replica.workload is cached across
+    // attempts — the supervisor may swap the replica mid-group.)
+    const bool seedMatters = replica.workload->seedSensitive();
     std::vector<std::pair<uint64_t, std::vector<const Request *>>>
         groups;
     if (options_.coalesce) {
@@ -341,25 +401,32 @@ Server::runBatchOn(std::map<std::string, Replica> &replicas,
     }
 
     for (auto &[seed, members] : groups) {
-        // Complete queue-expired members without running them.
+        // Complete queue-expired members without running them; the
+        // retry loop re-prunes after each backoff so a long outage
+        // never runs work whose deadline already passed.
         TimePoint start = ServeClock::now();
-        std::vector<const Request *> live;
-        live.reserve(members.size());
-        for (const Request *request : members) {
-            if (request->deadline <= start) {
+        std::vector<const Request *> live(members.begin(),
+                                          members.end());
+        auto pruneExpired = [&](TimePoint now) {
+            std::vector<const Request *> keep;
+            keep.reserve(live.size());
+            for (const Request *request : live) {
+                if (request->deadline > now) {
+                    keep.push_back(request);
+                    continue;
+                }
                 Response expired;
                 expired.status = RequestStatus::Expired;
                 expired.latencySeconds =
-                    secondsBetween(request->enqueue, start);
+                    secondsBetween(request->enqueue, now);
                 expired.queueSeconds = expired.latencySeconds;
                 expired.batchSize = batchSize;
                 metrics_.recordOutcome(batch.workload, expired);
-                if (request->done)
-                    request->done(expired);
-            } else {
-                live.push_back(request);
+                deliver(batch.workload, request->done, expired);
             }
-        }
+            live.swap(keep);
+        };
+        pruneExpired(start);
         if (live.empty())
             continue;
 
@@ -367,53 +434,159 @@ Server::runBatchOn(std::map<std::string, Replica> &replicas,
         double service = 0.0;
         double neural = 0.0;
         double symbolic = 0.0;
-        if (options_.profilePhases) {
+        // One run() attempt on the current replica. Must be re-entered
+        // through replica.workload (not a cached reference): a
+        // poisoned attempt may have swapped in a fresh replica.
+        auto executeOnce = [&] {
             core::Profiler::ThreadTargetScope target(replica.profiler);
-            // reset() also makes this worker the profiler's owner, so
-            // every inline-executed op applies directly.
-            replica.profiler.reset();
+            if (options_.profilePhases) {
+                // reset() also makes this worker the profiler's
+                // owner, so every inline-executed op applies directly.
+                replica.profiler.reset();
+            } else {
+                replica.profiler.setEnabled(false);
+            }
             if (seedMatters)
-                workload.reseedEpisodes(seed);
+                replica.workload->reseedEpisodes(seed);
             util::WallTimer timer;
-            score = workload.run();
+            try {
+                if (NSBENCH_FAILPOINT(fp::sites::kWorkerCrash))
+                    throw ReplicaPoisoned();
+                if (NSBENCH_FAILPOINT(fp::sites::kWorkerRun))
+                    throw FaultInjected();
+                score = replica.workload->run();
+            } catch (...) {
+                // Drain the aborted attempt's op buffer while this
+                // scope still targets the replica profiler, so the
+                // next attempt's phase split starts clean.
+                core::Profiler::flushThisThread();
+                throw;
+            }
             service = timer.elapsed();
             core::Profiler::flushThisThread();
-            neural = replica.profiler
-                         .phaseTotals(core::Phase::Neural)
-                         .seconds;
-            symbolic = replica.profiler
-                           .phaseTotals(core::Phase::Symbolic)
-                           .seconds;
-        } else {
-            core::Profiler::ThreadTargetScope target(replica.profiler);
-            replica.profiler.setEnabled(false);
-            if (seedMatters)
-                workload.reseedEpisodes(seed);
-            util::WallTimer timer;
-            score = workload.run();
-            service = timer.elapsed();
-        }
-        metrics_.recordExecution(batch.workload, service);
+            if (options_.profilePhases) {
+                neural = replica.profiler
+                             .phaseTotals(core::Phase::Neural)
+                             .seconds;
+                symbolic = replica.profiler
+                               .phaseTotals(core::Phase::Symbolic)
+                               .seconds;
+            }
+        };
 
+        // Bounded retry with exponential backoff. A poisoned replica
+        // is rebuilt by the supervisor before the next attempt; a
+        // transient fault retries on the replica as-is.
+        int attempts = 0;
+        bool succeeded = false;
+        while (true) {
+            try {
+                executeOnce();
+                succeeded = true;
+                break;
+            } catch (const ReplicaPoisoned &) {
+                metrics_.recordWorkerFault(batch.workload);
+                rebuildReplica(batch.workload, replica);
+            } catch (...) {
+                metrics_.recordWorkerFault(batch.workload);
+            }
+            if (attempts >= options_.maxRetries)
+                break;
+            attempts++;
+            metrics_.recordRetry(batch.workload);
+            std::this_thread::sleep_for(
+                backoffFor(options_.retryBackoffUs, attempts));
+            pruneExpired(ServeClock::now());
+            if (live.empty())
+                break;
+        }
+        if (live.empty())
+            continue;
+
+        if (succeeded) {
+            metrics_.recordExecution(batch.workload, service);
+            TimePoint end = ServeClock::now();
+            for (const Request *request : live) {
+                Response response;
+                response.status = RequestStatus::Ok;
+                response.score = score;
+                response.latencySeconds =
+                    secondsBetween(request->enqueue, end);
+                response.queueSeconds =
+                    secondsBetween(request->enqueue, start);
+                response.serviceSeconds = service;
+                response.neuralSeconds = neural;
+                response.symbolicSeconds = symbolic;
+                response.batchSize = batchSize;
+                response.shared = static_cast<int>(live.size());
+                response.retries = attempts;
+                metrics_.recordOutcome(batch.workload, response);
+                deliver(batch.workload, request->done, response);
+            }
+            continue;
+        }
+
+        // Out of retries. Serve-stale fallback: answer from the last
+        // cached score for this key (byte-exact by the determinism
+        // contract, but marked stale — the mechanism is generic).
+        // Without a cached entry the requests fail terminally; either
+        // way every live member gets exactly one callback.
+        double staleScore = 0.0;
+        bool haveStale = false;
+        if (cache_ && options_.staleFallback) {
+            std::string key = cache::ResultCache::keyString(
+                batch.workload, options_.modelSeed,
+                seedMatters ? seed : 0);
+            haveStale = cache_->lookup(key, &staleScore);
+        }
         TimePoint end = ServeClock::now();
         for (const Request *request : live) {
             Response response;
-            response.status = RequestStatus::Ok;
-            response.score = score;
             response.latencySeconds =
                 secondsBetween(request->enqueue, end);
             response.queueSeconds =
                 secondsBetween(request->enqueue, start);
-            response.serviceSeconds = service;
-            response.neuralSeconds = neural;
-            response.symbolicSeconds = symbolic;
             response.batchSize = batchSize;
-            response.shared = static_cast<int>(live.size());
+            response.retries = attempts;
+            if (haveStale) {
+                response.status = RequestStatus::Ok;
+                response.score = staleScore;
+                response.cached = true;
+                response.stale = true;
+                response.shared = static_cast<int>(live.size());
+            } else {
+                response.status = RequestStatus::Failed;
+            }
             metrics_.recordOutcome(batch.workload, response);
-            if (request->done)
-                request->done(response);
+            deliver(batch.workload, request->done, response);
         }
     }
+}
+
+void
+Server::rebuildReplica(const std::string &name, Replica &replica)
+{
+    Replica fresh;
+    fresh.workload = options_.factory(name);
+    util::panicIf(!fresh.workload,
+                  "Server: factory returned null for " + name);
+    bool built = false;
+    {
+        core::Profiler::ThreadTargetScope target(fresh.profiler);
+        try {
+            fresh.workload->setUp(options_.modelSeed);
+            built = true;
+        } catch (...) {
+            // Build-then-swap: a failed rebuild (setUp can itself hit
+            // an injected fault) keeps the old replica in place; the
+            // retry loop decides what happens to the batch.
+        }
+        core::Profiler::flushThisThread();
+    }
+    if (!built)
+        return;
+    replica = std::move(fresh);
+    metrics_.recordReplicaReplaced(name);
 }
 
 } // namespace nsbench::serve

@@ -77,6 +77,37 @@ struct ServerOptions
     uint64_t cacheBytes = 64ull << 20; ///< Result-cache byte budget.
     size_t cacheShards = 8;            ///< Result-cache shard count.
     /**
+     * Consult the result cache at admission (the hit-serving path).
+     * Off, the cache still records completions and still backs the
+     * serve-stale fallback, but every request reaches a worker —
+     * "fallback-only" mode, used by the chaos tests to exercise the
+     * failure path deterministically.
+     */
+    bool cacheAdmissionLookup = true;
+    /**
+     * Resilience knobs. With no faults (empty failpoint spec, no
+     * exceptions out of run()) none of these change any behaviour:
+     * retries only trigger on a throwing run(), shedding is disabled
+     * at 0, and the stale fallback only runs after a failure.
+     */
+    int maxRetries = 2;           ///< Re-attempts for a failed run().
+    int64_t retryBackoffUs = 200; ///< First backoff; doubles per retry.
+    /**
+     * Overload load-shedding: reject with RejectedOverload when the
+     * admission queue is at least this full (fraction of capacity).
+     * 0 disables; 0.9 sheds at 90% occupancy, keeping headroom so
+     * queue waits stay bounded under sustained overload.
+     */
+    double shedAtOccupancy = 0.0;
+    /**
+     * On a run() that still fails after every retry, serve the last
+     * cached score for the key (marked stale) instead of failing the
+     * request. Needs the result cache; by the determinism contract
+     * the stale score equals the fresh one, so this fallback is
+     * byte-exact — the generic mechanism matters, not the bytes.
+     */
+    bool staleFallback = true;
+    /**
      * Replica factory; defaults to the global workload registry.
      * Override to serve reduced-size configs (e.g. a serve-sized
      * NVSA) without touching the registry.
@@ -168,6 +199,23 @@ class Server
     /** Executes one batch on this worker's replicas. */
     void runBatchOn(std::map<std::string, Replica> &replicas,
                     const Batch &batch);
+
+    /**
+     * Invokes a completion callback, containing anything it throws:
+     * one misbehaving client must never kill a worker thread or
+     * strand the rest of its batch.
+     */
+    void deliver(const std::string &workload, const Callback &done,
+                 const Response &response);
+
+    /**
+     * Supervisor: replaces a poisoned replica with a freshly built
+     * one (same factory, same model seed — interchangeable by the
+     * determinism contract). In-flight requests stay parked with the
+     * worker, so no callback is dropped. A failed rebuild keeps the
+     * old replica; the retry loop decides what happens next.
+     */
+    void rebuildReplica(const std::string &name, Replica &replica);
 
     /**
      * Leader-completion hook: caches an Ok score, then fans the

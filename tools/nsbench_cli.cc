@@ -33,6 +33,17 @@
  *   --csv          emit CSV instead of aligned tables
  *   --device NAME  also project the op stream onto one device
  *                  ("all" projects onto every modeled device)
+ *
+ * Resilience options for `serve`/`loadgen` (see docs/DESIGN.md §7f):
+ *   --faults SPEC  arm deterministic failpoints, e.g.
+ *                  "serve.worker.run=0.1@7"; overrides the
+ *                  NSBENCH_FAILPOINTS environment variable
+ *   --retries N    re-attempts for a failed run() (default 2)
+ *   --retry-backoff-us N  first retry backoff; doubles per retry
+ *   --shed-at F    shed with RejectedOverload at F fractional queue
+ *                  occupancy (0 disables, the default)
+ *   --no-stale     fail requests instead of serving a stale cached
+ *                  score after the retries are exhausted
  */
 
 #include <cstring>
@@ -53,6 +64,7 @@
 #include "sim/device.hh"
 #include "sim/projection.hh"
 #include "tensor/alloc.hh"
+#include "util/failpoint.hh"
 #include "util/format.hh"
 #include "util/simd.hh"
 #include "util/stats.hh"
@@ -86,7 +98,10 @@ usage()
            "              [--open|--closed] [--rate HZ] [--clients N]\n"
            "              [--duration S] [--seed N]\n"
            "              [--seed-universe N] [--zipf S]\n"
-           "              [--deadline-ms MS] [--mix A=W,B=W] [--csv]\n";
+           "              [--deadline-ms MS] [--mix A=W,B=W] [--csv]\n"
+           "              [--faults SPEC] [--retries N]\n"
+           "              [--retry-backoff-us N] [--shed-at F]\n"
+           "              [--no-stale]\n";
     return 2;
 }
 
@@ -427,6 +442,34 @@ cmdServe(int argc, char **argv, bool open_loop)
                 return 2;
             }
             util::ThreadPool::setGlobalThreads(threads);
+        } else if (arg == "--faults") {
+            std::string spec = next();
+            std::string error = util::failpoints::configure(spec);
+            if (!error.empty()) {
+                std::cerr << "--faults: " << error << "\n";
+                return 2;
+            }
+        } else if (arg == "--retries") {
+            server_options.maxRetries = std::atoi(next());
+            if (server_options.maxRetries < 0) {
+                std::cerr << "--retries must be >= 0\n";
+                return 2;
+            }
+        } else if (arg == "--retry-backoff-us") {
+            server_options.retryBackoffUs = std::atoll(next());
+            if (server_options.retryBackoffUs < 0) {
+                std::cerr << "--retry-backoff-us must be >= 0\n";
+                return 2;
+            }
+        } else if (arg == "--shed-at") {
+            server_options.shedAtOccupancy = std::atof(next());
+            if (server_options.shedAtOccupancy < 0.0 ||
+                server_options.shedAtOccupancy > 1.0) {
+                std::cerr << "--shed-at must be in [0, 1]\n";
+                return 2;
+            }
+        } else if (arg == "--no-stale") {
+            server_options.staleFallback = false;
         } else if (arg == "--csv") {
             csv = true;
         } else {
@@ -442,6 +485,26 @@ cmdServe(int argc, char **argv, bool open_loop)
                       << "'; try `nsbench list`\n";
             return 1;
         }
+    }
+    if (server_options.workloads.empty()) {
+        std::cerr << "--workloads must name at least one workload\n";
+        return 2;
+    }
+    if (server_options.workers < 1) {
+        std::cerr << "--workers must be positive\n";
+        return 2;
+    }
+    if (load_options.durationSeconds <= 0.0) {
+        std::cerr << "--duration must be positive\n";
+        return 2;
+    }
+    if (!load_options.openLoop && load_options.clients < 1) {
+        std::cerr << "--clients must be positive\n";
+        return 2;
+    }
+    if (load_options.openLoop && load_options.rateHz <= 0.0) {
+        std::cerr << "--rate must be positive\n";
+        return 2;
     }
     if (use_preset)
         server_options.factory = serve::serveFactory;
@@ -478,6 +541,11 @@ cmdServe(int argc, char **argv, bool open_loop)
     server.shutdown();
 
     printTable(server.metrics().table(), csv);
+    if (server.metrics().hasResilienceEvents()) {
+        if (!csv)
+            std::cout << "\n";
+        printTable(server.metrics().resilienceTable(), csv);
+    }
     if (!csv) {
         std::cout << "\noffered:  "
                   << util::fixedStr(report.offeredRate, 1)
@@ -485,9 +553,17 @@ cmdServe(int argc, char **argv, bool open_loop)
                   << util::fixedStr(report.throughput(), 1)
                   << " req/s\nsubmitted " << report.submitted
                   << ", completed " << report.completed
-                  << ", expired " << report.expired << ", rejected "
+                  << ", expired " << report.expired << ", failed "
+                  << report.failed << ", rejected "
                   << report.rejected << " over "
                   << util::humanSeconds(report.wallSeconds) << "\n";
+        if (util::failpoints::armed()) {
+            std::cout << "failpoints:";
+            for (const auto &[site, s] : util::failpoints::stats())
+                std::cout << " " << site << "=" << s.fires << "/"
+                          << s.evaluations;
+            std::cout << "\n";
+        }
         if (const cache::ResultCache *rc = server.resultCache()) {
             cache::ResultCacheStats stats = rc->stats();
             std::cout << "result cache: " << stats.hits
@@ -509,6 +585,9 @@ int
 main(int argc, char **argv)
 {
     workloads::registerAllWorkloads();
+    // Arm failpoints from the environment before any subcommand runs;
+    // --faults (when given) reconfigures over this.
+    util::failpoints::configureFromEnv();
     if (argc < 2)
         return usage();
     std::string cmd = argv[1];
