@@ -2,10 +2,22 @@
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
+#include "cache/config.hh"
+#include "tensor/alloc.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
+#include "util/threadpool.hh"
 #include "util/timer.hh"
 #include "workloads/register.hh"
+
+#ifndef NSBENCH_GIT_SHA
+#define NSBENCH_GIT_SHA "unknown"
+#endif
+#ifndef NSBENCH_BUILD_TYPE
+#define NSBENCH_BUILD_TYPE "unknown"
+#endif
 
 namespace nsbench::bench
 {
@@ -54,6 +66,20 @@ printHeader(const std::string &title, const std::string &paper_ref)
               << "reproduces: " << paper_ref << "\n\n";
 }
 
+std::string
+runMetadataJson()
+{
+    std::ostringstream meta;
+    meta << "{\"git_sha\":\"" << NSBENCH_GIT_SHA
+         << "\",\"build_type\":\"" << NSBENCH_BUILD_TYPE
+         << "\",\"threads\":" << util::ThreadPool::globalThreads()
+         << ",\"simd\":\"" << util::simd::activeBackendName()
+         << "\",\"arena\":\"" << tensor::activeAllocatorName()
+         << "\",\"cache\":" << (cache::enabled() ? "true" : "false")
+         << "}";
+    return meta.str();
+}
+
 void
 writeBenchJson(int argc, char **argv, const std::string &json)
 {
@@ -71,9 +97,17 @@ writeBenchJson(int argc, char **argv, const std::string &json)
     }
     if (path.empty())
         return;
+    // Inject provenance as the payload's first field; a non-object
+    // payload (none today) is written untouched.
+    std::string payload = json;
+    if (payload.size() >= 2 && payload.front() == '{') {
+        std::string rest = payload.substr(1);
+        payload = "{\"meta\":" + runMetadataJson() +
+                  (rest == "}" ? "" : ",") + rest;
+    }
     std::ofstream out(path);
     util::panicIf(!out, "writeBenchJson: cannot open " + path);
-    out << json << "\n";
+    out << payload << "\n";
     util::panicIf(!out.good(),
                   "writeBenchJson: write failed for " + path);
 }

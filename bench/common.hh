@@ -43,11 +43,20 @@ const std::vector<std::string> &paperOrder();
 void printHeader(const std::string &title, const std::string &paper_ref);
 
 /**
+ * One-line JSON object describing this run's provenance: the git
+ * commit and build type baked in at configure time, plus the
+ * runtime-selected knobs (threads, simd backend, arena allocator,
+ * cache enablement) read at call time.
+ */
+std::string runMetadataJson();
+
+/**
  * Machine-readable result emission: when the bench was invoked with
  * `--json <path>` (or `--json=<path>`), writes @p json — the same
  * payload the bench prints on its BENCH_JSON stdout line — to that
- * file. Without the flag this is a no-op, so benches call it
- * unconditionally.
+ * file, with runMetadataJson() injected as a leading "meta" field so
+ * archived results carry their provenance. Without the flag this is
+ * a no-op, so benches call it unconditionally.
  */
 void writeBenchJson(int argc, char **argv, const std::string &json);
 

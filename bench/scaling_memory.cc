@@ -78,7 +78,7 @@ measure(const std::string &name, tensor::AllocatorKind kind)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     workloads::registerAllWorkloads();
     bench::printHeader("Tensor allocator scaling",
@@ -151,5 +151,6 @@ main()
                  "across allocators for every workload.\n"
               << (ok ? "" : "WARNING: allocator floor violated!\n")
               << "\nBENCH_JSON " << json.str() << "\n";
+    bench::writeBenchJson(argc, argv, json.str());
     return ok ? 0 : 1;
 }

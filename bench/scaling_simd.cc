@@ -72,7 +72,7 @@ timeKernel(const Kernel &kernel, double *checksum)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::printHeader("SIMD backend scaling",
                        "runtime extra (Sec. IV CPU bottlenecks)");
@@ -193,5 +193,6 @@ main()
               << (all_match ? ""
                             : "WARNING: backend mismatch detected!\n")
               << "\nBENCH_JSON " << json.str() << "\n";
+    bench::writeBenchJson(argc, argv, json.str());
     return all_match ? 0 : 1;
 }

@@ -65,7 +65,7 @@ timeKernel(const Kernel &kernel, double *checksum)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::printHeader("Parallel runtime thread scaling",
                        "runtime extra (Sec. V co-execution)");
@@ -164,5 +164,6 @@ main()
                             : "WARNING: parallel/serial mismatch "
                               "detected!\n")
               << "\nBENCH_JSON " << json.str() << "\n";
+    bench::writeBenchJson(argc, argv, json.str());
     return all_match ? 0 : 1;
 }

@@ -23,6 +23,31 @@ namespace nsbench::core
 {
 
 /**
+ * Mutable per-episode state handed between pipeline stages.
+ *
+ * One EpisodeState corresponds to one full inference episode (one
+ * run() invocation worth of work). The pipeline executor fills in
+ * seed/index, calls runStage(0..stageCount()-1, state) in order, and
+ * reads the score after the final stage. Staged workloads thread
+ * intermediate results (e.g. perception beliefs) through @c scratch;
+ * the type behind the shared_ptr is private to the workload.
+ */
+struct EpisodeState
+{
+    uint64_t seed = 0;             ///< Episode seed (reseedEpisodes arg).
+    int index = 0;                 ///< Episode position, submission order.
+    double score = 0.0;            ///< Filled by the final stage.
+    std::shared_ptr<void> scratch; ///< Inter-stage handoff payload.
+};
+
+/** Static description of one pipeline stage. */
+struct StageSpec
+{
+    std::string name;                   ///< Stage label, e.g. "perceive".
+    Phase phase = Phase::Untagged;      ///< Dominant phase of the stage.
+};
+
+/**
  * A runnable, profiled neuro-symbolic workload.
  *
  * Implementations must tag their neural and symbolic sections with
@@ -85,6 +110,51 @@ class Workload
      * ones.
      */
     virtual bool seedSensitive() const { return true; }
+
+    /**
+     * Number of pipeline stages this workload can be split into.
+     *
+     * The default is one fused stage, which keeps every workload
+     * correct unchanged: runStage(0) simply calls run(). Staged
+     * workloads override this together with stageSpec()/runStage()
+     * to expose their neural/symbolic phases as separate stages the
+     * exec::PipelineExecutor can overlap across episodes.
+     */
+    virtual int stageCount() const { return 1; }
+
+    /** Static description of stage @p stage in [0, stageCount()). */
+    virtual StageSpec
+    stageSpec(int stage) const
+    {
+        (void)stage;
+        return StageSpec{name(), Phase::Untagged};
+    }
+
+    /**
+     * Runs one pipeline stage of one episode.
+     *
+     * Contract (what makes pipelined scores byte-identical to serial
+     * run() loops):
+     *  - the caller invokes reseedEpisodes(state.seed) immediately
+     *    before runStage(0, state) for each episode, and calls the
+     *    stages of one episode strictly in order;
+     *  - stage 0 must consume *all* per-episode RNG (data generators,
+     *    episode streams) so that later stages are pure functions of
+     *    @p state plus immutable model structures — the executor runs
+     *    stage s of episode i concurrently with stage 0 of episode
+     *    i+1, so any mutable member may only be touched by a single
+     *    stage index;
+     *  - the final stage writes state.score.
+     *
+     * The default delegates to run(), so unstaged workloads behave
+     * exactly as before.
+     */
+    virtual void
+    runStage(int stage, EpisodeState &state)
+    {
+        (void)stage;
+        state.score = run();
+    }
 
     /**
      * Coarse stage dataflow for Fig. 4. Stage durations are zero;

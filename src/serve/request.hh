@@ -83,6 +83,7 @@ struct Response
     int shared = 0;              ///< Requests sharing this execution.
     bool cached = false;         ///< Served from the result cache.
     bool stale = false;          ///< Cache fallback after a failed run.
+    bool pipelined = false;      ///< Ran in a stage-pipelined batch.
     int retries = 0;             ///< Failed attempts before this outcome.
 };
 

@@ -108,6 +108,20 @@ struct ServerOptions
      */
     bool staleFallback = true;
     /**
+     * Intra-replica stage pipelining (opt-in, 0 = off). When a batch
+     * coalesces into two or more executions of a staged workload
+     * (stageCount() > 1), the worker runs them through
+     * exec::runPipelined with this inter-stage queue depth instead of
+     * back-to-back run() calls, overlapping execution i's symbolic
+     * stage with execution i+1's neural stage. Scores stay
+     * byte-identical to the serial path (the staged-interface
+     * determinism contract). While fault injection is armed the
+     * worker falls back to the serial retry path, so the resilience
+     * semantics — bounded retries, replica replacement, stale
+     * fallback — are unchanged under chaos testing.
+     */
+    int pipelineDepth = 0;
+    /**
      * Replica factory; defaults to the global workload registry.
      * Override to serve reduced-size configs (e.g. a serve-sized
      * NVSA) without touching the registry.

@@ -59,20 +59,18 @@ LnnWorkload::groundingKey() const
            std::to_string(seed_);
 }
 
-double
-LnnWorkload::run()
+LnnWorkload::GroundState
+LnnWorkload::groundKb()
 {
-    util::panicIf(!university_, "LNN: setUp() not called");
-
     // ---- Symbolic: grounding. Saturate to enumerate candidate
     // atoms, then ground every rule into formula-graph instances.
     // Memoized: the index is immutable and pure in the model seed,
     // so with the precompute cache on, replicas and repeat runs
     // share one build.
-    cache::CacheHandle<logic::GroundedIndex> handle;
+    GroundState gs;
     {
         PhaseScope symbolic(Phase::Symbolic, "lnn/grounding");
-        handle =
+        gs.handle =
             cache::PrecomputeCache::global()
                 .getOrBuild<logic::GroundedIndex>(
                     groundingKey(), [this]() {
@@ -85,20 +83,28 @@ LnnWorkload::run()
                         return out;
                     });
     }
-    const logic::GroundedIndex &g = *handle;
     // Per-run mutable neuron state; the shared index stays const.
-    std::vector<TruthBounds> bounds = g.initialBounds;
-
-    auto n_atoms = static_cast<int64_t>(bounds.size());
+    gs.bounds = gs.handle->initialBounds;
 
     // Account the grounded formula graph as symbolic working-set
     // memory (it is the LNN's intermediate state) — on hits as well
     // as builds, so logical peaks match the uncached run exactly.
-    uint64_t graph_bytes = g.graphBytes();
+    gs.graphBytes = gs.handle->graphBytes();
     {
         PhaseScope symbolic(Phase::Symbolic, "lnn/grounding");
-        core::globalProfiler().recordAlloc(graph_bytes);
+        core::globalProfiler().recordAlloc(gs.graphBytes);
     }
+    return gs;
+}
+
+double
+LnnWorkload::inferAndScore(GroundState &gs)
+{
+    const logic::GroundedIndex &g = *gs.handle;
+    std::vector<TruthBounds> &bounds = gs.bounds;
+    uint64_t graph_bytes = gs.graphBytes;
+
+    auto n_atoms = static_cast<int64_t>(bounds.size());
 
     // ---- Bidirectional inference passes.
     for (int pass = 0; pass < config_.maxPasses; pass++) {
@@ -294,6 +300,41 @@ LnnWorkload::run()
                     : static_cast<double>(proven_correct) /
                           static_cast<double>(proven);
     return expected.empty() ? 1.0 : recall * precision;
+}
+
+double
+LnnWorkload::run()
+{
+    util::panicIf(!university_, "LNN: setUp() not called");
+    GroundState gs = groundKb();
+    return inferAndScore(gs);
+}
+
+core::StageSpec
+LnnWorkload::stageSpec(int stage) const
+{
+    // The inference stage is labeled Neural: the vectorized
+    // upward/downward Lukasiewicz evaluation dominates it, while the
+    // grounding stage is pure symbolic rule instantiation.
+    return stage == 0
+               ? core::StageSpec{"ground", Phase::Symbolic}
+               : core::StageSpec{"infer", Phase::Neural};
+}
+
+void
+LnnWorkload::runStage(int stage, core::EpisodeState &state)
+{
+    // LNN is seed-insensitive: no episode RNG exists, so both stages
+    // are pure in the immutable model and the handed-off GroundState.
+    if (stage == 0) {
+        util::panicIf(!university_, "LNN: setUp() not called");
+        state.scratch =
+            std::make_shared<GroundState>(groundKb());
+        return;
+    }
+    auto gs = std::static_pointer_cast<GroundState>(state.scratch);
+    state.score = inferAndScore(*gs);
+    state.scratch.reset();
 }
 
 OpGraph

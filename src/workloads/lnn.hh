@@ -21,9 +21,11 @@
 #include <set>
 #include <vector>
 
+#include "cache/precompute.hh"
 #include "core/workload.hh"
 #include "data/kbgen.hh"
 #include "logic/bounds.hh"
+#include "logic/grounding.hh"
 
 namespace nsbench::workloads
 {
@@ -64,6 +66,10 @@ class LnnWorkload : public core::Workload
     /** run() re-evaluates the KB built at setUp(); nothing to reseed. */
     void reseedEpisodes(uint64_t) override {}
     bool seedSensitive() const override { return false; }
+    /** Two stages: symbolic grounding, then bidirectional passes. */
+    int stageCount() const override { return 2; }
+    core::StageSpec stageSpec(int stage) const override;
+    void runStage(int stage, core::EpisodeState &state) override;
     core::OpGraph opGraph() const override;
     uint64_t storageBytes() const override;
 
@@ -75,6 +81,23 @@ class LnnWorkload : public core::Workload
 
     /** Precompute-cache key of the grounded formula graph. */
     std::string groundingKey() const;
+
+    /**
+     * Grounding output carried into the inference stage: the shared
+     * immutable index plus this episode's mutable neuron state.
+     */
+    struct GroundState
+    {
+        cache::CacheHandle<logic::GroundedIndex> handle;
+        std::vector<logic::TruthBounds> bounds;
+        uint64_t graphBytes = 0;
+    };
+
+    /** Symbolic grounding: builds (or cache-serves) the index. */
+    GroundState groundKb();
+
+    /** Bidirectional passes over @p gs, then recall x precision. */
+    double inferAndScore(GroundState &gs);
 
     std::unique_ptr<data::UniversityKb> university_;
     std::set<logic::GroundAtom> expectedSenior_;

@@ -174,101 +174,148 @@ LtnWorkload::storageBytes() const
     return bytes;
 }
 
+LtnWorkload::QueryGrounding
+LtnWorkload::groundQuery()
+{
+    // ---- Neural: ground the predicates over the population.
+    QueryGrounding grounding;
+    {
+        PhaseScope neural(Phase::Neural, "ltn/grounding_eval");
+        Tensor x =
+            tensor::transfer(model_->dataset.features, "h2d");
+        Tensor hs = tensor::tanhOp(
+            tensor::linear(x, model_->smokesW1, Tensor()));
+        Tensor hs2 = tensor::tanhOp(
+            tensor::linear(hs, model_->smokesW2, Tensor()));
+        grounding.smokes = tensor::sigmoid(
+            tensor::linear(hs2, model_->smokesW3, Tensor()));
+        Tensor hc = tensor::tanhOp(
+            tensor::linear(x, model_->cancerW1, Tensor()));
+        Tensor hc2 = tensor::tanhOp(
+            tensor::linear(hc, model_->cancerW2, Tensor()));
+        grounding.cancer = tensor::sigmoid(
+            tensor::linear(hc2, model_->cancerW3, Tensor()));
+    }
+    return grounding;
+}
+
+double
+LtnWorkload::evalAxioms(const QueryGrounding &grounding)
+{
+    int64_t n = config_.people;
+    const Tensor &smokes = grounding.smokes;
+    const Tensor &cancer = grounding.cancer;
+
+    // ---- Symbolic: evaluate the fuzzy theory.
+    std::vector<float> axiom_truths;
+    {
+        PhaseScope symbolic(Phase::Symbolic, "ltn/axiom_eval");
+        Tensor s = smokes.reshaped({n});
+        Tensor c = cancer.reshaped({n});
+
+        // Axiom 1: forall x, Smokes(x) -> Cancer(x) under the
+        // Reichenbach implication 1 - s + s*c. `s` is read again
+        // by axioms 3 and 5, so the result needs its own buffer.
+        Tensor impl1 = Tensor::uninitialized({n});
+        reichenbachImplies(impl1, s, c);
+        axiom_truths.push_back(
+            aggregateForAll(impl1.data()));
+
+        // Axiom 2: forall x,y, Friends(x,y) ^ Smokes(x) ->
+        // Smokes(y), evaluated over all pairs. The [n, n]
+        // antecedent is dead after the implication, so the fused
+        // implication overwrites it in place.
+        Tensor ones_row = Tensor::ones({1, n});
+        Tensor sx = tensor::matmul(smokes, ones_row); // [n, n]
+        Tensor sy = tensor::transpose2d(sx);
+        tensor::mulInPlace(sx, model_->friends);
+        Tensor &antecedent = sx;
+        reichenbachImplies(antecedent, antecedent, sy);
+        Tensor &impl2 = antecedent;
+        Tensor relevant =
+            tensor::maskedSelect(impl2, model_->friends);
+        if (relevant.numel() > 0) {
+            axiom_truths.push_back(
+                aggregateForAll(relevant.data()));
+        }
+
+        // Axiom 3: exists x, Smokes(x); Axiom 4: exists x,
+        // Cancer(x).
+        axiom_truths.push_back(aggregateExists(s.data()));
+        axiom_truths.push_back(aggregateExists(c.data()));
+
+        // Axiom 5: forall x, not (Smokes(x) ^ not Smokes(x)) —
+        // a consistency check, true by fuzzy product semantics
+        // only to degree 1 - s(1-s). Fused one-pass evaluation;
+        // 1 - x == 1 + (-x) keeps it bit-identical to the former
+        // sub(ones, mul(s, sub(ones, s))) chain.
+        Tensor consistent = Tensor::uninitialized({n});
+        tensor::fusedMapUnary(
+            "fuzzy_consistency", consistent, s, 3.0,
+            [](const float *pa, float *po, float *scratch,
+               int64_t count) {
+                util::simd::negate(pa, scratch, count);
+                util::simd::addScalar(scratch, 1.0f, scratch,
+                                      count);          // 1 - s
+                util::simd::mul(pa, scratch, scratch,
+                                count);                // s(1-s)
+                util::simd::negate(scratch, po, count);
+                util::simd::addScalar(po, 1.0f, po, count);
+            });
+        axiom_truths.push_back(
+            aggregateForAll(consistent.data()));
+    }
+
+    double sat = 0.0;
+    for (float t : axiom_truths)
+        sat += t;
+    return sat / static_cast<double>(axiom_truths.size());
+}
+
 double
 LtnWorkload::run()
 {
     util::panicIf(!model_, "LTN: setUp() not called");
-    int64_t n = config_.people;
     double satisfaction_sum = 0.0;
-
     for (int q = 0; q < config_.queries; q++) {
-        // ---- Neural: ground the predicates over the population.
-        Tensor smokes, cancer;
-        {
-            PhaseScope neural(Phase::Neural, "ltn/grounding_eval");
-            Tensor x =
-                tensor::transfer(model_->dataset.features, "h2d");
-            Tensor hs = tensor::tanhOp(
-                tensor::linear(x, model_->smokesW1, Tensor()));
-            Tensor hs2 = tensor::tanhOp(
-                tensor::linear(hs, model_->smokesW2, Tensor()));
-            smokes = tensor::sigmoid(
-                tensor::linear(hs2, model_->smokesW3, Tensor()));
-            Tensor hc = tensor::tanhOp(
-                tensor::linear(x, model_->cancerW1, Tensor()));
-            Tensor hc2 = tensor::tanhOp(
-                tensor::linear(hc, model_->cancerW2, Tensor()));
-            cancer = tensor::sigmoid(
-                tensor::linear(hc2, model_->cancerW3, Tensor()));
-        }
-
-        // ---- Symbolic: evaluate the fuzzy theory.
-        std::vector<float> axiom_truths;
-        {
-            PhaseScope symbolic(Phase::Symbolic, "ltn/axiom_eval");
-            Tensor s = smokes.reshaped({n});
-            Tensor c = cancer.reshaped({n});
-
-            // Axiom 1: forall x, Smokes(x) -> Cancer(x) under the
-            // Reichenbach implication 1 - s + s*c. `s` is read again
-            // by axioms 3 and 5, so the result needs its own buffer.
-            Tensor impl1 = Tensor::uninitialized({n});
-            reichenbachImplies(impl1, s, c);
-            axiom_truths.push_back(
-                aggregateForAll(impl1.data()));
-
-            // Axiom 2: forall x,y, Friends(x,y) ^ Smokes(x) ->
-            // Smokes(y), evaluated over all pairs. The [n, n]
-            // antecedent is dead after the implication, so the fused
-            // implication overwrites it in place.
-            Tensor ones_row = Tensor::ones({1, n});
-            Tensor sx = tensor::matmul(smokes, ones_row); // [n, n]
-            Tensor sy = tensor::transpose2d(sx);
-            tensor::mulInPlace(sx, model_->friends);
-            Tensor &antecedent = sx;
-            reichenbachImplies(antecedent, antecedent, sy);
-            Tensor &impl2 = antecedent;
-            Tensor relevant =
-                tensor::maskedSelect(impl2, model_->friends);
-            if (relevant.numel() > 0) {
-                axiom_truths.push_back(
-                    aggregateForAll(relevant.data()));
-            }
-
-            // Axiom 3: exists x, Smokes(x); Axiom 4: exists x,
-            // Cancer(x).
-            axiom_truths.push_back(aggregateExists(s.data()));
-            axiom_truths.push_back(aggregateExists(c.data()));
-
-            // Axiom 5: forall x, not (Smokes(x) ^ not Smokes(x)) —
-            // a consistency check, true by fuzzy product semantics
-            // only to degree 1 - s(1-s). Fused one-pass evaluation;
-            // 1 - x == 1 + (-x) keeps it bit-identical to the former
-            // sub(ones, mul(s, sub(ones, s))) chain.
-            Tensor consistent = Tensor::uninitialized({n});
-            tensor::fusedMapUnary(
-                "fuzzy_consistency", consistent, s, 3.0,
-                [](const float *pa, float *po, float *scratch,
-                   int64_t count) {
-                    util::simd::negate(pa, scratch, count);
-                    util::simd::addScalar(scratch, 1.0f, scratch,
-                                          count);          // 1 - s
-                    util::simd::mul(pa, scratch, scratch,
-                                    count);                // s(1-s)
-                    util::simd::negate(scratch, po, count);
-                    util::simd::addScalar(po, 1.0f, po, count);
-                });
-            axiom_truths.push_back(
-                aggregateForAll(consistent.data()));
-        }
-
-        double sat = 0.0;
-        for (float t : axiom_truths)
-            sat += t;
-        satisfaction_sum +=
-            sat / static_cast<double>(axiom_truths.size());
+        QueryGrounding grounding = groundQuery();
+        satisfaction_sum += evalAxioms(grounding);
     }
     return satisfaction_sum / static_cast<double>(config_.queries);
+}
+
+core::StageSpec
+LtnWorkload::stageSpec(int stage) const
+{
+    return stage == 0
+               ? core::StageSpec{"ground", Phase::Neural}
+               : core::StageSpec{"axioms", Phase::Symbolic};
+}
+
+void
+LtnWorkload::runStage(int stage, core::EpisodeState &state)
+{
+    // LTN is seed-insensitive and run() consumes no RNG: both stages
+    // are pure in the immutable model bundle, so any cross-episode
+    // interleaving yields the serial scores.
+    if (stage == 0) {
+        util::panicIf(!model_, "LTN: setUp() not called");
+        auto scratch = std::make_shared<EpisodeScratch>();
+        scratch->queries.reserve(
+            static_cast<size_t>(config_.queries));
+        for (int q = 0; q < config_.queries; q++)
+            scratch->queries.push_back(groundQuery());
+        state.scratch = std::move(scratch);
+        return;
+    }
+    auto scratch =
+        std::static_pointer_cast<EpisodeScratch>(state.scratch);
+    double satisfaction_sum = 0.0;
+    for (const QueryGrounding &grounding : scratch->queries)
+        satisfaction_sum += evalAxioms(grounding);
+    state.scratch.reset();
+    state.score =
+        satisfaction_sum / static_cast<double>(config_.queries);
 }
 
 OpGraph

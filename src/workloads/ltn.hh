@@ -17,6 +17,7 @@
 #define NSBENCH_WORKLOADS_LTN_HH
 
 #include <memory>
+#include <vector>
 
 #include "core/workload.hh"
 #include "data/tabular.hh"
@@ -82,6 +83,10 @@ class LtnWorkload : public core::Workload
     /** run() re-evaluates the fixed theory; nothing to reseed. */
     void reseedEpisodes(uint64_t) override {}
     bool seedSensitive() const override { return false; }
+    /** Two stages: neural grounding, then symbolic axiom eval. */
+    int stageCount() const override { return 2; }
+    core::StageSpec stageSpec(int stage) const override;
+    void runStage(int stage, core::EpisodeState &state) override;
     core::OpGraph opGraph() const override;
     uint64_t storageBytes() const override;
 
@@ -91,6 +96,25 @@ class LtnWorkload : public core::Workload
     LtnConfig config_;
     /** Shared immutable model bundle (possibly cache-served). */
     std::shared_ptr<const LtnModel> model_;
+
+    /** One query's predicate groundings, carried between stages. */
+    struct QueryGrounding
+    {
+        tensor::Tensor smokes;
+        tensor::Tensor cancer;
+    };
+
+    /** Pipeline handoff: groundings for all of a run's queries. */
+    struct EpisodeScratch
+    {
+        std::vector<QueryGrounding> queries;
+    };
+
+    /** Neural: grounds both predicate MLPs over the population. */
+    QueryGrounding groundQuery();
+
+    /** Symbolic: evaluates the theory; returns mean satisfaction. */
+    double evalAxioms(const QueryGrounding &grounding);
 };
 
 } // namespace nsbench::workloads

@@ -236,48 +236,51 @@ NlmWorkload::storageBytes() const
     return bytes;
 }
 
-double
-NlmWorkload::evaluateGraph(const data::FamilyGraph &graph,
-                           const NlmBasePredicates &base)
+Tensor
+NlmWorkload::baseBinary(const NlmBasePredicates &base)
 {
-    const Tensor &unary = base.unary;
     const Tensor &parent = base.binary;
     int64_t n = parent.size(0);
 
     // Base binary channels: parent plus the equality predicate.
-    Tensor binary;
+    PhaseScope symbolic(Phase::Symbolic, "nlm/wiring");
+    Tensor eye({n, n, 1});
+    for (int64_t i = 0; i < n; i++)
+        eye(i, i, 0) = 1.0f;
+    return tensor::concat({parent, eye}, 2);
+}
+
+Tensor
+NlmWorkload::evaluateLayer(const Tensor &unary, const Tensor &binary,
+                           const LayerWeights &layer)
+{
+    Tensor tern_in, bin_in;
+    Tensor tern_out;
     {
         PhaseScope symbolic(Phase::Symbolic, "nlm/wiring");
-        Tensor eye({n, n, 1});
-        for (int64_t i = 0; i < n; i++)
-            eye(i, i, 0) = 1.0f;
-        binary = tensor::concat({parent, eye}, 2);
+        tern_in = expandBinaryPerms(binary);
     }
+    {
+        PhaseScope neural(Phase::Neural, "nlm/mlp");
+        tern_out =
+            applyMlp(tern_in, layer.ternaryW, layer.ternaryB);
+    }
+    {
+        PhaseScope symbolic(Phase::Symbolic, "nlm/wiring");
+        Tensor reduced = reduceTernary(tern_out);
+        bin_in = tensor::concat(
+            {permuteBinary(binary), expandUnary(unary), reduced},
+            2);
+    }
+    PhaseScope neural(Phase::Neural, "nlm/mlp");
+    return applyMlp(bin_in, layer.binaryW, layer.binaryB);
+}
 
-    for (const auto &layer : layers_) {
-        Tensor tern_in, bin_in;
-        Tensor tern_out;
-        {
-            PhaseScope symbolic(Phase::Symbolic, "nlm/wiring");
-            tern_in = expandBinaryPerms(binary);
-        }
-        {
-            PhaseScope neural(Phase::Neural, "nlm/mlp");
-            tern_out =
-                applyMlp(tern_in, layer.ternaryW, layer.ternaryB);
-        }
-        {
-            PhaseScope symbolic(Phase::Symbolic, "nlm/wiring");
-            Tensor reduced = reduceTernary(tern_out);
-            bin_in = tensor::concat(
-                {permuteBinary(binary), expandUnary(unary), reduced},
-                2);
-        }
-        {
-            PhaseScope neural(Phase::Neural, "nlm/mlp");
-            binary = applyMlp(bin_in, layer.binaryW, layer.binaryB);
-        }
-    }
+double
+NlmWorkload::scoreGraph(const data::FamilyGraph &graph,
+                        const Tensor &binary)
+{
+    int64_t n = binary.size(0);
 
     // Score: mean IoU of the three derived relations.
     Tensor target = graph.targetTensor();
@@ -302,6 +305,16 @@ NlmWorkload::evaluateGraph(const data::FamilyGraph &graph,
 }
 
 double
+NlmWorkload::evaluateGraph(const data::FamilyGraph &graph,
+                           const NlmBasePredicates &base)
+{
+    Tensor binary = baseBinary(base);
+    for (const auto &layer : layers_)
+        binary = evaluateLayer(base.unary, binary, layer);
+    return scoreGraph(graph, binary);
+}
+
+double
 NlmWorkload::run()
 {
     util::panicIf(graphs_.empty(), "NLM: setUp() not called");
@@ -309,6 +322,46 @@ NlmWorkload::run()
     for (size_t i = 0; i < graphs_.size(); i++)
         total += evaluateGraph(graphs_[i], *bases_[i]);
     return total / static_cast<double>(graphs_.size());
+}
+
+core::StageSpec
+NlmWorkload::stageSpec(int stage) const
+{
+    // Both layers interleave symbolic wiring with neural MLPs, so
+    // neither stage has a single dominant phase.
+    return stage == 0
+               ? core::StageSpec{"layer1", Phase::Untagged}
+               : core::StageSpec{"layer2", Phase::Untagged};
+}
+
+void
+NlmWorkload::runStage(int stage, core::EpisodeState &state)
+{
+    // NLM is seed-insensitive and run() consumes no RNG: both stages
+    // are pure in the fixed graphs/weights plus the handed-off
+    // binary groups.
+    if (stage == 0) {
+        util::panicIf(graphs_.empty(), "NLM: setUp() not called");
+        auto scratch = std::make_shared<EpisodeScratch>();
+        scratch->binaries.reserve(graphs_.size());
+        for (size_t i = 0; i < graphs_.size(); i++) {
+            Tensor binary = baseBinary(*bases_[i]);
+            scratch->binaries.push_back(evaluateLayer(
+                bases_[i]->unary, binary, layers_[0]));
+        }
+        state.scratch = std::move(scratch);
+        return;
+    }
+    auto scratch =
+        std::static_pointer_cast<EpisodeScratch>(state.scratch);
+    double total = 0.0;
+    for (size_t i = 0; i < graphs_.size(); i++) {
+        Tensor binary = evaluateLayer(
+            bases_[i]->unary, scratch->binaries[i], layers_[1]);
+        total += scoreGraph(graphs_[i], binary);
+    }
+    state.scratch.reset();
+    state.score = total / static_cast<double>(graphs_.size());
 }
 
 OpGraph

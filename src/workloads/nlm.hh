@@ -80,6 +80,15 @@ class NlmWorkload : public core::Workload
     /** run() re-evaluates the graphs built at setUp(); nothing to reseed. */
     void reseedEpisodes(uint64_t) override {}
     bool seedSensitive() const override { return false; }
+    /**
+     * Two stages, one per NLM layer. Each layer mixes symbolic
+     * wiring with neural MLPs, so the stage cut is by layer rather
+     * than by phase; layer 2's ternary group carries twice layer 1's
+     * channels, which is what the pipeline overlaps.
+     */
+    int stageCount() const override { return 2; }
+    core::StageSpec stageSpec(int stage) const override;
+    void runStage(int stage, core::EpisodeState &state) override;
     core::OpGraph opGraph() const override;
     uint64_t storageBytes() const override;
 
@@ -99,6 +108,24 @@ class NlmWorkload : public core::Workload
         tensor::Tensor binaryW, binaryB;   ///< Binary-group MLP.
     };
     std::vector<LayerWeights> layers_;
+
+    /** Pipeline handoff: each graph's binary group after layer 1. */
+    struct EpisodeScratch
+    {
+        std::vector<tensor::Tensor> binaries;
+    };
+
+    /** Base binary channels: parent plus the equality predicate. */
+    tensor::Tensor baseBinary(const NlmBasePredicates &base);
+
+    /** One wiring+MLP layer over the current binary group. */
+    tensor::Tensor evaluateLayer(const tensor::Tensor &unary,
+                                 const tensor::Tensor &binary,
+                                 const LayerWeights &layer);
+
+    /** Mean IoU of the derived relations against the target. */
+    double scoreGraph(const data::FamilyGraph &graph,
+                      const tensor::Tensor &binary);
 
     /** Evaluates the two-layer program on one graph; returns IoU. */
     double evaluateGraph(const data::FamilyGraph &graph,

@@ -215,12 +215,13 @@ NvsaWorkload::encodePanel(const PanelBelief &belief,
     return hvs;
 }
 
-bool
-NvsaWorkload::solvePuzzle(const data::RpmPuzzle &puzzle)
+NvsaWorkload::PerceivedPuzzle
+NvsaWorkload::perceivePuzzle(const data::RpmPuzzle &puzzle)
 {
     // ---- Neural frontend: perceive context and candidate panels.
-    std::array<PanelBelief, 8> context_beliefs;
-    std::vector<PanelBelief> candidate_beliefs(8);
+    PerceivedPuzzle perceived;
+    perceived.answerIndex = puzzle.answerIndex;
+    perceived.candidates.resize(8);
     {
         PhaseScope neural(Phase::Neural, "nvsa/perception");
         std::vector<Tensor> images;
@@ -235,12 +236,22 @@ NvsaWorkload::solvePuzzle(const data::RpmPuzzle &puzzle)
         }
         auto beliefs = perception_->perceiveBatch(images);
         for (int i = 0; i < 8; i++)
-            context_beliefs[static_cast<size_t>(i)] =
+            perceived.context[static_cast<size_t>(i)] =
                 std::move(beliefs[static_cast<size_t>(i)]);
         for (int i = 0; i < 8; i++)
-            candidate_beliefs[static_cast<size_t>(i)] =
+            perceived.candidates[static_cast<size_t>(i)] =
                 std::move(beliefs[static_cast<size_t>(i + 8)]);
     }
+    return perceived;
+}
+
+bool
+NvsaWorkload::reasonPuzzle(const PerceivedPuzzle &perceived)
+{
+    const std::array<PanelBelief, 8> &context_beliefs =
+        perceived.context;
+    const std::vector<PanelBelief> &candidate_beliefs =
+        perceived.candidates;
 
     // ---- Symbolic backend.
     // PMF -> VSA for all context panels.
@@ -464,7 +475,13 @@ NvsaWorkload::solvePuzzle(const data::RpmPuzzle &puzzle)
 
     }
 
-    return best_candidate == puzzle.answerIndex;
+    return best_candidate == perceived.answerIndex;
+}
+
+bool
+NvsaWorkload::solvePuzzle(const data::RpmPuzzle &puzzle)
+{
+    return reasonPuzzle(perceivePuzzle(puzzle));
 }
 
 double
@@ -479,6 +496,45 @@ NvsaWorkload::run()
     }
     return static_cast<double>(correct) /
            static_cast<double>(config_.episodes);
+}
+
+core::StageSpec
+NvsaWorkload::stageSpec(int stage) const
+{
+    return stage == 0
+               ? core::StageSpec{"perceive", Phase::Neural}
+               : core::StageSpec{"reason", Phase::Symbolic};
+}
+
+void
+NvsaWorkload::runStage(int stage, core::EpisodeState &state)
+{
+    // Stage 0 consumes the whole episode RNG stream (puzzle
+    // generation + rendering), so stage 1 is a pure function of the
+    // perceived beliefs plus the immutable codebooks — the property
+    // that makes cross-episode overlap byte-identical to run().
+    if (stage == 0) {
+        util::panicIf(!generator_, "NVSA: setUp() not called");
+        auto scratch = std::make_shared<EpisodeScratch>();
+        scratch->puzzles.reserve(
+            static_cast<size_t>(config_.episodes));
+        for (int e = 0; e < config_.episodes; e++) {
+            data::RpmPuzzle puzzle = generator_->generate();
+            scratch->puzzles.push_back(perceivePuzzle(puzzle));
+        }
+        state.scratch = std::move(scratch);
+        return;
+    }
+    auto scratch =
+        std::static_pointer_cast<EpisodeScratch>(state.scratch);
+    int correct = 0;
+    for (const PerceivedPuzzle &perceived : scratch->puzzles) {
+        if (reasonPuzzle(perceived))
+            correct++;
+    }
+    state.scratch.reset();
+    state.score = static_cast<double>(correct) /
+                  static_cast<double>(config_.episodes);
 }
 
 OpGraph

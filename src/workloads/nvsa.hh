@@ -89,6 +89,10 @@ class NvsaWorkload : public core::Workload
     double run() override;
     /** Resets the puzzle generator only; codebooks and weights stay. */
     void reseedEpisodes(uint64_t seed) override;
+    /** Two stages: neural perception, then symbolic reasoning. */
+    int stageCount() const override { return 2; }
+    core::StageSpec stageSpec(int stage) const override;
+    void runStage(int stage, core::EpisodeState &state) override;
     core::OpGraph opGraph() const override;
     uint64_t storageBytes() const override;
 
@@ -102,9 +106,32 @@ class NvsaWorkload : public core::Workload
     /** Shared immutable codebook bundle (possibly cache-served). */
     std::shared_ptr<const NvsaCodebooks> books_;
 
+    /**
+     * Perception output for one puzzle: the neural stage's product,
+     * carried to the symbolic stage together with the answer key.
+     */
+    struct PerceivedPuzzle
+    {
+        std::array<PanelBelief, 8> context;
+        std::vector<PanelBelief> candidates;
+        int answerIndex = 0;
+    };
+
+    /** Pipeline handoff: all of one episode's perceived puzzles. */
+    struct EpisodeScratch
+    {
+        std::vector<PerceivedPuzzle> puzzles;
+    };
+
     /** Encodes one panel's PMFs into attribute hypervectors. */
     std::array<tensor::Tensor, data::numAttributes>
     encodePanel(const PanelBelief &belief, bool record_sparsity);
+
+    /** Neural frontend: renders and perceives one puzzle's panels. */
+    PerceivedPuzzle perceivePuzzle(const data::RpmPuzzle &puzzle);
+
+    /** Symbolic backend over perceived beliefs; true when correct. */
+    bool reasonPuzzle(const PerceivedPuzzle &perceived);
 
     /** Solves one puzzle; returns true when the answer is correct. */
     bool solvePuzzle(const data::RpmPuzzle &puzzle);

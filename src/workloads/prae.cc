@@ -112,12 +112,13 @@ PraeWorkload::storageBytes() const
     return bytes;
 }
 
-bool
-PraeWorkload::solvePuzzle(const data::RpmPuzzle &puzzle)
+PraeWorkload::PerceivedPuzzle
+PraeWorkload::perceivePuzzle(const data::RpmPuzzle &puzzle)
 {
     // ---- Neural frontend (shared with NVSA).
-    std::array<PanelBelief, 8> context;
-    std::vector<PanelBelief> candidates(8);
+    PerceivedPuzzle perceived;
+    perceived.answerIndex = puzzle.answerIndex;
+    perceived.candidates.resize(8);
     {
         PhaseScope neural(Phase::Neural, "prae/perception");
         std::vector<Tensor> images;
@@ -132,12 +133,20 @@ PraeWorkload::solvePuzzle(const data::RpmPuzzle &puzzle)
         }
         auto beliefs = perception_->perceiveBatch(images);
         for (int i = 0; i < 8; i++)
-            context[static_cast<size_t>(i)] =
+            perceived.context[static_cast<size_t>(i)] =
                 std::move(beliefs[static_cast<size_t>(i)]);
         for (int i = 0; i < 8; i++)
-            candidates[static_cast<size_t>(i)] =
+            perceived.candidates[static_cast<size_t>(i)] =
                 std::move(beliefs[static_cast<size_t>(i + 8)]);
     }
+    return perceived;
+}
+
+bool
+PraeWorkload::reasonPuzzle(PerceivedPuzzle &perceived)
+{
+    std::array<PanelBelief, 8> &context = perceived.context;
+    std::vector<PanelBelief> &candidates = perceived.candidates;
 
     // ---- Scene inference: fuse object-level (per-cell) beliefs into
     // calibrated panel distributions (products of expert cells).
@@ -320,7 +329,14 @@ PraeWorkload::solvePuzzle(const data::RpmPuzzle &puzzle)
             }
         }
     }
-    return best_candidate == puzzle.answerIndex;
+    return best_candidate == perceived.answerIndex;
+}
+
+bool
+PraeWorkload::solvePuzzle(const data::RpmPuzzle &puzzle)
+{
+    PerceivedPuzzle perceived = perceivePuzzle(puzzle);
+    return reasonPuzzle(perceived);
 }
 
 double
@@ -335,6 +351,45 @@ PraeWorkload::run()
     }
     return static_cast<double>(correct) /
            static_cast<double>(config_.episodes);
+}
+
+core::StageSpec
+PraeWorkload::stageSpec(int stage) const
+{
+    return stage == 0
+               ? core::StageSpec{"perceive", Phase::Neural}
+               : core::StageSpec{"reason", Phase::Symbolic};
+}
+
+void
+PraeWorkload::runStage(int stage, core::EpisodeState &state)
+{
+    // Stage 0 consumes the whole episode RNG stream (generation +
+    // rendering); stage 1 is pure in the perceived beliefs plus the
+    // immutable rule tables, so overlapping episodes cannot change a
+    // score.
+    if (stage == 0) {
+        util::panicIf(!generator_, "PrAE: setUp() not called");
+        auto scratch = std::make_shared<EpisodeScratch>();
+        scratch->puzzles.reserve(
+            static_cast<size_t>(config_.episodes));
+        for (int e = 0; e < config_.episodes; e++) {
+            data::RpmPuzzle puzzle = generator_->generate();
+            scratch->puzzles.push_back(perceivePuzzle(puzzle));
+        }
+        state.scratch = std::move(scratch);
+        return;
+    }
+    auto scratch =
+        std::static_pointer_cast<EpisodeScratch>(state.scratch);
+    int correct = 0;
+    for (PerceivedPuzzle &perceived : scratch->puzzles) {
+        if (reasonPuzzle(perceived))
+            correct++;
+    }
+    state.scratch.reset();
+    state.score = static_cast<double>(correct) /
+                  static_cast<double>(config_.episodes);
 }
 
 OpGraph

@@ -82,6 +82,10 @@ class PraeWorkload : public core::Workload
     double run() override;
     /** Resets the puzzle generator only; rule tables stay. */
     void reseedEpisodes(uint64_t seed) override;
+    /** Two stages: neural perception, then symbolic abduction. */
+    int stageCount() const override { return 2; }
+    core::StageSpec stageSpec(int stage) const override;
+    void runStage(int stage, core::EpisodeState &state) override;
     core::OpGraph opGraph() const override;
     uint64_t storageBytes() const override;
 
@@ -93,6 +97,29 @@ class PraeWorkload : public core::Workload
     std::unique_ptr<RavenPerception> perception_;
     /** Shared immutable rule tables (possibly cache-served). */
     std::shared_ptr<const PraeRuleTables> ruleTables_;
+
+    /** Perception output for one puzzle, carried between stages. */
+    struct PerceivedPuzzle
+    {
+        std::array<PanelBelief, 8> context;
+        std::vector<PanelBelief> candidates;
+        int answerIndex = 0;
+    };
+
+    /** Pipeline handoff: all of one episode's perceived puzzles. */
+    struct EpisodeScratch
+    {
+        std::vector<PerceivedPuzzle> puzzles;
+    };
+
+    /** Neural frontend: renders and perceives one puzzle's panels. */
+    PerceivedPuzzle perceivePuzzle(const data::RpmPuzzle &puzzle);
+
+    /**
+     * Symbolic backend (mutates the beliefs during scene inference);
+     * true when the selected candidate is the answer.
+     */
+    bool reasonPuzzle(PerceivedPuzzle &perceived);
 
     bool solvePuzzle(const data::RpmPuzzle &puzzle);
 };

@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -407,6 +408,72 @@ TEST_F(Chaos, FaultedServerScoresMatchFaultFreeScores)
     // Byte-identical: retried and replica-rebuilt executions return
     // exactly the score a fault-free server returns.
     EXPECT_EQ(clean, faulted);
+}
+
+TEST_F(Chaos, PipelinedServerKeepsInvariantsUnderFaults)
+{
+    // Intra-replica pipelining must not weaken any chaos invariant:
+    // with faults armed the worker falls back to the serial retry
+    // path, and either way every request is answered exactly once
+    // with the fault-free score. NVSA is staged and seed-sensitive,
+    // so a coalesced batch forms the multi-group executions the
+    // pipeline path takes when it engages.
+    auto scoresUnder = [&](const std::string &spec, int depth) {
+        fp::reset();
+        if (!spec.empty()) {
+            std::string error = fp::configure(spec);
+            EXPECT_EQ(error, "");
+        }
+        serve::ServerOptions options;
+        options.workloads = {"NVSA"};
+        options.workers = 1;
+        options.maxBatch = 8;
+        options.maxWaitUs = 20000;
+        options.maxRetries = 8;
+        options.pipelineDepth = depth;
+        options.factory = serve::serveFactory;
+        serve::Server server(std::move(options));
+        const int total = 12;
+        std::vector<std::promise<serve::Response>> promises(total);
+        std::vector<std::future<serve::Response>> futures;
+        for (int i = 0; i < total; i++) {
+            auto *promise = &promises[static_cast<size_t>(i)];
+            futures.push_back(promise->get_future());
+            EXPECT_EQ(
+                server.submit("NVSA", static_cast<uint64_t>(i % 6),
+                              [promise](const serve::Response &r) {
+                                  // A second delivery would throw
+                                  // promise_already_satisfied here.
+                                  promise->set_value(r);
+                              }),
+                serve::RequestStatus::Ok);
+        }
+        std::map<uint64_t, double> scores;
+        for (int i = 0; i < total; i++) {
+            serve::Response response =
+                futures[static_cast<size_t>(i)].get();
+            EXPECT_EQ(response.status, serve::RequestStatus::Ok);
+            if (!spec.empty()) {
+                // Armed faults disable the pipeline pre-pass.
+                EXPECT_FALSE(response.pipelined) << "request " << i;
+            }
+            uint64_t seed = static_cast<uint64_t>(i % 6);
+            auto [found, inserted] =
+                scores.emplace(seed, response.score);
+            if (!inserted)
+                EXPECT_EQ(found->second, response.score)
+                    << "seed " << seed;
+        }
+        server.shutdown();
+        return scores;
+    };
+
+    auto clean_serial = scoresUnder("", 0);
+    auto clean_piped = scoresUnder("", 2);
+    auto faulted_piped = scoresUnder(
+        "serve.worker.run=0.3@23,serve.worker.crash=0.1@29", 2);
+    EXPECT_EQ(clean_serial, clean_piped);
+    EXPECT_EQ(clean_serial, faulted_piped);
 }
 
 // --- Clean drain with faults still armed --------------------------

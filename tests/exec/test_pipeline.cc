@@ -1,0 +1,305 @@
+/**
+ * @file
+ * Stage-pipelined execution: byte-identity, ordering, stage reports,
+ * failure propagation, and the server's intra-replica pipeline mode.
+ *
+ * The load-bearing invariant is byte-identity: for every workload
+ * and every queue depth, exec::runPipelined must produce exactly the
+ * scores of a serial reseedEpisodes + run() loop over the same
+ * seeds. CI also runs this suite under TSan, which turns the
+ * executor's cross-thread handoffs into checked synchronization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/pipeline.hh"
+#include "serve/presets.hh"
+#include "serve/server.hh"
+#include "workloads/register.hh"
+
+namespace
+{
+
+using namespace nsbench;
+
+std::vector<uint64_t>
+seedTrain(int episodes, uint64_t base = 42)
+{
+    std::vector<uint64_t> seeds;
+    for (int i = 0; i < episodes; i++)
+        seeds.push_back(exec::episodeSeed(base, i));
+    return seeds;
+}
+
+/** All seven paper workloads at serve-preset sizes. */
+std::vector<std::string>
+allWorkloads()
+{
+    workloads::registerAllWorkloads();
+    return {"LNN", "LTN", "NVSA", "NLM", "VSAIT", "ZeroC", "PrAE"};
+}
+
+/**
+ * Deterministic two-stage workload: stage 0 squares the seed into
+ * scratch, stage 1 folds it into a score. Cheap enough to drive
+ * long episode trains through every queue depth.
+ */
+class ToyStaged : public core::Workload
+{
+  public:
+    std::string name() const override { return "ToyStaged"; }
+    core::Paradigm paradigm() const override
+    {
+        return core::Paradigm::NeuroPipeSymbolic;
+    }
+    std::string taskDescription() const override
+    {
+        return "two-stage arithmetic toy";
+    }
+    void setUp(uint64_t seed) override { model_ = seed | 1; }
+    void reseedEpisodes(uint64_t seed) override { episode_ = seed; }
+    double
+    run() override
+    {
+        core::EpisodeState state;
+        state.seed = episode_;
+        runStage(0, state);
+        runStage(1, state);
+        return state.score;
+    }
+    int stageCount() const override { return 2; }
+    core::StageSpec
+    stageSpec(int stage) const override
+    {
+        return stage == 0
+                   ? core::StageSpec{"square", core::Phase::Neural}
+                   : core::StageSpec{"fold", core::Phase::Symbolic};
+    }
+    void
+    runStage(int stage, core::EpisodeState &state) override
+    {
+        if (stage == 0) {
+            state.scratch = std::make_shared<uint64_t>(
+                episode_ * episode_ + model_);
+        } else {
+            auto value =
+                std::static_pointer_cast<uint64_t>(state.scratch);
+            state.score =
+                static_cast<double>(*value % 1000003) / 1000003.0;
+            state.scratch.reset();
+        }
+    }
+    core::OpGraph opGraph() const override { return {}; }
+    uint64_t storageBytes() const override { return sizeof(model_); }
+
+  private:
+    uint64_t model_ = 0;
+    uint64_t episode_ = 0;
+};
+
+/** Throws from a configurable stage of a configurable episode. */
+class FaultyStaged : public ToyStaged
+{
+  public:
+    FaultyStaged(int failStage, int failEpisode)
+        : failStage_(failStage), failEpisode_(failEpisode)
+    {}
+    void
+    runStage(int stage, core::EpisodeState &state) override
+    {
+        if (stage == failStage_ && state.index == failEpisode_)
+            throw std::runtime_error("injected stage failure");
+        ToyStaged::runStage(stage, state);
+    }
+
+  private:
+    int failStage_;
+    int failEpisode_;
+};
+
+TEST(Pipeline, ByteIdenticalToSerialAcrossWorkloadsAndDepths)
+{
+    for (const std::string &name : allWorkloads()) {
+        auto workload = serve::serveFactory(name);
+        ASSERT_NE(workload, nullptr) << name;
+        workload->setUp(7);
+        auto seeds = seedTrain(4);
+        std::vector<double> serial =
+            exec::runSerialEpisodes(*workload, seeds);
+        for (int depth : {1, 2, 4}) {
+            exec::PipelineOptions options;
+            options.depth = depth;
+            options.collectProfiles = false;
+            exec::PipelineResult piped =
+                exec::runPipelined(*workload, seeds, options);
+            ASSERT_EQ(piped.scores.size(), serial.size())
+                << name << " depth " << depth;
+            for (size_t i = 0; i < serial.size(); i++) {
+                EXPECT_EQ(piped.scores[i], serial[i])
+                    << name << " depth " << depth << " episode "
+                    << i;
+            }
+        }
+    }
+}
+
+TEST(Pipeline, SingleStageWorkloadDegeneratesToSerial)
+{
+    // VSAIT never overrode the staged interface, so it exercises the
+    // default fused-stage path: one worker, scores still identical.
+    auto workload = serve::serveFactory("VSAIT");
+    workload->setUp(7);
+    ASSERT_EQ(workload->stageCount(), 1);
+    auto seeds = seedTrain(3);
+    std::vector<double> serial =
+        exec::runSerialEpisodes(*workload, seeds);
+    exec::PipelineResult piped =
+        exec::runPipelined(*workload, seeds);
+    EXPECT_EQ(piped.scores, serial);
+    ASSERT_EQ(piped.stages.size(), 1u);
+}
+
+TEST(Pipeline, LongTrainThroughToyStages)
+{
+    ToyStaged workload;
+    workload.setUp(3);
+    auto seeds = seedTrain(64, 100);
+    std::vector<double> serial =
+        exec::runSerialEpisodes(workload, seeds);
+    for (int depth : {1, 2, 7}) {
+        exec::PipelineOptions options;
+        options.depth = depth;
+        exec::PipelineResult piped =
+            exec::runPipelined(workload, seeds, options);
+        EXPECT_EQ(piped.scores, serial) << "depth " << depth;
+    }
+}
+
+TEST(Pipeline, StageReportsMatchSpecs)
+{
+    ToyStaged workload;
+    workload.setUp(3);
+    exec::PipelineResult piped =
+        exec::runPipelined(workload, 5, 42);
+    ASSERT_EQ(piped.stages.size(), 2u);
+    EXPECT_EQ(piped.stages[0].name, "square");
+    EXPECT_EQ(piped.stages[0].phase, core::Phase::Neural);
+    EXPECT_EQ(piped.stages[1].name, "fold");
+    EXPECT_EQ(piped.stages[1].phase, core::Phase::Symbolic);
+    ASSERT_EQ(piped.episodeStageSeconds.size(), 5u);
+    for (const auto &episode : piped.episodeStageSeconds)
+        ASSERT_EQ(episode.size(), 2u);
+    EXPECT_GT(piped.wallSeconds, 0.0);
+    EXPECT_GE(piped.busySeconds(), piped.bottleneckSeconds());
+    EXPECT_GT(piped.overlapSpeedup(), 0.0);
+}
+
+TEST(Pipeline, EpisodeSeedsAreSequential)
+{
+    EXPECT_EQ(exec::episodeSeed(42, 0), 42u);
+    EXPECT_EQ(exec::episodeSeed(42, 3), 45u);
+    ToyStaged workload;
+    workload.setUp(3);
+    exec::PipelineResult spelled =
+        exec::runPipelined(workload, seedTrain(6, 42));
+    exec::PipelineResult counted = exec::runPipelined(workload, 6, 42);
+    EXPECT_EQ(spelled.scores, counted.scores);
+}
+
+TEST(Pipeline, StageExceptionPropagatesFromEveryStage)
+{
+    for (int stage : {0, 1}) {
+        FaultyStaged workload(stage, 2);
+        workload.setUp(3);
+        EXPECT_THROW(exec::runPipelined(workload, 8, 42,
+                                        exec::PipelineOptions{1}),
+                     std::runtime_error)
+            << "failing stage " << stage;
+    }
+    // The failure must tear the pipeline down, not wedge it: a
+    // full-depth train behind the faulting episode still returns.
+    FaultyStaged workload(1, 0);
+    workload.setUp(3);
+    EXPECT_THROW(exec::runPipelined(workload, 32, 42),
+                 std::runtime_error);
+}
+
+TEST(Pipeline, PredictedSpeedupModelsDedicatedUnits)
+{
+    // Perfectly balanced two-stage pipeline -> ~2x for long trains.
+    double balanced =
+        exec::predictedSpeedup({8.0, 8.0}, /*episodes=*/8);
+    EXPECT_GT(balanced, 1.7);
+    EXPECT_LE(balanced, 2.0 + 1e-9);
+    // A dominant stage caps the win no matter the depth.
+    double skewed = exec::predictedSpeedup({1.0, 15.0}, 8);
+    EXPECT_LT(skewed, 1.15);
+    // One stage cannot overlap with itself.
+    EXPECT_DOUBLE_EQ(exec::predictedSpeedup({4.0}, 8), 1.0);
+}
+
+TEST(Pipeline, ServerPipelineModeIsByteIdentical)
+{
+    workloads::registerAllWorkloads();
+    // NVSA at the serve preset is seed-sensitive and staged, so a
+    // multi-seed batch coalesces into multiple groups the worker can
+    // pipeline. Run the same request set through a pipelined and a
+    // serial server; scores must agree request-for-request.
+    auto runServer = [](int pipelineDepth) {
+        serve::ServerOptions options;
+        options.workloads = {"NVSA"};
+        options.workers = 1;
+        options.maxBatch = 8;
+        options.maxWaitUs = 20000;
+        options.pipelineDepth = pipelineDepth;
+        options.factory = serve::serveFactory;
+        serve::Server server(std::move(options));
+        std::map<uint64_t, double> scores;
+        std::map<uint64_t, bool> pipelined;
+        std::vector<std::future<serve::Response>> futures;
+        std::vector<uint64_t> seeds = {5, 6, 7, 8, 5, 6};
+        std::vector<std::promise<serve::Response>> promises(
+            seeds.size());
+        for (size_t i = 0; i < seeds.size(); i++) {
+            auto *promise = &promises[i];
+            futures.push_back(promise->get_future());
+            EXPECT_EQ(server.submit("NVSA", seeds[i],
+                                    [promise](
+                                        const serve::Response &r) {
+                                        promise->set_value(r);
+                                    }),
+                      serve::RequestStatus::Ok);
+        }
+        for (size_t i = 0; i < seeds.size(); i++) {
+            serve::Response response = futures[i].get();
+            EXPECT_EQ(response.status, serve::RequestStatus::Ok);
+            auto found = scores.find(seeds[i]);
+            if (found != scores.end()) {
+                EXPECT_EQ(found->second, response.score);
+            }
+            scores[seeds[i]] = response.score;
+            pipelined[seeds[i]] = response.pipelined;
+        }
+        server.shutdown();
+        return std::make_pair(scores, pipelined);
+    };
+
+    auto [piped, pipedFlags] = runServer(2);
+    auto [serial, serialFlags] = runServer(0);
+    ASSERT_EQ(piped.size(), serial.size());
+    for (const auto &[seed, score] : serial) {
+        ASSERT_TRUE(piped.count(seed));
+        EXPECT_EQ(piped[seed], score) << "seed " << seed;
+    }
+    for (const auto &[seed, flag] : serialFlags)
+        EXPECT_FALSE(flag) << "seed " << seed;
+}
+
+} // namespace

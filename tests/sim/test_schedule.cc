@@ -117,6 +117,64 @@ TEST(Schedule, DiamondGraphParallelism)
     EXPECT_DOUBLE_EQ(wide.makespan, 2.0);    // branches in parallel
 }
 
+TEST(Schedule, EmptyGraphIsTrivial)
+{
+    OpGraph g;
+    auto result = pipelineSchedule(g, {2, 2}, 5);
+    EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+    EXPECT_DOUBLE_EQ(result.sequentialSeconds, 0.0);
+    EXPECT_TRUE(result.stages.empty());
+    // No work means no win: the speedup convention is 1.0, not 0/0.
+    EXPECT_DOUBLE_EQ(result.speedup(), 1.0);
+}
+
+TEST(Schedule, ZeroDurationStagesCollapse)
+{
+    OpGraph g;
+    auto n = g.addNode("instant", Phase::Neural, 0.0);
+    auto s = g.addNode("reason", Phase::Symbolic, 2.0);
+    g.addEdge(n, s);
+    auto result = pipelineSchedule(g, {1, 1}, 4);
+    // The free stage adds no latency anywhere: the symbolic unit
+    // back-to-backs all four episodes.
+    EXPECT_DOUBLE_EQ(result.makespan, 8.0);
+    EXPECT_DOUBLE_EQ(result.sequentialSeconds, 8.0);
+    for (const auto &stage : result.stages) {
+        if (g.node(stage.node).name == "instant")
+            EXPECT_DOUBLE_EQ(stage.start, stage.end);
+    }
+}
+
+TEST(Schedule, MoreSymbolicUnitsThanEpisodes)
+{
+    OpGraph g = twoStagePipeline();
+    // Units beyond the episode count can never be occupied; the
+    // schedule must match the exactly-enough configuration.
+    auto enough = pipelineSchedule(g, {1, 2}, 2);
+    auto excess = pipelineSchedule(g, {1, 8}, 2);
+    EXPECT_DOUBLE_EQ(excess.makespan, enough.makespan);
+    EXPECT_DOUBLE_EQ(excess.sequentialSeconds,
+                     enough.sequentialSeconds);
+}
+
+TEST(Schedule, MakespanMonotoneInUnitCount)
+{
+    OpGraph g = twoStagePipeline();
+    double previous = pipelineSchedule(g, {1, 1}, 6).makespan;
+    for (int units = 2; units <= 6; units++) {
+        double makespan =
+            pipelineSchedule(g, {units, units}, 6).makespan;
+        // Adding units never hurts (list scheduling over independent
+        // episodes), and eventually stops helping.
+        EXPECT_LE(makespan, previous + 1e-12)
+            << "units=" << units;
+        previous = makespan;
+    }
+    // Saturation: every episode on its own pair of units leaves only
+    // the critical path.
+    EXPECT_DOUBLE_EQ(pipelineSchedule(g, {6, 6}, 6).makespan, 3.0);
+}
+
 TEST(ScheduleDeath, Validations)
 {
     OpGraph g = twoStagePipeline();

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * reseedEpisodes purity under interleaved, out-of-order reseeds.
+ *
+ * The serving runtime and the stage-pipeline executor both lean on
+ * the same contract: after reseedEpisodes(s), run() is a pure
+ * function of (model, s), no matter what the instance executed
+ * before. These tests attack the "no matter what" clause for the
+ * five precompute-heavy workloads — replaying seeds out of order,
+ * re-running earlier seeds after later ones, and superseding a
+ * reseed before it is ever run — and require bit-identical scores
+ * throughout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "workloads/lnn.hh"
+#include "workloads/ltn.hh"
+#include "workloads/nlm.hh"
+#include "workloads/nvsa.hh"
+#include "workloads/prae.hh"
+
+namespace
+{
+
+using namespace nsbench;
+
+void
+expectPureUnderInterleaving(core::Workload &workload)
+{
+    workload.setUp(7);
+
+    std::map<uint64_t, double> expected;
+    for (uint64_t seed : {21u, 22u, 23u}) {
+        workload.reseedEpisodes(seed);
+        expected[seed] = workload.run();
+    }
+
+    // Replay in an adversarial order: jump backwards, repeat a seed,
+    // revisit. Every score must match its first occurrence exactly.
+    for (uint64_t seed : {23u, 21u, 23u, 22u, 21u}) {
+        workload.reseedEpisodes(seed);
+        double score = workload.run();
+        EXPECT_EQ(score, expected[seed]) << "seed " << seed;
+    }
+
+    // A reseed that is superseded before running must leave no
+    // trace: only the last reseed before run() counts.
+    workload.reseedEpisodes(21);
+    workload.reseedEpisodes(23);
+    EXPECT_EQ(workload.run(), expected[23]);
+}
+
+TEST(ReseedPurity, Nvsa)
+{
+    // Serve-sized model: purity is about state handling, not scale.
+    workloads::NvsaConfig config;
+    config.hvDim = 256;
+    config.episodes = 1;
+    workloads::NvsaWorkload workload(config);
+    expectPureUnderInterleaving(workload);
+}
+
+TEST(ReseedPurity, Prae)
+{
+    workloads::PraeConfig config;
+    config.episodes = 1;
+    workloads::PraeWorkload workload(config);
+    expectPureUnderInterleaving(workload);
+}
+
+TEST(ReseedPurity, Lnn)
+{
+    workloads::LnnWorkload workload;
+    expectPureUnderInterleaving(workload);
+}
+
+TEST(ReseedPurity, Ltn)
+{
+    workloads::LtnWorkload workload;
+    expectPureUnderInterleaving(workload);
+}
+
+TEST(ReseedPurity, Nlm)
+{
+    workloads::NlmWorkload workload;
+    expectPureUnderInterleaving(workload);
+}
+
+} // namespace

@@ -33,6 +33,12 @@
  *   --csv          emit CSV instead of aligned tables
  *   --device NAME  also project the op stream onto one device
  *                  ("all" projects onto every modeled device)
+ *   --pipeline[=D] run the episodes through the stage-pipelined
+ *                  executor (inter-stage queue depth D, default 2)
+ *                  instead of a serial loop, and report the measured
+ *                  overlap speedup next to the sim::schedule
+ *                  prediction; profiles over --runs episodes
+ *                  (default 8 when --runs is 1)
  *
  * Resilience options for `serve`/`loadgen` (see docs/DESIGN.md §7f):
  *   --faults SPEC  arm deterministic failpoints, e.g.
@@ -44,6 +50,10 @@
  *                  occupancy (0 disables, the default)
  *   --no-stale     fail requests instead of serving a stale cached
  *                  score after the retries are exhausted
+ *   --pipeline[=D] enable intra-replica stage pipelining on the
+ *                  workers (queue depth D, default 2); staged
+ *                  workloads overlap the coalesced executions of a
+ *                  batch across their neural/symbolic stages
  */
 
 #include <cstring>
@@ -56,6 +66,7 @@
 #include "cache/config.hh"
 #include "cache/precompute.hh"
 #include "core/profiler.hh"
+#include "exec/pipeline.hh"
 #include "serve/loadgen.hh"
 #include "serve/presets.hh"
 #include "serve/server.hh"
@@ -88,7 +99,7 @@ usage()
            "              [--threads N] [--simd scalar|avx2|auto]\n"
            "              [--arena on|off] [--cache on|off]\n"
            "              [--cache-mb N] [--csv]\n"
-           "              [--device NAME|all]\n"
+           "              [--device NAME|all] [--pipeline[=D]]\n"
            "  nsbench serve|loadgen [--workloads A,B,...]\n"
            "              [--workers N] [--max-batch N]\n"
            "              [--max-wait-us N] [--queue N]\n"
@@ -101,7 +112,7 @@ usage()
            "              [--deadline-ms MS] [--mix A=W,B=W] [--csv]\n"
            "              [--faults SPEC] [--retries N]\n"
            "              [--retry-backoff-us N] [--shed-at F]\n"
-           "              [--no-stale]\n";
+           "              [--no-stale] [--pipeline[=D]]\n";
     return 2;
 }
 
@@ -112,6 +123,29 @@ printTable(const util::Table &table, bool csv)
         table.printCsv(std::cout);
     else
         table.print(std::cout);
+}
+
+/**
+ * Parses `--pipeline` / `--pipeline=D` into a queue depth (bare form
+ * means 2); returns false when @p arg is some other option. Exits
+ * with a usage error on a non-positive depth.
+ */
+bool
+parsePipelineArg(const std::string &arg, int *depth)
+{
+    if (arg == "--pipeline") {
+        *depth = 2;
+        return true;
+    }
+    const std::string prefix = "--pipeline=";
+    if (arg.rfind(prefix, 0) != 0)
+        return false;
+    *depth = std::atoi(arg.c_str() + prefix.size());
+    if (*depth < 1) {
+        std::cerr << "--pipeline depth must be positive\n";
+        std::exit(2);
+    }
+    return true;
 }
 
 /** Handles --cache on|off; exits with usage error on anything else. */
@@ -176,6 +210,83 @@ cmdDevices()
     return 0;
 }
 
+/**
+ * `nsbench run --pipeline`: executes the episode train seed..seed+N-1
+ * both serially and through the stage-pipelined executor, prints the
+ * per-stage breakdown and the measured-vs-predicted overlap speedup,
+ * and exits 1 if the pipelined scores are not byte-identical to the
+ * serial loop.
+ */
+int
+runPipelinedReport(core::Workload &workload, uint64_t seed, int runs,
+                   int depth, bool csv)
+{
+    // A single run is not a pipeline; default to a short episode
+    // train when --runs was left at 1.
+    int episodes = runs > 1 ? runs : 8;
+    std::vector<uint64_t> seeds;
+    seeds.reserve(static_cast<size_t>(episodes));
+    for (int i = 0; i < episodes; i++)
+        seeds.push_back(exec::episodeSeed(seed, i));
+
+    util::WallTimer serial_timer;
+    std::vector<double> serial =
+        exec::runSerialEpisodes(workload, seeds);
+    double serial_wall = serial_timer.elapsed();
+
+    exec::PipelineOptions options;
+    options.depth = depth;
+    exec::PipelineResult piped =
+        exec::runPipelined(workload, seeds, options);
+
+    std::vector<double> stage_seconds;
+    util::Table table({"stage", "phase", "busy", "per-episode",
+                       "neural", "symbolic"});
+    for (const exec::StageReport &stage : piped.stages) {
+        stage_seconds.push_back(stage.busySeconds);
+        table.addRow(
+            {stage.name, std::string(core::phaseName(stage.phase)),
+             util::humanSeconds(stage.busySeconds),
+             util::humanSeconds(stage.busySeconds / episodes),
+             util::humanSeconds(stage.neural.seconds),
+             util::humanSeconds(stage.symbolic.seconds)});
+    }
+    double predicted = exec::predictedSpeedup(stage_seconds, episodes);
+    bool identical =
+        serial.size() == piped.scores.size() &&
+        std::equal(serial.begin(), serial.end(), piped.scores.begin(),
+                   [](double a, double b) {
+                       return std::memcmp(&a, &b, sizeof a) == 0;
+                   });
+
+    if (!csv) {
+        std::cout << "workload:  " << workload.name() << " ("
+                  << core::paradigmName(workload.paradigm())
+                  << ")\nepisodes:  " << episodes << " (seeds "
+                  << seed << ".." << seed + episodes - 1
+                  << ")\nstages:    " << workload.stageCount()
+                  << "  queue depth " << depth << "\n\n";
+    }
+    printTable(table, csv);
+    std::cout << "\nserial:    " << util::humanSeconds(serial_wall)
+              << "   pipelined: "
+              << util::humanSeconds(piped.wallSeconds) << "   ("
+              << util::fixedStr(piped.wallSeconds > 0.0
+                                    ? serial_wall / piped.wallSeconds
+                                    : 1.0,
+                                2)
+              << "x end-to-end)\noverlap:   "
+              << util::fixedStr(piped.overlapSpeedup(), 2)
+              << "x measured   " << util::fixedStr(predicted, 2)
+              << "x predicted (sim::schedule)\nidentity:  "
+              << (identical
+                      ? "pipelined scores byte-identical to serial"
+                      : "MISMATCH: pipelined scores differ from "
+                        "serial")
+              << "\n";
+    return identical ? 0 : 1;
+}
+
 int
 cmdRun(int argc, char **argv)
 {
@@ -184,6 +295,7 @@ cmdRun(int argc, char **argv)
     std::string name = argv[0];
     uint64_t seed = 42;
     int runs = 1;
+    int pipeline_depth = 0;
     bool csv = false;
     std::string device_name;
 
@@ -243,6 +355,8 @@ cmdRun(int argc, char **argv)
             csv = true;
         } else if (arg == "--device") {
             device_name = next();
+        } else if (parsePipelineArg(arg, &pipeline_depth)) {
+            // depth captured by the parser
         } else {
             std::cerr << "unknown option " << arg << "\n";
             return usage();
@@ -262,6 +376,10 @@ cmdRun(int argc, char **argv)
 
     auto workload = registry.create(name);
     workload->setUp(seed);
+
+    if (pipeline_depth > 0)
+        return runPipelinedReport(*workload, seed, runs,
+                                  pipeline_depth, csv);
 
     auto &prof = core::globalProfiler();
     prof.reset();
@@ -470,6 +588,9 @@ cmdServe(int argc, char **argv, bool open_loop)
             }
         } else if (arg == "--no-stale") {
             server_options.staleFallback = false;
+        } else if (parsePipelineArg(arg,
+                                    &server_options.pipelineDepth)) {
+            // depth captured by the parser
         } else if (arg == "--csv") {
             csv = true;
         } else {
@@ -521,8 +642,11 @@ cmdServe(int argc, char **argv, bool open_loop)
                   << server_options.queueCapacity << "  coalesce "
                   << (server_options.coalesce ? "on" : "off")
                   << "  cache "
-                  << (server_options.resultCache ? "on" : "off")
-                  << "\ndriving:  "
+                  << (server_options.resultCache ? "on" : "off");
+        if (server_options.pipelineDepth > 0)
+            std::cout << "  pipeline depth "
+                      << server_options.pipelineDepth;
+        std::cout << "\ndriving:  "
                   << (load_options.openLoop ? "open loop" : "closed loop");
         if (load_options.openLoop)
             std::cout << " at " << load_options.rateHz << " req/s";
