@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Wire-protocol client: the other end of net/tcp_server.
+ *
+ * One Client owns one TCP connection (re-established on demand with
+ * exponential backoff) and multiplexes any number of in-flight
+ * requests over it, matched to callers by the request id. Two APIs,
+ * mirroring serve::Server:
+ *
+ *  - submit(): async. Returns Ok iff the request was written to a
+ *    handshaken connection, in which case the callback fires exactly
+ *    once — with the server's response, or with status Failed if the
+ *    connection dies first. A submit that cannot reach a server at
+ *    all returns RejectedUnreachable and never calls back.
+ *  - call(): blocking convenience wrapper over submit().
+ *
+ * Many threads may submit/call concurrently: writes serialize on a
+ * send mutex (frames are small — well under one kernel buffer — so
+ * a blocking sendAll holds it briefly), and a single reader thread
+ * dispatches responses. This pipelines naturally: a closed-loop
+ * client with N threads keeps N requests on the wire at once.
+ *
+ * RemoteTarget adapts a Client to serve::LoadTarget so the stock
+ * load generator drives a remote server unchanged.
+ */
+
+#ifndef NSBENCH_NET_CLIENT_HH
+#define NSBENCH_NET_CLIENT_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/wire.hh"
+#include "serve/loadgen.hh"
+#include "serve/request.hh"
+
+namespace nsbench::net
+{
+
+/** Connection knobs. */
+struct ClientOptions
+{
+    std::string host = "127.0.0.1"; ///< Server address (IPv4).
+    uint16_t port = 0;              ///< Server port.
+    /** Model seed stamped on every request; 0 -> accept the server's
+     *  default (the common case). */
+    uint64_t modelSeed = 0;
+    /** Connect attempts before reporting unreachable; each failed
+     *  attempt backs off exponentially. */
+    int connectAttempts = 10;
+    double backoffInitialSeconds = 0.05; ///< First retry delay.
+    double backoffMaxSeconds = 1.0;      ///< Backoff ceiling.
+    /** Bound on waiting for the HelloAck after connecting. */
+    double handshakeTimeoutSeconds = 5.0;
+};
+
+/** Point-in-time transport counters (client side). */
+struct ClientStats
+{
+    uint64_t connects = 0;       ///< Successful connect+handshakes.
+    uint64_t connectFailures = 0;///< Failed connect attempts.
+    uint64_t sent = 0;           ///< Request frames written.
+    uint64_t received = 0;       ///< Response frames matched.
+    uint64_t disconnects = 0;    ///< Connections lost or closed.
+    uint64_t orphaned = 0;       ///< In-flight requests failed by a
+                                 ///< disconnect.
+};
+
+class Client
+{
+  public:
+    explicit Client(const ClientOptions &options);
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Ensures a handshaken connection, dialing with backoff if
+     * needed. Safe to skip: submit()/call() connect lazily.
+     * @return true when connected.
+     */
+    bool connect();
+
+    /** True while a handshaken connection is up. */
+    bool connected() const;
+
+    /**
+     * Sends one request. @p deadline crosses the wire as a relative
+     * microsecond budget (noDeadline() -> none), so client and
+     * server clocks need not agree.
+     */
+    serve::RequestStatus submit(const std::string &workload,
+                                uint64_t episodeSeed,
+                                serve::Callback done,
+                                serve::TimePoint deadline =
+                                    serve::noDeadline());
+
+    /** submit() with an explicit model seed — the router forwards
+     *  each request's own seed rather than a per-client constant. */
+    serve::RequestStatus submitSeeded(const std::string &workload,
+                                      uint64_t episodeSeed,
+                                      uint64_t modelSeed,
+                                      serve::Callback done,
+                                      serve::TimePoint deadline =
+                                          serve::noDeadline());
+
+    /** Blocking submit; the returned status is the submit status or
+     *  the response's, whichever terminated the request. */
+    serve::Response call(const std::string &workload,
+                         uint64_t episodeSeed,
+                         serve::TimePoint deadline =
+                             serve::noDeadline());
+
+    /**
+     * Closes the connection; every in-flight request fails with
+     * status Failed. A later submit() reconnects.
+     */
+    void close();
+
+    ClientStats stats() const;
+
+  private:
+    /** Dials + handshakes once; returns the fd or -1. */
+    int dial();
+    /** Fails all pending requests and tears the connection down. */
+    void disconnect(int fd);
+    void readerLoop(int fd);
+
+    ClientOptions options_;
+
+    mutable std::mutex mu_;    ///< Connection state + pending map.
+    int fd_ = -1;              ///< -1 when disconnected.
+    uint64_t generation_ = 0;  ///< Bumps on every (re)connect.
+    uint64_t nextId_ = 1;
+    std::map<uint64_t, serve::Callback> pending_;
+
+    /** Serializes dialers and owns the thread handles below; never
+     *  held while waiting on mu_'s owners. */
+    std::mutex connectMu_;
+    std::thread reader_;
+    std::thread retiredReader_; ///< Previous generation, join lazily.
+
+    std::mutex sendMu_;        ///< Serializes request writes.
+
+    mutable std::mutex statsMu_;
+    ClientStats stats_;
+};
+
+/**
+ * serve::LoadTarget over a remote server. The workload list must be
+ * supplied by the caller (the CLI's --workloads flag): a remote
+ * client cannot introspect the server's registry, and the loadgen
+ * needs the list up front to build its mix.
+ */
+class RemoteTarget : public serve::LoadTarget
+{
+  public:
+    RemoteTarget(Client &client, std::vector<std::string> workloads)
+        : client_(client), workloads_(std::move(workloads))
+    {
+    }
+
+    std::vector<std::string>
+    servedWorkloads() const override
+    {
+        return workloads_;
+    }
+
+    serve::RequestStatus
+    submit(const std::string &workload, uint64_t seed,
+           serve::Callback done, serve::TimePoint deadline) override
+    {
+        return client_.submit(workload, seed, std::move(done),
+                              deadline);
+    }
+
+    serve::Response
+    call(const std::string &workload, uint64_t seed,
+         serve::TimePoint deadline) override
+    {
+        return client_.call(workload, seed, deadline);
+    }
+
+  private:
+    Client &client_;
+    std::vector<std::string> workloads_;
+};
+
+} // namespace nsbench::net
+
+#endif // NSBENCH_NET_CLIENT_HH

@@ -1,0 +1,269 @@
+#include "net/router.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "net/translate.hh"
+#include "util/logging.hh"
+
+namespace nsbench::net
+{
+
+namespace
+{
+
+using util::fatal;
+
+/** FNV-1a 64 over arbitrary bytes, chainable via @p seed. */
+uint64_t
+fnv1a(const void *data, size_t size,
+      uint64_t seed = 1469598103934665603ULL)
+{
+    const auto *bytes = static_cast<const uint8_t *>(data);
+    uint64_t hash = seed;
+    for (size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+/** The placement key: (workload, modelSeed, episodeSeed). */
+uint64_t
+keyHash(const std::string &workload, uint64_t modelSeed,
+        uint64_t episodeSeed)
+{
+    uint64_t hash = fnv1a(workload.data(), workload.size());
+    hash = fnv1a(&modelSeed, sizeof(modelSeed), hash);
+    hash = fnv1a(&episodeSeed, sizeof(episodeSeed), hash);
+    return hash;
+}
+
+/** Splits "host:port"; dies on nonsense — a router with a bad
+ *  backend list has nothing to route to. */
+std::pair<std::string, uint16_t>
+parseEndpoint(const std::string &endpoint)
+{
+    size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= endpoint.size())
+        fatal("net: backend '" + endpoint + "' is not host:port");
+    int port = std::atoi(endpoint.c_str() + colon + 1);
+    if (port <= 0 || port > 65535)
+        fatal("net: backend '" + endpoint + "' has a bad port");
+    return {endpoint.substr(0, colon), static_cast<uint16_t>(port)};
+}
+
+} // namespace
+
+Router::Router(const RouterOptions &options) : options_(options)
+{
+    if (options_.backends.empty())
+        fatal("net: router needs at least one backend");
+
+    for (size_t i = 0; i < options_.backends.size(); ++i) {
+        auto [host, port] = parseEndpoint(options_.backends[i]);
+        auto backend = std::make_unique<Backend>();
+        backend->endpoint = options_.backends[i];
+        ClientOptions client = options_.clientTemplate;
+        client.host = host;
+        client.port = port;
+        client.connectAttempts = 1; // Fail fast; health cycle retries.
+        backend->client = std::make_unique<Client>(client);
+        backends_.push_back(std::move(backend));
+
+        int points = std::max(1, options_.virtualNodes);
+        for (int v = 0; v < points; ++v) {
+            std::string point =
+                options_.backends[i] + "#" + std::to_string(v);
+            ring_.emplace_back(fnv1a(point.data(), point.size()), i);
+        }
+    }
+    std::sort(ring_.begin(), ring_.end());
+
+    frames_ = std::make_unique<FrameServer>(
+        options_.listen,
+        [this](const FrameServer::SessionPtr &session,
+               const wire::RequestFrame &request) {
+            handle(session, request);
+        },
+        metrics_);
+}
+
+Router::~Router()
+{
+    shutdown();
+}
+
+void
+Router::shutdown()
+{
+    frames_->shutdown();
+}
+
+std::vector<size_t>
+Router::candidatesFor(uint64_t hash) const
+{
+    std::vector<size_t> order;
+    order.reserve(backends_.size());
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(),
+        std::make_pair(hash, static_cast<size_t>(0)));
+    for (size_t step = 0;
+         step < ring_.size() && order.size() < backends_.size();
+         ++step) {
+        if (it == ring_.end())
+            it = ring_.begin();
+        size_t index = it->second;
+        if (std::find(order.begin(), order.end(), index) ==
+            order.end())
+            order.push_back(index);
+        ++it;
+    }
+    return order;
+}
+
+size_t
+Router::shardOf(const std::string &workload, uint64_t modelSeed,
+                uint64_t episodeSeed) const
+{
+    return candidatesFor(keyHash(workload, modelSeed, episodeSeed))
+        .front();
+}
+
+bool
+Router::eligible(Backend &backend) const
+{
+    if (backend.inflight.load(std::memory_order_relaxed) >=
+        options_.maxInflightPerBackend) {
+        backend.saturated.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(backend.mu);
+    if (!backend.down)
+        return true;
+    if (std::chrono::steady_clock::now() >= backend.retryAt) {
+        backend.down = false; // Probe: the next submit redials.
+        return true;
+    }
+    backend.failovers.fetch_add(1, std::memory_order_relaxed);
+    return false;
+}
+
+void
+Router::markDown(Backend &backend)
+{
+    std::lock_guard<std::mutex> lock(backend.mu);
+    backend.down = true;
+    backend.retryAt =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(
+                options_.retryDownSeconds));
+    backend.downMarks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Router::handle(const FrameServer::SessionPtr &session,
+               const wire::RequestFrame &request)
+{
+    uint64_t id = request.id;
+    std::string workload = request.workload;
+
+    serve::TimePoint deadline = serve::noDeadline();
+    if (request.deadlineUs > 0)
+        deadline = serve::ServeClock::now() +
+                   std::chrono::microseconds(request.deadlineUs);
+
+    uint64_t hash =
+        keyHash(workload, request.modelSeed, request.episodeSeed);
+    for (size_t index : candidatesFor(hash)) {
+        Backend &backend = *backends_[index];
+        if (!eligible(backend))
+            continue;
+        backend.inflight.fetch_add(1, std::memory_order_relaxed);
+        serve::RequestStatus admitted = backend.client->submitSeeded(
+            workload, request.episodeSeed, request.modelSeed,
+            [this, session, id, workload,
+             &backend](const serve::Response &response) {
+                backend.inflight.fetch_sub(1,
+                                           std::memory_order_relaxed);
+                metrics_.recordOutcome(workload, response);
+                session->respond(toFrame(response, id));
+            },
+            deadline);
+        if (admitted == serve::RequestStatus::Ok) {
+            backend.forwarded.fetch_add(1, std::memory_order_relaxed);
+            metrics_.recordAdmitted(workload);
+            return;
+        }
+        backend.inflight.fetch_sub(1, std::memory_order_relaxed);
+        if (admitted == serve::RequestStatus::RejectedUnreachable) {
+            markDown(backend);
+            backend.failovers.fetch_add(1,
+                                        std::memory_order_relaxed);
+            continue; // Fail over to the next ring candidate.
+        }
+        // Any other rejection is the backend's verdict; relay it.
+        metrics_.recordRejected(workload, admitted);
+        wire::ResponseFrame reject;
+        reject.id = id;
+        reject.status = static_cast<uint8_t>(admitted);
+        session->respond(reject);
+        return;
+    }
+
+    // Every backend down or saturated: shed, never queue.
+    metrics_.recordRejected(
+        workload, serve::RequestStatus::RejectedUnreachable);
+    wire::ResponseFrame shed;
+    shed.id = id;
+    shed.status = static_cast<uint8_t>(
+        serve::RequestStatus::RejectedUnreachable);
+    session->respond(shed);
+}
+
+std::vector<BackendStats>
+Router::backendStats() const
+{
+    std::vector<BackendStats> out;
+    out.reserve(backends_.size());
+    for (const auto &backend : backends_) {
+        BackendStats stats;
+        stats.endpoint = backend->endpoint;
+        {
+            std::lock_guard<std::mutex> lock(backend->mu);
+            stats.down = backend->down;
+        }
+        stats.inflight =
+            backend->inflight.load(std::memory_order_relaxed);
+        stats.forwarded =
+            backend->forwarded.load(std::memory_order_relaxed);
+        stats.failovers =
+            backend->failovers.load(std::memory_order_relaxed);
+        stats.saturated =
+            backend->saturated.load(std::memory_order_relaxed);
+        stats.downMarks =
+            backend->downMarks.load(std::memory_order_relaxed);
+        out.push_back(std::move(stats));
+    }
+    return out;
+}
+
+util::Table
+Router::backendTable() const
+{
+    util::Table table({"backend", "state", "inflight", "forwarded",
+                       "failovers", "saturated", "down marks"});
+    for (const BackendStats &stats : backendStats())
+        table.addRow({stats.endpoint, stats.down ? "down" : "up",
+                      std::to_string(stats.inflight),
+                      std::to_string(stats.forwarded),
+                      std::to_string(stats.failovers),
+                      std::to_string(stats.saturated),
+                      std::to_string(stats.downMarks)});
+    return table;
+}
+
+} // namespace nsbench::net

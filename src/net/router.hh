@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Sharded request router over the wire protocol.
+ *
+ * A Router is a FrameServer (same protocol as the serve front end —
+ * clients cannot tell the difference) whose handler forwards each
+ * request to one of N backend servers and relays the response. The
+ * pieces:
+ *
+ *  - Consistent-hash placement: a ring of virtual nodes (FNV-1a 64,
+ *    `virtualNodes` points per backend) keyed by (workload,
+ *    modelSeed, episodeSeed). The same request always lands on the
+ *    same backend, so each backend's result cache and single-flight
+ *    table see the full repeat-rate of their key range — sharding
+ *    multiplies cache capacity instead of diluting hit rate. Adding
+ *    or losing a backend remaps only the ring arcs it owned.
+ *
+ *  - Health: a backend whose submit reports unreachable is marked
+ *    down and skipped for `retryDownSeconds`, after which the next
+ *    request probes it again (the client redials lazily). Requests
+ *    for a down backend fail over to the next distinct backend on
+ *    the ring walk — a stable secondary, so failover traffic is
+ *    itself cache-friendly.
+ *
+ *  - Backpressure: at most `maxInflightPerBackend` forwarded
+ *    requests per backend; a saturated backend is walked past like
+ *    a down one. When every backend is down or saturated the router
+ *    sheds with RejectedUnreachable — it never queues.
+ *
+ * The router keeps its own ServerMetrics: transport counters from
+ * its FrameServer, per-workload offered/rejected/latency from the
+ * relay path, so `nsbench route` prints the standard tables.
+ */
+
+#ifndef NSBENCH_NET_ROUTER_HH
+#define NSBENCH_NET_ROUTER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/client.hh"
+#include "net/tcp_server.hh"
+#include "serve/metrics.hh"
+#include "util/format.hh"
+
+namespace nsbench::net
+{
+
+/** Router configuration. */
+struct RouterOptions
+{
+    FrameServerOptions listen;          ///< Front-end bind address.
+    std::vector<std::string> backends;  ///< "host:port" per shard.
+    int virtualNodes = 64;              ///< Ring points per backend.
+    uint64_t maxInflightPerBackend = 256; ///< Backpressure cap.
+    double retryDownSeconds = 1.0;      ///< Down-backend probe period.
+    /**
+     * Template for backend connections. connectAttempts is forced to
+     * 1: forwarding runs on the event-loop thread, so reconnect
+     * patience is traded for fast failover (the down/retry cycle
+     * provides the backoff instead).
+     */
+    ClientOptions clientTemplate;
+};
+
+/** Point-in-time per-backend counters. */
+struct BackendStats
+{
+    std::string endpoint;      ///< "host:port".
+    bool down = false;         ///< Currently marked unreachable.
+    uint64_t inflight = 0;     ///< Forwarded, not yet answered.
+    uint64_t forwarded = 0;    ///< Requests sent to this backend.
+    uint64_t failovers = 0;    ///< Requests rerouted *away* from it.
+    uint64_t saturated = 0;    ///< Walk-pasts due to the cap.
+    uint64_t downMarks = 0;    ///< Times marked down.
+};
+
+class Router
+{
+  public:
+    /** Binds, connects nothing yet (backends dial lazily), serves. */
+    explicit Router(const RouterOptions &options);
+    ~Router();
+
+    Router(const Router &) = delete;
+    Router &operator=(const Router &) = delete;
+
+    /** The bound front-end port. */
+    uint16_t port() const { return frames_->port(); }
+
+    /** Graceful drain of the front end; idempotent. */
+    void shutdown();
+
+    /** Relay + transport metrics (standard serve tables). */
+    serve::ServerMetrics &metrics() { return metrics_; }
+
+    std::vector<BackendStats> backendStats() const;
+
+    /** One row per backend, for the CLI report. */
+    util::Table backendTable() const;
+
+    /**
+     * Ring lookup without forwarding: the backend index that
+     * (workload, modelSeed, episodeSeed) maps to when every backend
+     * is healthy. Exposed for the placement tests.
+     */
+    size_t shardOf(const std::string &workload, uint64_t modelSeed,
+                   uint64_t episodeSeed) const;
+
+  private:
+    struct Backend
+    {
+        std::string endpoint;
+        std::atomic<uint64_t> inflight{0};
+        std::atomic<uint64_t> forwarded{0};
+        std::atomic<uint64_t> failovers{0};
+        std::atomic<uint64_t> saturated{0};
+        std::atomic<uint64_t> downMarks{0};
+
+        std::mutex mu; ///< Guards the health fields below.
+        bool down = false;
+        std::chrono::steady_clock::time_point retryAt{};
+
+        /** Declared last: destroyed first, so callbacks fired while
+         *  the client's destructor fails its in-flight requests can
+         *  still touch the counters above. */
+        std::unique_ptr<Client> client;
+    };
+
+    void handle(const FrameServer::SessionPtr &session,
+                const wire::RequestFrame &request);
+    /** Ring walk: distinct backend indices in preference order. */
+    std::vector<size_t> candidatesFor(uint64_t keyHash) const;
+    /** True when the backend may take a request right now. */
+    bool eligible(Backend &backend) const;
+    void markDown(Backend &backend);
+
+    RouterOptions options_;
+    serve::ServerMetrics metrics_;
+    std::vector<std::unique_ptr<Backend>> backends_;
+    /** (point hash, backend index), sorted by hash. Immutable after
+     *  construction, so lookups are lock-free. */
+    std::vector<std::pair<uint64_t, size_t>> ring_;
+    std::unique_ptr<FrameServer> frames_;
+};
+
+} // namespace nsbench::net
+
+#endif // NSBENCH_NET_ROUTER_HH

@@ -25,10 +25,11 @@ using SeedSampler = ZipfSeedSampler;
 class MixSampler
 {
   public:
-    MixSampler(const Server &server, const LoadgenOptions &options)
+    MixSampler(const LoadTarget &target,
+               const LoadgenOptions &options)
     {
         if (options.mix.empty()) {
-            names_ = server.workloads();
+            names_ = target.servedWorkloads();
             weights_.assign(names_.size(), 1.0);
         } else {
             for (const auto &[name, weight] : options.mix) {
@@ -114,11 +115,11 @@ deadlineFor(const LoadgenOptions &options)
 }
 
 LoadgenReport
-runOpenLoop(Server &server, const LoadgenOptions &options)
+runOpenLoop(LoadTarget &target, const LoadgenOptions &options)
 {
     util::Rng rng(options.seed);
     SeedSampler seeds(options.seedUniverse, options.zipfExponent);
-    MixSampler mix(server, options);
+    MixSampler mix(target, options);
     Tracker tracker;
     LoadgenReport report;
 
@@ -138,7 +139,7 @@ runOpenLoop(Server &server, const LoadgenOptions &options)
         const std::string &workload = mix.sample(rng);
         uint64_t seed = seeds.sample(rng, report.submitted);
         Callback done = tracker.makeCallback();
-        RequestStatus status = server.submit(
+        RequestStatus status = target.submit(
             workload, seed, std::move(done), deadlineFor(options));
         report.submitted++;
         if (status == RequestStatus::Ok) {
@@ -166,12 +167,12 @@ runOpenLoop(Server &server, const LoadgenOptions &options)
 }
 
 LoadgenReport
-runClosedLoop(Server &server, const LoadgenOptions &options)
+runClosedLoop(LoadTarget &target, const LoadgenOptions &options)
 {
     util::panicIf(options.clients <= 0,
                   "loadgen: closed loop needs at least one client");
     SeedSampler seeds(options.seedUniverse, options.zipfExponent);
-    MixSampler mix(server, options);
+    MixSampler mix(target, options);
     LoadgenReport report;
 
     std::atomic<bool> stop{false};
@@ -195,7 +196,7 @@ runClosedLoop(Server &server, const LoadgenOptions &options)
                 uint64_t unique =
                     submitted.fetch_add(1, std::memory_order_relaxed);
                 uint64_t seed = seeds.sample(rng, unique);
-                Response response = server.call(
+                Response response = target.call(
                     workload, seed, deadlineFor(options));
                 switch (response.status) {
                 case RequestStatus::Ok:
@@ -242,10 +243,17 @@ runClosedLoop(Server &server, const LoadgenOptions &options)
 } // namespace
 
 LoadgenReport
+runLoadgen(LoadTarget &target, const LoadgenOptions &options)
+{
+    return options.openLoop ? runOpenLoop(target, options)
+                            : runClosedLoop(target, options);
+}
+
+LoadgenReport
 runLoadgen(Server &server, const LoadgenOptions &options)
 {
-    return options.openLoop ? runOpenLoop(server, options)
-                            : runClosedLoop(server, options);
+    ServerTarget target(server);
+    return runLoadgen(target, options);
 }
 
 } // namespace nsbench::serve

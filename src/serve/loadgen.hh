@@ -79,6 +79,64 @@ class ZipfSeedSampler
     std::vector<double> cdf_;
 };
 
+/**
+ * What the load generator drives: anything that accepts serve
+ * requests and answers each admitted one with exactly one callback.
+ * Two implementations matter — an in-process serve::Server (the
+ * ServerTarget adapter below) and a server in another process behind
+ * the wire protocol (net::RemoteTarget). The interface mirrors
+ * Server's submit/call contract exactly: a non-Ok submit return means
+ * the callback will never fire.
+ */
+class LoadTarget
+{
+  public:
+    virtual ~LoadTarget() = default;
+
+    /** Workload names requests may draw from (the default mix). */
+    virtual std::vector<std::string> servedWorkloads() const = 0;
+
+    /** Async submit; callback fires exactly once iff this returns Ok. */
+    virtual RequestStatus submit(const std::string &workload,
+                                 uint64_t seed, Callback done,
+                                 TimePoint deadline) = 0;
+
+    /** Blocking convenience wrapper: submit and wait for completion. */
+    virtual Response call(const std::string &workload, uint64_t seed,
+                          TimePoint deadline) = 0;
+};
+
+/** LoadTarget over an in-process serve::Server. */
+class ServerTarget : public LoadTarget
+{
+  public:
+    explicit ServerTarget(Server &server) : server_(server) {}
+
+    std::vector<std::string>
+    servedWorkloads() const override
+    {
+        return server_.workloads();
+    }
+
+    RequestStatus
+    submit(const std::string &workload, uint64_t seed, Callback done,
+           TimePoint deadline) override
+    {
+        return server_.submit(workload, seed, std::move(done),
+                              deadline);
+    }
+
+    Response
+    call(const std::string &workload, uint64_t seed,
+         TimePoint deadline) override
+    {
+        return server_.call(workload, seed, deadline);
+    }
+
+  private:
+    Server &server_;
+};
+
 /** Load-generation knobs. */
 struct LoadgenOptions
 {
@@ -123,10 +181,15 @@ struct LoadgenReport
 };
 
 /**
- * Drives @p server with the configured load, waits for every admitted
- * request to complete, and returns the aggregate report. Latency
- * tails accumulate in the server's own metrics.
+ * Drives @p target with the configured load, waits for every admitted
+ * request to complete, and returns the aggregate report. For an
+ * in-process server, latency tails accumulate in the server's own
+ * metrics; a remote target keeps its own client-side tails.
  */
+LoadgenReport runLoadgen(LoadTarget &target,
+                         const LoadgenOptions &options);
+
+/** Convenience overload for the in-process case. */
 LoadgenReport runLoadgen(Server &server,
                          const LoadgenOptions &options);
 

@@ -25,6 +25,8 @@ statusName(RequestStatus status)
         return "expired";
     case RequestStatus::Failed:
         return "failed";
+    case RequestStatus::RejectedUnreachable:
+        return "rejected_unreachable";
     }
     return "unknown";
 }
@@ -61,6 +63,9 @@ ServerMetrics::recordRejected(const std::string &workload,
             break;
         case RequestStatus::RejectedOverload:
             m.rejectedOverload++;
+            break;
+        case RequestStatus::RejectedUnreachable:
+            m.rejectedUnreachable++;
             break;
         default:
             break;
@@ -205,6 +210,100 @@ ServerMetrics::recordSingleFlight(const std::string &workload,
     total_.singleFlightShared += n;
 }
 
+void
+ServerMetrics::recordNetAccept()
+{
+    netAccepted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ServerMetrics::recordNetClose()
+{
+    netClosed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ServerMetrics::recordNetBytesRead(uint64_t n)
+{
+    netBytesRead_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+ServerMetrics::recordNetBytesWritten(uint64_t n)
+{
+    netBytesWritten_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+ServerMetrics::recordNetFrameIn()
+{
+    netFramesIn_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ServerMetrics::recordNetFrameOut()
+{
+    netFramesOut_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ServerMetrics::recordNetMalformed()
+{
+    netMalformed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ServerMetrics::recordNetHandshakeFailure()
+{
+    netHandshakeFailures_.fetch_add(1, std::memory_order_relaxed);
+}
+
+NetStats
+ServerMetrics::netStats() const
+{
+    NetStats stats;
+    stats.connectionsAccepted =
+        netAccepted_.load(std::memory_order_relaxed);
+    stats.connectionsClosed =
+        netClosed_.load(std::memory_order_relaxed);
+    stats.bytesRead = netBytesRead_.load(std::memory_order_relaxed);
+    stats.bytesWritten =
+        netBytesWritten_.load(std::memory_order_relaxed);
+    stats.framesIn = netFramesIn_.load(std::memory_order_relaxed);
+    stats.framesOut = netFramesOut_.load(std::memory_order_relaxed);
+    stats.malformedFrames =
+        netMalformed_.load(std::memory_order_relaxed);
+    stats.handshakeFailures =
+        netHandshakeFailures_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+bool
+ServerMetrics::hasNetActivity() const
+{
+    NetStats stats = netStats();
+    return stats.connectionsAccepted || stats.bytesRead ||
+           stats.bytesWritten;
+}
+
+util::Table
+ServerMetrics::netTable() const
+{
+    NetStats stats = netStats();
+    util::Table table({"conns", "closed", "bytes in", "bytes out",
+                       "frames in", "frames out", "malformed",
+                       "bad hello"});
+    table.addRow({std::to_string(stats.connectionsAccepted),
+                  std::to_string(stats.connectionsClosed),
+                  util::humanBytes(stats.bytesRead),
+                  util::humanBytes(stats.bytesWritten),
+                  std::to_string(stats.framesIn),
+                  std::to_string(stats.framesOut),
+                  std::to_string(stats.malformedFrames),
+                  std::to_string(stats.handshakeFailures)});
+    return table;
+}
+
 WorkloadMetrics
 ServerMetrics::workload(const std::string &name) const
 {
@@ -233,6 +332,14 @@ ServerMetrics::reset()
     std::lock_guard<std::mutex> lock(mu_);
     perWorkload_.clear();
     total_ = WorkloadMetrics{};
+    netAccepted_.store(0, std::memory_order_relaxed);
+    netClosed_.store(0, std::memory_order_relaxed);
+    netBytesRead_.store(0, std::memory_order_relaxed);
+    netBytesWritten_.store(0, std::memory_order_relaxed);
+    netFramesIn_.store(0, std::memory_order_relaxed);
+    netFramesOut_.store(0, std::memory_order_relaxed);
+    netMalformed_.store(0, std::memory_order_relaxed);
+    netHandshakeFailures_.store(0, std::memory_order_relaxed);
 }
 
 util::Table

@@ -14,6 +14,7 @@
 #ifndef NSBENCH_SERVE_METRICS_HH
 #define NSBENCH_SERVE_METRICS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -47,6 +48,7 @@ struct WorkloadMetrics
     uint64_t rejectedShutdown = 0;   ///< Rejected while draining.
     uint64_t rejectedUnknown = 0;    ///< Unknown-workload rejections.
     uint64_t rejectedOverload = 0;   ///< Shed by the overload gate.
+    uint64_t rejectedUnreachable = 0;///< No reachable server (net layer).
     uint64_t expired = 0;            ///< Admitted but expired in queue.
     uint64_t failed = 0;             ///< Failed after every retry.
     uint64_t executions = 0;         ///< Actual run() invocations.
@@ -74,7 +76,8 @@ struct WorkloadMetrics
     rejected() const
     {
         return rejectedQueueFull + rejectedDeadline +
-               rejectedShutdown + rejectedUnknown + rejectedOverload;
+               rejectedShutdown + rejectedUnknown +
+               rejectedOverload + rejectedUnreachable;
     }
 
     /**
@@ -131,6 +134,26 @@ struct WorkloadMetrics
 };
 
 /**
+ * Connection-level counters of the TCP front end (src/net/). These
+ * are transport facts, not per-workload outcomes, so they live next
+ * to — not inside — the WorkloadMetrics aggregates; the net layer
+ * folds them into the same ServerMetrics instance so one snapshot
+ * captures the whole serving picture. Lock-free atomics: the byte
+ * counters sit on the read/write hot path of every connection.
+ */
+struct NetStats
+{
+    uint64_t connectionsAccepted = 0; ///< Sockets accepted.
+    uint64_t connectionsClosed = 0;   ///< Sockets closed (any cause).
+    uint64_t bytesRead = 0;           ///< Payload bytes received.
+    uint64_t bytesWritten = 0;        ///< Payload bytes sent.
+    uint64_t framesIn = 0;            ///< Well-formed frames decoded.
+    uint64_t framesOut = 0;           ///< Frames encoded and queued.
+    uint64_t malformedFrames = 0;     ///< Protocol violations seen.
+    uint64_t handshakeFailures = 0;   ///< Bad magic/version Hellos.
+};
+
+/**
  * Thread-safe metrics sink shared by the admission path, the batcher
  * and the workers.
  */
@@ -179,6 +202,30 @@ class ServerMetrics
     /** Notes @p n followers fanned a single-flight leader's result. */
     void recordSingleFlight(const std::string &workload, uint64_t n);
 
+    /** Notes an accepted TCP connection (net front end). */
+    void recordNetAccept();
+
+    /** Notes a closed TCP connection. */
+    void recordNetClose();
+
+    /** Notes @p n payload bytes read off sockets. */
+    void recordNetBytesRead(uint64_t n);
+
+    /** Notes @p n payload bytes written to sockets. */
+    void recordNetBytesWritten(uint64_t n);
+
+    /** Notes one well-formed frame decoded. */
+    void recordNetFrameIn();
+
+    /** Notes one frame encoded toward a client. */
+    void recordNetFrameOut();
+
+    /** Notes a malformed frame (the connection gets closed). */
+    void recordNetMalformed();
+
+    /** Notes a handshake rejected for bad magic or version. */
+    void recordNetHandshakeFailure();
+
     /** Snapshot of one workload's aggregates (zeroes if unseen). */
     WorkloadMetrics workload(const std::string &name) const;
 
@@ -208,10 +255,34 @@ class ServerMetrics
     /** True when any resilience counter is nonzero (worth printing). */
     bool hasResilienceEvents() const;
 
+    /** Snapshot of the TCP front end's connection counters. */
+    NetStats netStats() const;
+
+    /** True when the server saw any network traffic at all. */
+    bool hasNetActivity() const;
+
+    /**
+     * Renders the network report: connections, payload bytes and
+     * frames in each direction, malformed frames and handshake
+     * rejections.
+     */
+    util::Table netTable() const;
+
   private:
     mutable std::mutex mu_;
     std::map<std::string, WorkloadMetrics> perWorkload_;
     WorkloadMetrics total_;
+    /** Net counters are atomics, not under mu_: they tick on every
+     *  socket read/write and must never contend with outcome
+     *  recording. reset() zeroes them too. */
+    std::atomic<uint64_t> netAccepted_{0};
+    std::atomic<uint64_t> netClosed_{0};
+    std::atomic<uint64_t> netBytesRead_{0};
+    std::atomic<uint64_t> netBytesWritten_{0};
+    std::atomic<uint64_t> netFramesIn_{0};
+    std::atomic<uint64_t> netFramesOut_{0};
+    std::atomic<uint64_t> netMalformed_{0};
+    std::atomic<uint64_t> netHandshakeFailures_{0};
 };
 
 } // namespace nsbench::serve

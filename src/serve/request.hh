@@ -45,6 +45,13 @@ enum class RequestStatus
     RejectedOverload,       ///< Shed at admission by the overload gate.
     Expired,                ///< Admitted, but the deadline passed in queue.
     Failed,                 ///< Execution failed after every retry.
+    /**
+     * The network layer could not reach a server at all: a remote
+     * submit failed to connect (after the client's reconnect
+     * attempts), or a router found every backend down. Counted as an
+     * admission-time rejection — the request never entered a queue.
+     */
+    RejectedUnreachable,
 };
 
 /** Short stable name for reports and CSV. */
@@ -58,7 +65,8 @@ isRejection(RequestStatus status)
            status == RequestStatus::RejectedDeadline ||
            status == RequestStatus::RejectedShutdown ||
            status == RequestStatus::RejectedUnknownWorkload ||
-           status == RequestStatus::RejectedOverload;
+           status == RequestStatus::RejectedOverload ||
+           status == RequestStatus::RejectedUnreachable;
 }
 
 /**

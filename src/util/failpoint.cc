@@ -120,7 +120,9 @@ knownSites()
         sites::kAdmissionShed,   sites::kBatcherCoalesce,
         sites::kWorkerRun,       sites::kWorkerCrash,
         sites::kCallback,        sites::kResultInsert,
-        sites::kPrecomputeBuild,
+        sites::kPrecomputeBuild, sites::kNetAccept,
+        sites::kNetRead,         sites::kNetWrite,
+        sites::kNetBackendConnect,
     };
     return names;
 }

@@ -62,6 +62,15 @@ inline constexpr const char *kCallback = "serve.callback";
 inline constexpr const char *kResultInsert = "cache.result.insert";
 /** PrecomputeCache builder throws (build-retry path). */
 inline constexpr const char *kPrecomputeBuild = "cache.precompute.build";
+/** TCP front end drops a freshly accepted connection. */
+inline constexpr const char *kNetAccept = "net.accept";
+/** TCP front end treats a socket read as failed (connection closes). */
+inline constexpr const char *kNetRead = "net.read";
+/** TCP front end treats a socket write as failed (connection closes). */
+inline constexpr const char *kNetWrite = "net.write";
+/** Client connect() attempt to a backend fails (reconnect/backoff
+ *  path in the client; health/failover path in the router). */
+inline constexpr const char *kNetBackendConnect = "net.backend.connect";
 } // namespace sites
 
 /** Every site name configure() accepts, in catalog order. */

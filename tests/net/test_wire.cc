@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Wire-protocol unit tests: encode/decode round-trip properties over
+ * randomized frames, incremental (streamed) delivery, and a
+ * malformed-input corpus — truncations, oversized and zero lengths,
+ * unknown types, bad name lengths, trailing junk, and raw garbage —
+ * that must always produce a clean NeedMore/Malformed verdict, never
+ * a crash or an over-read (ASan/TSan in CI back that claim).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "net/wire.hh"
+
+namespace
+{
+
+using namespace nsbench;
+using namespace nsbench::net;
+
+/** Little-endian emit helpers for hand-building malformed frames. */
+void
+putU8(std::vector<uint8_t> *out, uint8_t v)
+{
+    out->push_back(v);
+}
+
+void
+putU16(std::vector<uint8_t> *out, uint16_t v)
+{
+    out->push_back(static_cast<uint8_t>(v));
+    out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
+putU32(std::vector<uint8_t> *out, uint32_t v)
+{
+    for (int i = 0; i < 4; i++)
+        out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::vector<uint8_t> *out, uint64_t v)
+{
+    for (int i = 0; i < 8; i++)
+        out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+wire::DecodeResult
+decode(const std::vector<uint8_t> &bytes, wire::Frame *frame)
+{
+    return wire::tryDecode(bytes.data(), bytes.size(), frame);
+}
+
+TEST(Wire, HelloRoundTrip)
+{
+    std::vector<uint8_t> bytes;
+    wire::encodeHello(wire::HelloFrame{}, &bytes);
+    wire::Frame frame;
+    wire::DecodeResult result = decode(bytes, &frame);
+    ASSERT_EQ(result.status, wire::DecodeStatus::Ok);
+    EXPECT_EQ(result.consumed, bytes.size());
+    EXPECT_EQ(frame.type, wire::FrameType::Hello);
+    EXPECT_EQ(frame.hello.magic, wire::kMagic);
+    EXPECT_EQ(frame.hello.version, wire::kVersion);
+
+    bytes.clear();
+    wire::encodeHelloAck(wire::HelloFrame{}, &bytes);
+    result = decode(bytes, &frame);
+    ASSERT_EQ(result.status, wire::DecodeStatus::Ok);
+    EXPECT_EQ(frame.type, wire::FrameType::HelloAck);
+}
+
+TEST(Wire, RequestRoundTripProperty)
+{
+    std::mt19937_64 rng(20260808);
+    for (int trial = 0; trial < 500; trial++) {
+        wire::RequestFrame request;
+        request.id = rng();
+        request.episodeSeed = rng();
+        request.modelSeed = rng();
+        request.deadlineUs = static_cast<uint32_t>(rng());
+        request.flags = static_cast<uint32_t>(rng());
+        size_t name_len = 1 + rng() % wire::kMaxWorkloadName;
+        request.workload.resize(name_len);
+        for (char &c : request.workload)
+            c = static_cast<char>(rng());
+
+        std::vector<uint8_t> bytes;
+        wire::encodeRequest(request, &bytes);
+        wire::Frame frame;
+        wire::DecodeResult result = decode(bytes, &frame);
+        ASSERT_EQ(result.status, wire::DecodeStatus::Ok)
+            << "trial " << trial;
+        ASSERT_EQ(result.consumed, bytes.size());
+        ASSERT_EQ(frame.type, wire::FrameType::Request);
+        EXPECT_EQ(frame.request.id, request.id);
+        EXPECT_EQ(frame.request.episodeSeed, request.episodeSeed);
+        EXPECT_EQ(frame.request.modelSeed, request.modelSeed);
+        EXPECT_EQ(frame.request.deadlineUs, request.deadlineUs);
+        EXPECT_EQ(frame.request.flags, request.flags);
+        EXPECT_EQ(frame.request.workload, request.workload);
+    }
+}
+
+TEST(Wire, ResponseRoundTripProperty)
+{
+    std::mt19937_64 rng(777);
+    std::uniform_real_distribution<double> uniform(-1e6, 1e6);
+    for (int trial = 0; trial < 500; trial++) {
+        wire::ResponseFrame response;
+        response.id = rng();
+        response.status = static_cast<uint8_t>(rng());
+        response.scoreBits = rng(); // Arbitrary bits, incl. NaNs.
+        response.latencySeconds = uniform(rng);
+        response.queueSeconds = uniform(rng);
+        response.serviceSeconds = uniform(rng);
+        response.neuralSeconds = uniform(rng);
+        response.symbolicSeconds = uniform(rng);
+        response.batchSize = static_cast<uint32_t>(rng());
+        response.shared = static_cast<uint32_t>(rng());
+        response.retries = static_cast<uint32_t>(rng());
+        response.flags = static_cast<uint32_t>(rng());
+
+        std::vector<uint8_t> bytes;
+        wire::encodeResponse(response, &bytes);
+        wire::Frame frame;
+        wire::DecodeResult result = decode(bytes, &frame);
+        ASSERT_EQ(result.status, wire::DecodeStatus::Ok);
+        ASSERT_EQ(frame.type, wire::FrameType::Response);
+        const wire::ResponseFrame &got = frame.response;
+        EXPECT_EQ(got.id, response.id);
+        EXPECT_EQ(got.status, response.status);
+        // Bit-exact: the determinism contract travels as raw IEEE
+        // bits, so even NaN payloads must survive.
+        EXPECT_EQ(got.scoreBits, response.scoreBits);
+        EXPECT_EQ(got.latencySeconds, response.latencySeconds);
+        EXPECT_EQ(got.queueSeconds, response.queueSeconds);
+        EXPECT_EQ(got.serviceSeconds, response.serviceSeconds);
+        EXPECT_EQ(got.neuralSeconds, response.neuralSeconds);
+        EXPECT_EQ(got.symbolicSeconds, response.symbolicSeconds);
+        EXPECT_EQ(got.batchSize, response.batchSize);
+        EXPECT_EQ(got.shared, response.shared);
+        EXPECT_EQ(got.retries, response.retries);
+        EXPECT_EQ(got.flags, response.flags);
+    }
+}
+
+TEST(Wire, ScoreBitsPreserveNonFiniteDoubles)
+{
+    for (double value :
+         {0.0, -0.0, 1.0 / 3.0, std::nan("0x42"),
+          std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity(),
+          std::numeric_limits<double>::denorm_min()}) {
+        wire::ResponseFrame response;
+        response.setScore(value);
+        std::vector<uint8_t> bytes;
+        wire::encodeResponse(response, &bytes);
+        wire::Frame frame;
+        ASSERT_EQ(decode(bytes, &frame).status,
+                  wire::DecodeStatus::Ok);
+        double got = frame.response.score();
+        EXPECT_EQ(std::memcmp(&got, &value, sizeof value), 0);
+    }
+}
+
+TEST(Wire, EveryTruncationNeedsMore)
+{
+    wire::RequestFrame request;
+    request.id = 7;
+    request.workload = "ZeroC";
+    std::vector<uint8_t> bytes;
+    wire::encodeRequest(request, &bytes);
+    for (size_t len = 0; len < bytes.size(); len++) {
+        wire::Frame frame;
+        wire::DecodeResult result =
+            wire::tryDecode(bytes.data(), len, &frame);
+        EXPECT_EQ(result.status, wire::DecodeStatus::NeedMore)
+            << "prefix length " << len;
+        EXPECT_EQ(result.consumed, 0u);
+    }
+}
+
+TEST(Wire, StreamedDeliveryDecodesAtExactCompletion)
+{
+    wire::ResponseFrame response;
+    response.id = 9;
+    response.setScore(0.25);
+    std::vector<uint8_t> bytes;
+    wire::encodeResponse(response, &bytes);
+
+    std::vector<uint8_t> buffer;
+    for (size_t i = 0; i < bytes.size(); i++) {
+        buffer.push_back(bytes[i]);
+        wire::Frame frame;
+        wire::DecodeResult result =
+            wire::tryDecode(buffer.data(), buffer.size(), &frame);
+        if (i + 1 < bytes.size()) {
+            EXPECT_EQ(result.status, wire::DecodeStatus::NeedMore);
+        } else {
+            ASSERT_EQ(result.status, wire::DecodeStatus::Ok);
+            EXPECT_EQ(frame.response.id, 9u);
+        }
+    }
+}
+
+TEST(Wire, BackToBackFramesConsumeExactly)
+{
+    std::vector<uint8_t> bytes;
+    wire::encodeHello(wire::HelloFrame{}, &bytes);
+    wire::RequestFrame request;
+    request.id = 1;
+    request.workload = "LNN";
+    wire::encodeRequest(request, &bytes);
+
+    wire::Frame frame;
+    wire::DecodeResult first = decode(bytes, &frame);
+    ASSERT_EQ(first.status, wire::DecodeStatus::Ok);
+    EXPECT_EQ(frame.type, wire::FrameType::Hello);
+    wire::DecodeResult second =
+        wire::tryDecode(bytes.data() + first.consumed,
+                        bytes.size() - first.consumed, &frame);
+    ASSERT_EQ(second.status, wire::DecodeStatus::Ok);
+    EXPECT_EQ(frame.type, wire::FrameType::Request);
+    EXPECT_EQ(first.consumed + second.consumed, bytes.size());
+}
+
+TEST(Wire, ZeroLengthFrameIsMalformed)
+{
+    std::vector<uint8_t> bytes;
+    putU32(&bytes, 0);
+    wire::Frame frame;
+    EXPECT_EQ(decode(bytes, &frame).status,
+              wire::DecodeStatus::Malformed);
+}
+
+TEST(Wire, OversizedLengthIsMalformed)
+{
+    for (uint32_t length :
+         {wire::kMaxBody + 1, 0x7fffffffu, 0xffffffffu}) {
+        std::vector<uint8_t> bytes;
+        putU32(&bytes, length);
+        putU8(&bytes, static_cast<uint8_t>(wire::FrameType::Request));
+        wire::Frame frame;
+        EXPECT_EQ(decode(bytes, &frame).status,
+                  wire::DecodeStatus::Malformed)
+            << "length " << length;
+    }
+}
+
+TEST(Wire, UnknownFrameTypeIsMalformed)
+{
+    for (uint8_t type : {uint8_t(0), uint8_t(5), uint8_t(0xff)}) {
+        std::vector<uint8_t> bytes;
+        putU32(&bytes, 1);
+        putU8(&bytes, type);
+        wire::Frame frame;
+        EXPECT_EQ(decode(bytes, &frame).status,
+                  wire::DecodeStatus::Malformed);
+    }
+}
+
+/** Builds a request body by hand with a chosen workload length
+ *  field, so length-field lies are testable. */
+std::vector<uint8_t>
+handRequest(uint16_t claimed_name_len, const std::string &name,
+            size_t extra_trailing = 0)
+{
+    std::vector<uint8_t> body;
+    putU8(&body, static_cast<uint8_t>(wire::FrameType::Request));
+    putU64(&body, 1); // id
+    putU64(&body, 2); // episodeSeed
+    putU64(&body, 3); // modelSeed
+    putU32(&body, 0); // deadlineUs
+    putU32(&body, 0); // flags
+    putU16(&body, claimed_name_len);
+    body.insert(body.end(), name.begin(), name.end());
+    for (size_t i = 0; i < extra_trailing; i++)
+        putU8(&body, 0xee);
+
+    std::vector<uint8_t> bytes;
+    putU32(&bytes, static_cast<uint32_t>(body.size()));
+    bytes.insert(bytes.end(), body.begin(), body.end());
+    return bytes;
+}
+
+TEST(Wire, EmptyWorkloadNameIsMalformed)
+{
+    wire::Frame frame;
+    EXPECT_EQ(decode(handRequest(0, ""), &frame).status,
+              wire::DecodeStatus::Malformed);
+}
+
+TEST(Wire, NameLengthBeyondBodyIsMalformed)
+{
+    // Claims 32 name bytes but carries only 3.
+    wire::Frame frame;
+    EXPECT_EQ(decode(handRequest(32, "LNN"), &frame).status,
+              wire::DecodeStatus::Malformed);
+}
+
+TEST(Wire, NameLengthOverCapIsMalformed)
+{
+    std::string name(wire::kMaxWorkloadName + 1, 'x');
+    wire::Frame frame;
+    EXPECT_EQ(decode(handRequest(static_cast<uint16_t>(name.size()),
+                                 name),
+                     &frame)
+                  .status,
+              wire::DecodeStatus::Malformed);
+}
+
+TEST(Wire, TrailingJunkInBodyIsMalformed)
+{
+    wire::Frame frame;
+    EXPECT_EQ(decode(handRequest(3, "LNN", 5), &frame).status,
+              wire::DecodeStatus::Malformed);
+}
+
+TEST(Wire, TruncatedFixedFieldsAreMalformed)
+{
+    // A request body shorter than its fixed fields: the length
+    // prefix is honest (body complete), but the cursor runs dry.
+    std::vector<uint8_t> body;
+    putU8(&body, static_cast<uint8_t>(wire::FrameType::Request));
+    putU64(&body, 1); // id only; everything else missing
+    std::vector<uint8_t> bytes;
+    putU32(&bytes, static_cast<uint32_t>(body.size()));
+    bytes.insert(bytes.end(), body.begin(), body.end());
+    wire::Frame frame;
+    EXPECT_EQ(decode(bytes, &frame).status,
+              wire::DecodeStatus::Malformed);
+}
+
+TEST(Wire, GarbageFuzzNeverCrashesOrOverreads)
+{
+    std::mt19937_64 rng(424242);
+    for (int trial = 0; trial < 20000; trial++) {
+        size_t size = rng() % 96;
+        std::vector<uint8_t> bytes(size);
+        for (uint8_t &b : bytes)
+            b = static_cast<uint8_t>(rng());
+        wire::Frame frame;
+        wire::DecodeResult result =
+            wire::tryDecode(bytes.data(), bytes.size(), &frame);
+        if (result.status == wire::DecodeStatus::Ok) {
+            EXPECT_LE(result.consumed, bytes.size());
+            EXPECT_GE(result.consumed, 5u);
+        } else {
+            EXPECT_EQ(result.consumed, 0u);
+        }
+    }
+}
+
+} // namespace

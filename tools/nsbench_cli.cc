@@ -8,6 +8,7 @@
  *   run <workload> [options]  profile one workload and print reports
  *   serve [options]           serve workloads under closed-loop load
  *   loadgen [options]         serve under an open-loop Poisson load
+ *   route [options]           shard requests across TCP backends
  *
  * `serve` and `loadgen` start a batching inference server over
  * pre-warmed replicas, drive it with the built-in load generator for
@@ -15,6 +16,14 @@
  * report (p50/p95/p99 latency, throughput, neural/symbolic split).
  * They share options; they differ only in the default discipline
  * (closed loop vs open loop, overridable with --open/--closed).
+ *
+ * Networking (docs/DESIGN.md §7h): `serve --listen [HOST:]PORT`
+ * exposes the server over TCP instead of driving it in-process;
+ * `serve|loadgen --connect HOST:PORT --workloads A,B` runs the same
+ * load generator against a remote server; `route --listen PORT
+ * --backends H:P,H:P` shards requests across several servers by
+ * consistent hashing. All serving modes accept `--json PATH` for a
+ * machine-readable result record.
  *
  * Options for `run`:
  *   --seed N       RNG seed (default 42)
@@ -56,10 +65,12 @@
  *                  batch across their neural/symbolic stages
  */
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -67,6 +78,10 @@
 #include "cache/precompute.hh"
 #include "core/profiler.hh"
 #include "exec/pipeline.hh"
+#include "common.hh"
+#include "net/client.hh"
+#include "net/router.hh"
+#include "net/tcp_server.hh"
 #include "serve/loadgen.hh"
 #include "serve/presets.hh"
 #include "serve/server.hh"
@@ -101,6 +116,10 @@ usage()
            "              [--cache-mb N] [--csv]\n"
            "              [--device NAME|all] [--pipeline[=D]]\n"
            "  nsbench serve|loadgen [--workloads A,B,...]\n"
+           "              [--listen [HOST:]PORT] (serve over TCP)\n"
+           "              [--connect HOST:PORT] (drive a remote\n"
+           "               server; needs --workloads)\n"
+           "              [--json PATH]\n"
            "              [--workers N] [--max-batch N]\n"
            "              [--max-wait-us N] [--queue N]\n"
            "              [--model-seed N] [--no-coalesce]\n"
@@ -112,7 +131,10 @@ usage()
            "              [--deadline-ms MS] [--mix A=W,B=W] [--csv]\n"
            "              [--faults SPEC] [--retries N]\n"
            "              [--retry-backoff-us N] [--shed-at F]\n"
-           "              [--no-stale] [--pipeline[=D]]\n";
+           "              [--no-stale] [--pipeline[=D]]\n"
+           "  nsbench route --listen [HOST:]PORT\n"
+           "              --backends HOST:PORT,HOST:PORT,...\n"
+           "              [--duration S] [--json PATH] [--csv]\n";
     return 2;
 }
 
@@ -469,18 +491,79 @@ splitList(const std::string &text)
     return parts;
 }
 
-int
-cmdServe(int argc, char **argv, bool open_loop)
+/**
+ * Everything `serve`, `loadgen` and `route` parse — one struct, one
+ * parser, one source of defaults for the whole serving surface
+ * (in-process, TCP front end, remote load generation, router).
+ */
+struct ServeCli
 {
-    serve::ServerOptions server_options;
-    server_options.workloads = {"LNN", "LTN", "NLM"};
-    serve::LoadgenOptions load_options;
-    load_options.openLoop = open_loop;
+    serve::ServerOptions server;
+    serve::LoadgenOptions load;
     bool csv = false;
-    bool use_preset = true;
-    // Both cache levels follow NSBENCH_CACHE unless --cache says
-    // otherwise.
-    server_options.resultCache = cache::enabled();
+    bool usePreset = true;
+    std::string listen;   ///< --listen [HOST:]PORT (serve / route).
+    std::string connect;  ///< --connect HOST:PORT (remote loadgen).
+    std::vector<std::string> backends; ///< --backends (route only).
+    std::string jsonPath; ///< --json PATH (bench-style emission).
+
+    ServeCli()
+    {
+        server.workloads = {"LNN", "LTN", "NLM"};
+        // Both cache levels follow NSBENCH_CACHE unless --cache says
+        // otherwise.
+        server.resultCache = cache::enabled();
+    }
+};
+
+/** Splits "[HOST:]PORT"; exits with a usage error on a bad port. */
+net::FrameServerOptions
+parseListenSpec(const std::string &spec)
+{
+    net::FrameServerOptions options;
+    std::string port_part = spec;
+    size_t colon = spec.rfind(':');
+    if (colon != std::string::npos) {
+        options.host = spec.substr(0, colon);
+        port_part = spec.substr(colon + 1);
+    }
+    int port = std::atoi(port_part.c_str());
+    if (port < 1 || port > 65535) {
+        std::cerr << "--listen needs [HOST:]PORT with port 1..65535\n";
+        std::exit(2);
+    }
+    options.port = static_cast<uint16_t>(port);
+    return options;
+}
+
+/** Splits "HOST:PORT"; exits with a usage error on nonsense. */
+net::ClientOptions
+parseConnectSpec(const std::string &spec)
+{
+    net::ClientOptions options;
+    size_t colon = spec.rfind(':');
+    int port = colon == std::string::npos
+                   ? 0
+                   : std::atoi(spec.c_str() + colon + 1);
+    if (colon == std::string::npos || colon == 0 || port < 1 ||
+        port > 65535) {
+        std::cerr << "--connect needs HOST:PORT\n";
+        std::exit(2);
+    }
+    options.host = spec.substr(0, colon);
+    options.port = static_cast<uint16_t>(port);
+    return options;
+}
+
+/**
+ * Parses the shared serve/loadgen/route option set into @p cli.
+ * @return -1 on success, else the exit code to return.
+ */
+int
+parseServeArgs(int argc, char **argv, ServeCli *cli)
+{
+    serve::ServerOptions &server_options = cli->server;
+    serve::LoadgenOptions &load_options = cli->load;
 
     for (int i = 0; i < argc; i++) {
         std::string arg = argv[i];
@@ -516,9 +599,9 @@ cmdServe(int argc, char **argv, bool open_loop)
         } else if (arg == "--preset") {
             std::string mode = next();
             if (mode == "serve") {
-                use_preset = true;
+                cli->usePreset = true;
             } else if (mode == "default") {
-                use_preset = false;
+                cli->usePreset = false;
             } else {
                 std::cerr << "--preset must be serve or default\n";
                 return 2;
@@ -591,30 +674,49 @@ cmdServe(int argc, char **argv, bool open_loop)
         } else if (parsePipelineArg(arg,
                                     &server_options.pipelineDepth)) {
             // depth captured by the parser
+        } else if (arg == "--listen") {
+            cli->listen = next();
+        } else if (arg == "--connect") {
+            cli->connect = next();
+        } else if (arg == "--backends") {
+            cli->backends = splitList(next());
+        } else if (arg == "--json") {
+            cli->jsonPath = next();
+        } else if (arg.rfind("--json=", 0) == 0) {
+            cli->jsonPath = arg.substr(7);
         } else if (arg == "--csv") {
-            csv = true;
+            cli->csv = true;
         } else {
             std::cerr << "unknown option " << arg << "\n";
             return usage();
         }
     }
+    return -1;
+}
 
+/** Workload-list validation, shared by every serving mode. */
+int
+validateWorkloads(const std::vector<std::string> &names)
+{
     auto &registry = core::WorkloadRegistry::global();
-    for (const auto &name : server_options.workloads) {
+    for (const auto &name : names) {
         if (!registry.contains(name)) {
             std::cerr << "unknown workload '" << name
                       << "'; try `nsbench list`\n";
             return 1;
         }
     }
-    if (server_options.workloads.empty()) {
+    if (names.empty()) {
         std::cerr << "--workloads must name at least one workload\n";
         return 2;
     }
-    if (server_options.workers < 1) {
-        std::cerr << "--workers must be positive\n";
-        return 2;
-    }
+    return -1;
+}
+
+/** Load-discipline validation (local and remote load generation). */
+int
+validateLoadOptions(const serve::LoadgenOptions &load_options)
+{
     if (load_options.durationSeconds <= 0.0) {
         std::cerr << "--duration must be positive\n";
         return 2;
@@ -627,8 +729,193 @@ cmdServe(int argc, char **argv, bool open_loop)
         std::cerr << "--rate must be positive\n";
         return 2;
     }
-    if (use_preset)
-        server_options.factory = serve::serveFactory;
+    return -1;
+}
+
+/** Prints the shared end-of-window load summary. */
+void
+printLoadReport(const serve::LoadgenReport &report)
+{
+    std::cout << "\noffered:  "
+              << util::fixedStr(report.offeredRate, 1)
+              << " req/s\nserved:   "
+              << util::fixedStr(report.throughput(), 1)
+              << " req/s\nsubmitted " << report.submitted
+              << ", completed " << report.completed << ", expired "
+              << report.expired << ", failed " << report.failed
+              << ", rejected " << report.rejected << " over "
+              << util::humanSeconds(report.wallSeconds) << "\n";
+}
+
+/** The counters every mode's --json payload shares. */
+std::string
+loadReportJson(const std::string &mode,
+               const serve::LoadgenReport &report)
+{
+    std::ostringstream json;
+    json << "\"mode\":\"" << mode
+         << "\",\"submitted\":" << report.submitted
+         << ",\"completed\":" << report.completed
+         << ",\"expired\":" << report.expired
+         << ",\"failed\":" << report.failed
+         << ",\"rejected\":" << report.rejected
+         << ",\"offered_rate\":" << report.offeredRate
+         << ",\"throughput\":" << report.throughput();
+    return json.str();
+}
+
+/**
+ * `serve --listen`: exposes the server over TCP for the configured
+ * window (--duration; the loadgen default applies) and prints the
+ * transport + serving metrics when the window closes.
+ */
+int
+runListenServe(ServeCli &cli, int argc, char **argv)
+{
+    net::FrameServerOptions bind = parseListenSpec(cli.listen);
+    if (cli.load.durationSeconds <= 0.0) {
+        std::cerr << "--duration must be positive\n";
+        return 2;
+    }
+
+    serve::Server server(std::move(cli.server));
+    net::TcpServer tcp(server, bind);
+    if (!cli.csv)
+        std::cout << "listening on " << bind.host << ":"
+                  << tcp.port() << " for "
+                  << util::fixedStr(cli.load.durationSeconds, 1)
+                  << "s\n"
+                  << std::flush;
+
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        cli.load.durationSeconds));
+
+    tcp.shutdown();
+    server.shutdown();
+
+    printTable(server.metrics().table(), cli.csv);
+    if (server.metrics().hasResilienceEvents()) {
+        if (!cli.csv)
+            std::cout << "\n";
+        printTable(server.metrics().resilienceTable(), cli.csv);
+    }
+    if (!cli.csv)
+        std::cout << "\n";
+    printTable(server.metrics().netTable(), cli.csv);
+
+    serve::NetStats net_stats = server.metrics().netStats();
+    serve::WorkloadMetrics totals = server.metrics().total();
+    std::ostringstream json;
+    json << "{\"mode\":\"serve_listen\",\"completed\":"
+         << totals.completed
+         << ",\"conns\":" << net_stats.connectionsAccepted
+         << ",\"frames_in\":" << net_stats.framesIn
+         << ",\"frames_out\":" << net_stats.framesOut
+         << ",\"malformed\":" << net_stats.malformedFrames << "}";
+    bench::writeBenchJson(argc, argv, json.str());
+    return 0;
+}
+
+/**
+ * `serve|loadgen --connect`: drives a remote server with the stock
+ * load generator over the wire protocol. Exits 1 when nothing
+ * completed, so scripted smoke tests gate on the exit code.
+ */
+int
+runRemoteLoadgen(ServeCli &cli, int argc, char **argv,
+                 bool workloads_given)
+{
+    if (!workloads_given) {
+        std::cerr << "--connect needs an explicit --workloads list "
+                     "(a remote client cannot query the server's "
+                     "registry)\n";
+        return 2;
+    }
+    int rc = validateWorkloads(cli.server.workloads);
+    if (rc >= 0)
+        return rc;
+    rc = validateLoadOptions(cli.load);
+    if (rc >= 0)
+        return rc;
+
+    net::ClientOptions remote = parseConnectSpec(cli.connect);
+    remote.modelSeed = 0; // Accept the server's model snapshot.
+    net::Client client(remote);
+    net::RemoteTarget target(client, cli.server.workloads);
+
+    if (!cli.csv)
+        std::cout << "driving " << remote.host << ":" << remote.port
+                  << " ("
+                  << (cli.load.openLoop ? "open loop" : "closed loop")
+                  << ") for "
+                  << util::fixedStr(cli.load.durationSeconds, 1)
+                  << "s\n"
+                  << std::flush;
+
+    serve::LoadgenReport report = serve::runLoadgen(target, cli.load);
+    client.close();
+
+    printLoadReport(report);
+    net::ClientStats stats = client.stats();
+    if (!cli.csv)
+        std::cout << "transport: " << stats.connects
+                  << " connect(s), " << stats.connectFailures
+                  << " connect failure(s), " << stats.sent
+                  << " sent, " << stats.received << " received, "
+                  << stats.disconnects << " disconnect(s), "
+                  << stats.orphaned << " orphaned\n";
+
+    std::ostringstream json;
+    json << "{" << loadReportJson("loadgen_remote", report)
+         << ",\"connects\":" << stats.connects
+         << ",\"disconnects\":" << stats.disconnects
+         << ",\"orphaned\":" << stats.orphaned << "}";
+    bench::writeBenchJson(argc, argv, json.str());
+    return report.completed > 0 ? 0 : 1;
+}
+
+int
+cmdServe(int argc, char **argv, bool open_loop)
+{
+    ServeCli cli;
+    cli.load.openLoop = open_loop;
+    int rc = parseServeArgs(argc, argv, &cli);
+    if (rc >= 0)
+        return rc;
+    bool workloads_given = false;
+    for (int i = 0; i < argc; i++)
+        if (std::string(argv[i]) == "--workloads")
+            workloads_given = true;
+    if (!cli.listen.empty() && !cli.connect.empty()) {
+        std::cerr << "--listen and --connect are exclusive\n";
+        return 2;
+    }
+    if (!cli.backends.empty()) {
+        std::cerr << "--backends only applies to `nsbench route`\n";
+        return 2;
+    }
+    if (cli.usePreset)
+        cli.server.factory = serve::serveFactory;
+
+    if (!cli.connect.empty())
+        return runRemoteLoadgen(cli, argc, argv, workloads_given);
+
+    rc = validateWorkloads(cli.server.workloads);
+    if (rc >= 0)
+        return rc;
+    if (cli.server.workers < 1) {
+        std::cerr << "--workers must be positive\n";
+        return 2;
+    }
+    if (!cli.listen.empty())
+        return runListenServe(cli, argc, argv);
+    rc = validateLoadOptions(cli.load);
+    if (rc >= 0)
+        return rc;
+
+    serve::ServerOptions &server_options = cli.server;
+    serve::LoadgenOptions &load_options = cli.load;
+    bool csv = cli.csv;
 
     if (!csv) {
         std::cout << "serving:  ";
@@ -670,17 +957,20 @@ cmdServe(int argc, char **argv, bool open_loop)
             std::cout << "\n";
         printTable(server.metrics().resilienceTable(), csv);
     }
+    {
+        serve::WorkloadMetrics totals = server.metrics().total();
+        std::ostringstream json;
+        json << "{"
+             << loadReportJson(load_options.openLoop ? "loadgen"
+                                                     : "serve",
+                               report)
+             << ",\"p50_ms\":" << totals.latency.p50() * 1e3
+             << ",\"p95_ms\":" << totals.latency.p95() * 1e3
+             << ",\"p99_ms\":" << totals.latency.p99() * 1e3 << "}";
+        bench::writeBenchJson(argc, argv, json.str());
+    }
     if (!csv) {
-        std::cout << "\noffered:  "
-                  << util::fixedStr(report.offeredRate, 1)
-                  << " req/s\nserved:   "
-                  << util::fixedStr(report.throughput(), 1)
-                  << " req/s\nsubmitted " << report.submitted
-                  << ", completed " << report.completed
-                  << ", expired " << report.expired << ", failed "
-                  << report.failed << ", rejected "
-                  << report.rejected << " over "
-                  << util::humanSeconds(report.wallSeconds) << "\n";
+        printLoadReport(report);
         if (util::failpoints::armed()) {
             std::cout << "failpoints:";
             for (const auto &[site, s] : util::failpoints::stats())
@@ -700,6 +990,75 @@ cmdServe(int argc, char **argv, bool open_loop)
         if (cache::enabled())
             printPrecomputeLine();
     }
+    return 0;
+}
+
+/**
+ * `nsbench route --listen [HOST:]PORT --backends H:P,...`: runs the
+ * sharded consistent-hashing router in front of N `serve --listen`
+ * processes for the configured window.
+ */
+int
+cmdRoute(int argc, char **argv)
+{
+    ServeCli cli;
+    int rc = parseServeArgs(argc, argv, &cli);
+    if (rc >= 0)
+        return rc;
+    if (cli.listen.empty() || cli.backends.empty()) {
+        std::cerr << "route needs --listen [HOST:]PORT and "
+                     "--backends HOST:PORT,...\n";
+        return 2;
+    }
+    if (cli.load.durationSeconds <= 0.0) {
+        std::cerr << "--duration must be positive\n";
+        return 2;
+    }
+
+    net::RouterOptions options;
+    options.listen = parseListenSpec(cli.listen);
+    options.backends = cli.backends;
+    net::Router router(options);
+    if (!cli.csv) {
+        std::cout << "routing " << options.listen.host << ":"
+                  << router.port() << " -> ";
+        for (size_t i = 0; i < cli.backends.size(); i++)
+            std::cout << (i ? "," : "") << cli.backends[i];
+        std::cout << " for "
+                  << util::fixedStr(cli.load.durationSeconds, 1)
+                  << "s\n"
+                  << std::flush;
+    }
+
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        cli.load.durationSeconds));
+    router.shutdown();
+
+    if (router.metrics().total().offered > 0) {
+        printTable(router.metrics().table(), cli.csv);
+        if (!cli.csv)
+            std::cout << "\n";
+    }
+    printTable(router.backendTable(), cli.csv);
+    if (!cli.csv)
+        std::cout << "\n";
+    printTable(router.metrics().netTable(), cli.csv);
+
+    serve::WorkloadMetrics totals = router.metrics().total();
+    uint64_t forwarded = 0;
+    std::ostringstream shards;
+    bool first = true;
+    for (const net::BackendStats &backend : router.backendStats()) {
+        forwarded += backend.forwarded;
+        shards << (first ? "" : ",") << backend.forwarded;
+        first = false;
+    }
+    std::ostringstream json;
+    json << "{\"mode\":\"route\",\"completed\":" << totals.completed
+         << ",\"forwarded\":" << forwarded << ",\"per_backend\":["
+         << shards.str() << "],\"shed\":" << totals.rejected()
+         << "}";
+    bench::writeBenchJson(argc, argv, json.str());
     return 0;
 }
 
@@ -725,5 +1084,7 @@ main(int argc, char **argv)
         return cmdServe(argc - 2, argv + 2, /*open_loop=*/false);
     if (cmd == "loadgen")
         return cmdServe(argc - 2, argv + 2, /*open_loop=*/true);
+    if (cmd == "route")
+        return cmdRoute(argc - 2, argv + 2);
     return usage();
 }
