@@ -58,6 +58,24 @@ setRecvTimeout(int fd, double seconds)
 
 } // namespace
 
+uint32_t
+encodeDeadlineUs(serve::TimePoint deadline, serve::TimePoint now)
+{
+    if (deadline == serve::noDeadline())
+        return 0;
+    auto remaining =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            deadline - now)
+            .count();
+    // An already-expired deadline still crosses the wire (as the
+    // minimum budget) so the rejection is the server's, matching
+    // in-process submit semantics.
+    return remaining > 0
+               ? static_cast<uint32_t>(
+                     std::min<long long>(remaining, 0xffffffffLL))
+               : 1;
+}
+
 Client::Client(const ClientOptions &options) : options_(options) {}
 
 Client::~Client()
@@ -70,7 +88,7 @@ Client::~Client()
 }
 
 int
-Client::dial()
+Client::dial(uint16_t *ackedVersion)
 {
     const std::string host =
         options_.host == "localhost" ? "127.0.0.1" : options_.host;
@@ -143,10 +161,17 @@ Client::dial()
                     wire::tryDecode(buf.data(), buf.size(), &frame);
                 if (result.status == wire::DecodeStatus::NeedMore)
                     continue;
+                // The server acks the version the connection will
+                // speak: any release in [kMinVersion, kVersion] is
+                // compatible (new frame types are only sent to peers
+                // that acked a version defining them).
                 ok = result.status == wire::DecodeStatus::Ok &&
                      frame.type == wire::FrameType::HelloAck &&
                      frame.hello.magic == wire::kMagic &&
-                     frame.hello.version == wire::kVersion;
+                     frame.hello.version >= wire::kMinVersion &&
+                     frame.hello.version <= wire::kVersion;
+                if (ok && ackedVersion)
+                    *ackedVersion = frame.hello.version;
                 break;
             }
             if (ok)
@@ -188,12 +213,14 @@ Client::connect()
         else
             reader_.join();
     }
-    int fd = dial();
+    uint16_t acked = 0;
+    int fd = dial(&acked);
     if (fd < 0)
         return false;
     {
         std::lock_guard<std::mutex> lock(mu_);
         fd_ = fd;
+        peerVersion_ = acked;
         generation_++;
     }
     reader_ = std::thread([this, fd] { readerLoop(fd); });
@@ -234,8 +261,11 @@ Client::submit(const std::string &workload, uint64_t episodeSeed,
 serve::RequestStatus
 Client::submitSeeded(const std::string &workload,
                      uint64_t episodeSeed, uint64_t modelSeed,
-                     serve::Callback done, serve::TimePoint deadline)
+                     serve::Callback done, serve::TimePoint deadline,
+                     uint64_t *wireId)
 {
+    if (wireId)
+        *wireId = 0;
     if (!connect())
         return serve::RequestStatus::RejectedUnreachable;
 
@@ -243,20 +273,8 @@ Client::submitSeeded(const std::string &workload,
     request.episodeSeed = episodeSeed;
     request.modelSeed = modelSeed;
     request.workload = workload;
-    if (deadline != serve::noDeadline()) {
-        auto remaining =
-            std::chrono::duration_cast<std::chrono::microseconds>(
-                deadline - serve::ServeClock::now())
-                .count();
-        // An already-expired deadline still crosses the wire (as the
-        // minimum budget) so the rejection is the server's, matching
-        // in-process submit semantics.
-        request.deadlineUs = remaining > 0
-                                 ? static_cast<uint32_t>(std::min<
-                                       long long>(remaining,
-                                                  0xffffffffLL))
-                                 : 1;
-    }
+    request.deadlineUs =
+        encodeDeadlineUs(deadline, serve::ServeClock::now());
 
     int fd;
     uint64_t generation;
@@ -292,7 +310,46 @@ Client::submitSeeded(const std::string &workload,
         std::lock_guard<std::mutex> lock(statsMu_);
         stats_.sent++;
     }
+    if (wireId)
+        *wireId = request.id;
     return serve::RequestStatus::Ok;
+}
+
+void
+Client::cancel(uint64_t wireId)
+{
+    if (wireId == 0)
+        return;
+    int fd;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        // A v1 peer never acked the Cancel frame type; sending one
+        // would read as garbage and close the connection. The losing
+        // request simply runs to completion there.
+        if (fd_ < 0 || peerVersion_ < 2 || !pending_.count(wireId))
+            return;
+        fd = fd_;
+    }
+    std::vector<uint8_t> encoded;
+    wire::encodeCancel(wire::CancelFrame{wireId}, &encoded);
+    bool sent;
+    {
+        std::lock_guard<std::mutex> lock(sendMu_);
+        sent = sendAll(fd, encoded.data(), encoded.size());
+    }
+    if (!sent) {
+        ::shutdown(fd, SHUT_RDWR); // Reader tears the connection down.
+        return;
+    }
+    std::lock_guard<std::mutex> lock(statsMu_);
+    stats_.cancelsSent++;
+}
+
+uint16_t
+Client::peerVersion() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return fd_ >= 0 ? peerVersion_ : 0;
 }
 
 serve::Response
@@ -307,23 +364,58 @@ Client::call(const std::string &workload, uint64_t episodeSeed,
         serve::Response response;
     };
     auto waiter = std::make_shared<Waiter>();
-    serve::RequestStatus status = submit(
-        workload, episodeSeed,
+    uint64_t wire_id = 0;
+    serve::RequestStatus status = submitSeeded(
+        workload, episodeSeed, options_.modelSeed,
         [waiter](const serve::Response &response) {
             std::lock_guard<std::mutex> lock(waiter->mu);
             waiter->response = response;
             waiter->done = true;
             waiter->cv.notify_one();
         },
-        deadline);
+        deadline, &wire_id);
     if (status != serve::RequestStatus::Ok) {
         serve::Response response;
         response.status = status;
         return response;
     }
     std::unique_lock<std::mutex> lock(waiter->mu);
-    waiter->cv.wait(lock, [&] { return waiter->done; });
-    return waiter->response;
+    if (deadline == serve::noDeadline()) {
+        // The caller asked for no time limit; honor it.
+        waiter->cv.wait(lock, [&] { return waiter->done; });
+        return waiter->response;
+    }
+    serve::TimePoint give_up =
+        deadline + std::chrono::duration_cast<
+                       serve::ServeClock::duration>(
+                       std::chrono::duration<double>(
+                           options_.callGraceSeconds));
+    if (waiter->cv.wait_until(lock, give_up,
+                              [&] { return waiter->done; }))
+        return waiter->response;
+    lock.unlock();
+
+    // The server blew through the deadline plus grace — likely
+    // wedged. Reclaim the callback so the wait can end; if the
+    // reader claimed it first, the response is instants away and we
+    // wait for it (exactly-once either way).
+    bool reclaimed;
+    {
+        std::lock_guard<std::mutex> clientLock(mu_);
+        reclaimed = pending_.erase(wire_id) > 0;
+    }
+    if (!reclaimed) {
+        std::unique_lock<std::mutex> relock(waiter->mu);
+        waiter->cv.wait(relock, [&] { return waiter->done; });
+        return waiter->response;
+    }
+    {
+        std::lock_guard<std::mutex> statsLock(statsMu_);
+        stats_.callTimeouts++;
+    }
+    serve::Response expired;
+    expired.status = serve::RequestStatus::Expired;
+    return expired;
 }
 
 void

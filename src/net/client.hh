@@ -56,6 +56,11 @@ struct ClientOptions
     double backoffMaxSeconds = 1.0;      ///< Backoff ceiling.
     /** Bound on waiting for the HelloAck after connecting. */
     double handshakeTimeoutSeconds = 5.0;
+    /** Extra wait call() allows past the request deadline before it
+     *  gives up on a wedged-but-connected server and synthesizes an
+     *  Expired response (the server normally expires the request
+     *  itself; the grace keeps the common path server-authoritative). */
+    double callGraceSeconds = 1.0;
 };
 
 /** Point-in-time transport counters (client side). */
@@ -68,7 +73,20 @@ struct ClientStats
     uint64_t disconnects = 0;    ///< Connections lost or closed.
     uint64_t orphaned = 0;       ///< In-flight requests failed by a
                                  ///< disconnect.
+    uint64_t cancelsSent = 0;    ///< Cancel frames written (v2 peers).
+    uint64_t callTimeouts = 0;   ///< call() waits that gave up and
+                                 ///< synthesized Expired locally.
 };
+
+/**
+ * Encodes an absolute deadline as the wire's relative microsecond
+ * budget, as seen from @p now: noDeadline() -> 0 (no deadline), an
+ * already-expired deadline -> 1 (the minimum budget, so the rejection
+ * is the server's), and budgets beyond the u32 range (~71.6 minutes)
+ * clamp to 0xffffffff. Pure — exposed for the wire boundary tests.
+ */
+uint32_t encodeDeadlineUs(serve::TimePoint deadline,
+                          serve::TimePoint now);
 
 class Client
 {
@@ -100,17 +118,44 @@ class Client
                                 serve::TimePoint deadline =
                                     serve::noDeadline());
 
-    /** submit() with an explicit model seed — the router forwards
-     *  each request's own seed rather than a per-client constant. */
+    /**
+     * submit() with an explicit model seed — the router forwards
+     * each request's own seed rather than a per-client constant.
+     * When @p wireId is non-null and the request was written, it
+     * receives the connection-level correlation id, usable with
+     * cancel() (0 when nothing was sent).
+     */
     serve::RequestStatus submitSeeded(const std::string &workload,
                                       uint64_t episodeSeed,
                                       uint64_t modelSeed,
                                       serve::Callback done,
                                       serve::TimePoint deadline =
-                                          serve::noDeadline());
+                                          serve::noDeadline(),
+                                      uint64_t *wireId = nullptr);
 
-    /** Blocking submit; the returned status is the submit status or
-     *  the response's, whichever terminated the request. */
+    /**
+     * Best-effort abandonment of an in-flight request by the wire id
+     * submitSeeded() reported. Sends a Cancel frame when the peer
+     * speaks protocol v2+ (no-op otherwise — old servers would treat
+     * it as garbage). The request's callback still fires exactly
+     * once: with the server's answer, its Canceled response, or
+     * Failed on disconnect.
+     */
+    void cancel(uint64_t wireId);
+
+    /** Protocol version the current connection's peer acked; 0 when
+     *  disconnected. */
+    uint16_t peerVersion() const;
+
+    /**
+     * Blocking submit; the returned status is the submit status or
+     * the response's, whichever terminated the request. The wait is
+     * bounded by @p deadline plus callGraceSeconds: if a connected
+     * server never answers, call() reclaims the pending callback and
+     * returns a synthesized Expired response instead of hanging
+     * (with noDeadline() the wait is unbounded — the caller asked
+     * for no time limit).
+     */
     serve::Response call(const std::string &workload,
                          uint64_t episodeSeed,
                          serve::TimePoint deadline =
@@ -125,8 +170,9 @@ class Client
     ClientStats stats() const;
 
   private:
-    /** Dials + handshakes once; returns the fd or -1. */
-    int dial();
+    /** Dials + handshakes once; returns the fd or -1. On success
+     *  @p ackedVersion receives the version the server acked. */
+    int dial(uint16_t *ackedVersion);
     /** Fails all pending requests and tears the connection down. */
     void disconnect(int fd);
     void readerLoop(int fd);
@@ -136,6 +182,7 @@ class Client
     mutable std::mutex mu_;    ///< Connection state + pending map.
     int fd_ = -1;              ///< -1 when disconnected.
     uint64_t generation_ = 0;  ///< Bumps on every (re)connect.
+    uint16_t peerVersion_ = 0; ///< Acked version; 0 -> disconnected.
     uint64_t nextId_ = 1;
     std::map<uint64_t, serve::Callback> pending_;
 

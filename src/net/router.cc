@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <sstream>
 
 #include "net/translate.hh"
 #include "util/logging.hh"
@@ -54,21 +55,47 @@ parseEndpoint(const std::string &endpoint)
     return {endpoint.substr(0, colon), static_cast<uint16_t>(port)};
 }
 
+/** Minimal JSON string escaping (endpoints are host:port, but stay
+ *  correct if someone routes to a hostname with odd characters). */
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
 } // namespace
+
+int64_t
+Router::nowUs()
+{
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
 
 Router::Router(const RouterOptions &options) : options_(options)
 {
     if (options_.backends.empty())
         fatal("net: router needs at least one backend");
 
+    BreakerOptions breaker = options_.breaker;
+    breaker.openSeconds = options_.retryDownSeconds;
+
     for (size_t i = 0; i < options_.backends.size(); ++i) {
         auto [host, port] = parseEndpoint(options_.backends[i]);
-        auto backend = std::make_unique<Backend>();
+        auto backend = std::make_unique<Backend>(breaker);
         backend->endpoint = options_.backends[i];
         ClientOptions client = options_.clientTemplate;
         client.host = host;
         client.port = port;
-        client.connectAttempts = 1; // Fail fast; health cycle retries.
+        client.connectAttempts = 1; // Fail fast; the breaker retries.
         backend->client = std::make_unique<Client>(client);
         backends_.push_back(std::move(backend));
 
@@ -80,6 +107,9 @@ Router::Router(const RouterOptions &options) : options_(options)
         }
     }
     std::sort(ring_.begin(), ring_.end());
+
+    if (options_.hedging && backends_.size() > 1)
+        hedgeThread_ = std::thread([this] { hedgeLoop(); });
 
     frames_ = std::make_unique<FrameServer>(
         options_.listen,
@@ -99,6 +129,15 @@ void
 Router::shutdown()
 {
     frames_->shutdown();
+    std::call_once(hedgeJoinOnce_, [this] {
+        {
+            std::lock_guard<std::mutex> lock(hedgeMu_);
+            hedgeStop_ = true;
+        }
+        hedgeCv_.notify_all();
+        if (hedgeThread_.joinable())
+            hedgeThread_.join();
+    });
 }
 
 std::vector<size_t>
@@ -131,94 +170,311 @@ Router::shardOf(const std::string &workload, uint64_t modelSeed,
         .front();
 }
 
-bool
-Router::eligible(Backend &backend) const
+double
+Router::referenceLatency(size_t self) const
 {
-    if (backend.inflight.load(std::memory_order_relaxed) >=
-        options_.maxInflightPerBackend) {
-        backend.saturated.fetch_add(1, std::memory_order_relaxed);
-        return false;
+    double best = 0.0;
+    for (size_t i = 0; i < backends_.size(); ++i) {
+        if (i == self)
+            continue;
+        BreakerSnapshot snap =
+            backends_[i]->breaker.snapshot(nowUs());
+        if (snap.samples == 0 || snap.latencySeconds <= 0.0)
+            continue;
+        if (best == 0.0 || snap.latencySeconds < best)
+            best = snap.latencySeconds;
     }
-    std::lock_guard<std::mutex> lock(backend.mu);
-    if (!backend.down)
-        return true;
-    if (std::chrono::steady_clock::now() >= backend.retryAt) {
-        backend.down = false; // Probe: the next submit redials.
-        return true;
+    return best;
+}
+
+serve::RequestStatus
+Router::sendTo(const RelayPtr &relay, size_t index, bool hedge)
+{
+    Backend &backend = *backends_[index];
+    backend.inflight.fetch_add(1, std::memory_order_relaxed);
+
+    auto attempt = std::make_shared<Attempt>();
+    attempt->backend = index;
+    attempt->hedge = hedge;
+    auto sent_at = std::chrono::steady_clock::now();
+
+    serve::RequestStatus admitted = backend.client->submitSeeded(
+        relay->workload, relay->episodeSeed, relay->modelSeed,
+        [this, relay, attempt,
+         sent_at](const serve::Response &response) {
+            complete(relay, attempt, sent_at, response);
+        },
+        relay->deadline, &attempt->wireId);
+
+    if (admitted == serve::RequestStatus::Ok) {
+        backend.forwarded.fetch_add(1, std::memory_order_relaxed);
+        if (hedge) {
+            backend.hedges.fetch_add(1, std::memory_order_relaxed);
+            hedgesSent_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+            primaryForwarded_.fetch_add(1,
+                                        std::memory_order_relaxed);
+        }
+        {
+            std::lock_guard<std::mutex> lock(relay->mu);
+            relay->attempts.push_back(attempt);
+        }
+        // If another attempt answered while this one was being
+        // written, the winner's loser sweep may have run before our
+        // publish — prune our own orphan (no-op if already gone).
+        if (relay->responded.load(std::memory_order_acquire) &&
+            attempt->wireId != 0) {
+            backend.client->cancel(attempt->wireId);
+            backend.cancels.fetch_add(1, std::memory_order_relaxed);
+            cancelsSent_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return admitted;
     }
-    backend.failovers.fetch_add(1, std::memory_order_relaxed);
+
+    backend.inflight.fetch_sub(1, std::memory_order_relaxed);
+    if (admitted == serve::RequestStatus::RejectedUnreachable) {
+        backend.breaker.onUnreachable(nowUs());
+        backend.failovers.fetch_add(1, std::memory_order_relaxed);
+    }
+    return admitted;
+}
+
+void
+Router::complete(const RelayPtr &relay,
+                 const std::shared_ptr<Attempt> &attempt,
+                 std::chrono::steady_clock::time_point sentAt,
+                 const serve::Response &response)
+{
+    Backend &backend = *backends_[attempt->backend];
+    backend.inflight.fetch_sub(1, std::memory_order_relaxed);
+
+    double latency = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - sentAt)
+                         .count();
+
+    // Feed the breaker. Failed means the connection died under the
+    // request; Canceled is our own doing and says nothing about
+    // health; everything else is the backend answering — a health
+    // signal whatever the verdict.
+    if (response.status == serve::RequestStatus::Failed)
+        backend.breaker.onFailure(nowUs());
+    else if (response.status != serve::RequestStatus::Canceled)
+        backend.breaker.onSuccess(
+            latency, referenceLatency(attempt->backend), nowUs());
+
+    if (response.status == serve::RequestStatus::Ok) {
+        std::lock_guard<std::mutex> lock(latencyMu_);
+        latency_.try_emplace(relay->workload, 0.95);
+        latency_.at(relay->workload).add(latency);
+    }
+
+    // A Failed completion means the connection died under the
+    // request. While untried ring candidates remain, re-issue there
+    // instead of relaying the transport's bad luck to the client —
+    // the determinism contract makes the retried answer identical.
+    if (response.status == serve::RequestStatus::Failed &&
+        !relay->responded.load(std::memory_order_acquire) &&
+        retryElsewhere(relay, attempt->hedge)) {
+        backend.failovers.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+
+    // First writer wins: exactly one attempt relays to the client.
+    if (relay->responded.exchange(true, std::memory_order_acq_rel))
+        return;
+
+    if (attempt->hedge) {
+        backend.hedgeWins.fetch_add(1, std::memory_order_relaxed);
+        hedgesWon_.fetch_add(1, std::memory_order_relaxed);
+    }
+    metrics_.recordOutcome(relay->workload, response);
+    relay->session->respond(toFrame(response, relay->id));
+    cancelLosers(relay, attempt.get());
+}
+
+void
+Router::cancelLosers(const RelayPtr &relay, const Attempt *winner)
+{
+    std::vector<std::pair<size_t, uint64_t>> losers;
+    {
+        std::lock_guard<std::mutex> lock(relay->mu);
+        for (const auto &attempt : relay->attempts)
+            if (attempt.get() != winner && attempt->wireId != 0)
+                losers.emplace_back(attempt->backend,
+                                    attempt->wireId);
+    }
+    for (const auto &[index, wire_id] : losers) {
+        backends_[index]->client->cancel(wire_id);
+        backends_[index]->cancels.fetch_add(
+            1, std::memory_order_relaxed);
+        cancelsSent_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+Router::scheduleHedge(const RelayPtr &relay)
+{
+    if (!hedgeThread_.joinable())
+        return; // Hedging off or single backend.
+    if (relay->candidates.size() < 2)
+        return;
+
+    double delay = 0.0;
+    {
+        std::lock_guard<std::mutex> lock(latencyMu_);
+        auto it = latency_.find(relay->workload);
+        if (it == latency_.end() ||
+            it->second.count() < options_.hedgeMinSamples)
+            return; // p95 not trustworthy yet.
+        delay = it->second.value();
+    }
+    delay = std::max(options_.hedgeMinDelaySeconds,
+                     std::min(options_.hedgeMaxDelaySeconds, delay));
+
+    HedgeEntry entry;
+    entry.at = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<
+                   std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(delay));
+    entry.relay = relay;
+    {
+        std::lock_guard<std::mutex> lock(hedgeMu_);
+        if (hedgeStop_)
+            return;
+        hedgeQueue_.push(std::move(entry));
+    }
+    hedgeCv_.notify_one();
+}
+
+void
+Router::hedgeLoop()
+{
+    std::unique_lock<std::mutex> lock(hedgeMu_);
+    while (!hedgeStop_) {
+        if (hedgeQueue_.empty()) {
+            hedgeCv_.wait(lock, [this] {
+                return hedgeStop_ || !hedgeQueue_.empty();
+            });
+            continue;
+        }
+        auto now = std::chrono::steady_clock::now();
+        if (hedgeQueue_.top().at > now) {
+            hedgeCv_.wait_until(lock, hedgeQueue_.top().at);
+            continue;
+        }
+        RelayPtr relay = hedgeQueue_.top().relay.lock();
+        hedgeQueue_.pop();
+        if (!relay ||
+            relay->responded.load(std::memory_order_acquire))
+            continue;
+        lock.unlock(); // Never send while holding the timer lock.
+        fireHedge(relay);
+        lock.lock();
+    }
+}
+
+bool
+Router::retryElsewhere(const RelayPtr &relay, bool hedge)
+{
+    std::vector<size_t> tried;
+    {
+        std::lock_guard<std::mutex> lock(relay->mu);
+        for (const auto &attempt : relay->attempts)
+            tried.push_back(attempt->backend);
+    }
+    for (size_t index : relay->candidates) {
+        if (std::find(tried.begin(), tried.end(), index) !=
+            tried.end())
+            continue;
+        Backend &backend = *backends_[index];
+        if (backend.inflight.load(std::memory_order_relaxed) >=
+            options_.maxInflightPerBackend) {
+            backend.saturated.fetch_add(1,
+                                        std::memory_order_relaxed);
+            continue;
+        }
+        if (!backend.breaker.allow(nowUs()))
+            continue;
+        if (sendTo(relay, index, hedge) ==
+            serve::RequestStatus::Ok)
+            return true;
+    }
     return false;
 }
 
 void
-Router::markDown(Backend &backend)
+Router::fireHedge(const RelayPtr &relay)
 {
-    std::lock_guard<std::mutex> lock(backend.mu);
-    backend.down = true;
-    backend.retryAt =
-        std::chrono::steady_clock::now() +
-        std::chrono::duration_cast<
-            std::chrono::steady_clock::duration>(
-            std::chrono::duration<double>(
-                options_.retryDownSeconds));
-    backend.downMarks.fetch_add(1, std::memory_order_relaxed);
+    // Budget: hedges may add at most hedgeBudget extra load on top
+    // of primary forwards (with a floor of one so a cold router can
+    // hedge at all).
+    uint64_t primaries =
+        primaryForwarded_.load(std::memory_order_relaxed);
+    uint64_t allowed = std::max<uint64_t>(
+        1, static_cast<uint64_t>(options_.hedgeBudget *
+                                 static_cast<double>(primaries)));
+    if (hedgesSent_.load(std::memory_order_relaxed) >= allowed) {
+        hedgesDenied_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+
+    retryElsewhere(relay, /*hedge=*/true);
 }
 
 void
 Router::handle(const FrameServer::SessionPtr &session,
                const wire::RequestFrame &request)
 {
-    uint64_t id = request.id;
-    std::string workload = request.workload;
-
-    serve::TimePoint deadline = serve::noDeadline();
+    auto relay = std::make_shared<Relay>();
+    relay->session = session;
+    relay->id = request.id;
+    relay->workload = request.workload;
+    relay->episodeSeed = request.episodeSeed;
+    relay->modelSeed = request.modelSeed;
+    relay->deadline = serve::noDeadline();
     if (request.deadlineUs > 0)
-        deadline = serve::ServeClock::now() +
-                   std::chrono::microseconds(request.deadlineUs);
+        relay->deadline =
+            serve::ServeClock::now() +
+            std::chrono::microseconds(request.deadlineUs);
+    relay->candidates = candidatesFor(keyHash(
+        relay->workload, relay->modelSeed, relay->episodeSeed));
 
-    uint64_t hash =
-        keyHash(workload, request.modelSeed, request.episodeSeed);
-    for (size_t index : candidatesFor(hash)) {
+    for (size_t index : relay->candidates) {
         Backend &backend = *backends_[index];
-        if (!eligible(backend))
+        if (backend.inflight.load(std::memory_order_relaxed) >=
+            options_.maxInflightPerBackend) {
+            backend.saturated.fetch_add(1,
+                                        std::memory_order_relaxed);
             continue;
-        backend.inflight.fetch_add(1, std::memory_order_relaxed);
-        serve::RequestStatus admitted = backend.client->submitSeeded(
-            workload, request.episodeSeed, request.modelSeed,
-            [this, session, id, workload,
-             &backend](const serve::Response &response) {
-                backend.inflight.fetch_sub(1,
-                                           std::memory_order_relaxed);
-                metrics_.recordOutcome(workload, response);
-                session->respond(toFrame(response, id));
-            },
-            deadline);
-        if (admitted == serve::RequestStatus::Ok) {
-            backend.forwarded.fetch_add(1, std::memory_order_relaxed);
-            metrics_.recordAdmitted(workload);
-            return;
         }
-        backend.inflight.fetch_sub(1, std::memory_order_relaxed);
-        if (admitted == serve::RequestStatus::RejectedUnreachable) {
-            markDown(backend);
+        if (!backend.breaker.allow(nowUs())) {
             backend.failovers.fetch_add(1,
                                         std::memory_order_relaxed);
-            continue; // Fail over to the next ring candidate.
+            continue;
         }
+        serve::RequestStatus admitted =
+            sendTo(relay, index, /*hedge=*/false);
+        if (admitted == serve::RequestStatus::Ok) {
+            metrics_.recordAdmitted(relay->workload);
+            scheduleHedge(relay);
+            return;
+        }
+        if (admitted == serve::RequestStatus::RejectedUnreachable)
+            continue; // Fed the breaker; next ring candidate.
         // Any other rejection is the backend's verdict; relay it.
-        metrics_.recordRejected(workload, admitted);
+        metrics_.recordRejected(relay->workload, admitted);
         wire::ResponseFrame reject;
-        reject.id = id;
+        reject.id = relay->id;
         reject.status = static_cast<uint8_t>(admitted);
         session->respond(reject);
         return;
     }
 
-    // Every backend down or saturated: shed, never queue.
+    // Every backend open or saturated: shed, never queue.
     metrics_.recordRejected(
-        workload, serve::RequestStatus::RejectedUnreachable);
+        relay->workload, serve::RequestStatus::RejectedUnreachable);
     wire::ResponseFrame shed;
-    shed.id = id;
+    shed.id = relay->id;
     shed.status = static_cast<uint8_t>(
         serve::RequestStatus::RejectedUnreachable);
     session->respond(shed);
@@ -232,38 +488,97 @@ Router::backendStats() const
     for (const auto &backend : backends_) {
         BackendStats stats;
         stats.endpoint = backend->endpoint;
-        {
-            std::lock_guard<std::mutex> lock(backend->mu);
-            stats.down = backend->down;
-        }
+        BreakerSnapshot snap = backend->breaker.snapshot(nowUs());
+        stats.down = snap.state != BreakerState::Closed;
+        stats.breakerState = breakerStateName(snap.state);
+        stats.errorRate = snap.errorRate;
+        stats.latencySeconds = snap.latencySeconds;
+        stats.downMarks = snap.opens;
+        stats.probes = snap.probes;
         stats.inflight =
             backend->inflight.load(std::memory_order_relaxed);
         stats.forwarded =
             backend->forwarded.load(std::memory_order_relaxed);
+        stats.hedges =
+            backend->hedges.load(std::memory_order_relaxed);
+        stats.hedgeWins =
+            backend->hedgeWins.load(std::memory_order_relaxed);
+        stats.cancels =
+            backend->cancels.load(std::memory_order_relaxed);
         stats.failovers =
             backend->failovers.load(std::memory_order_relaxed);
         stats.saturated =
             backend->saturated.load(std::memory_order_relaxed);
-        stats.downMarks =
-            backend->downMarks.load(std::memory_order_relaxed);
         out.push_back(std::move(stats));
     }
     return out;
+}
+
+HedgeStats
+Router::hedgeStats() const
+{
+    HedgeStats stats;
+    stats.hedgesSent = hedgesSent_.load(std::memory_order_relaxed);
+    stats.hedgesWon = hedgesWon_.load(std::memory_order_relaxed);
+    stats.hedgesDenied =
+        hedgesDenied_.load(std::memory_order_relaxed);
+    stats.cancelsSent =
+        cancelsSent_.load(std::memory_order_relaxed);
+    return stats;
 }
 
 util::Table
 Router::backendTable() const
 {
     util::Table table({"backend", "state", "inflight", "forwarded",
-                       "failovers", "saturated", "down marks"});
+                       "hedges", "hedge wins", "cancels",
+                       "failovers", "saturated", "trips",
+                       "err ewma", "lat ewma"});
     for (const BackendStats &stats : backendStats())
-        table.addRow({stats.endpoint, stats.down ? "down" : "up",
-                      std::to_string(stats.inflight),
-                      std::to_string(stats.forwarded),
-                      std::to_string(stats.failovers),
-                      std::to_string(stats.saturated),
-                      std::to_string(stats.downMarks)});
+        table.addRow(
+            {stats.endpoint, stats.breakerState,
+             std::to_string(stats.inflight),
+             std::to_string(stats.forwarded),
+             std::to_string(stats.hedges),
+             std::to_string(stats.hedgeWins),
+             std::to_string(stats.cancels),
+             std::to_string(stats.failovers),
+             std::to_string(stats.saturated),
+             std::to_string(stats.downMarks),
+             util::fixedStr(stats.errorRate, 3),
+             util::fixedStr(stats.latencySeconds * 1e3, 3) + "ms"});
     return table;
+}
+
+std::string
+Router::backendJson() const
+{
+    std::ostringstream json;
+    json << "[";
+    bool first = true;
+    for (const BackendStats &stats : backendStats()) {
+        if (!first)
+            json << ",";
+        first = false;
+        json << "{\"endpoint\":\"" << jsonEscape(stats.endpoint)
+             << "\",\"breaker\":\"" << stats.breakerState
+             << "\",\"down\":" << (stats.down ? "true" : "false")
+             << ",\"error_rate\":"
+             << util::fixedStr(stats.errorRate, 4)
+             << ",\"latency_ewma_seconds\":"
+             << util::fixedStr(stats.latencySeconds, 6)
+             << ",\"inflight\":" << stats.inflight
+             << ",\"forwarded\":" << stats.forwarded
+             << ",\"hedges\":" << stats.hedges
+             << ",\"hedge_wins\":" << stats.hedgeWins
+             << ",\"cancels\":" << stats.cancels
+             << ",\"failovers\":" << stats.failovers
+             << ",\"saturated\":" << stats.saturated
+             << ",\"trips\":" << stats.downMarks
+             << ",\"probes\":" << stats.probes << "}";
+    }
+    json << "]";
+    return json.str();
 }
 
 } // namespace nsbench::net

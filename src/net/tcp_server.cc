@@ -93,9 +93,10 @@ FrameServer::Session::respond(const wire::ResponseFrame &frame)
 
 FrameServer::FrameServer(const FrameServerOptions &options,
                          Handler handler,
-                         serve::ServerMetrics &metrics)
+                         serve::ServerMetrics &metrics,
+                         CancelHandler cancelHandler)
     : options_(options), handler_(std::move(handler)),
-      metrics_(metrics)
+      cancelHandler_(std::move(cancelHandler)), metrics_(metrics)
 {
     listenFd_ = listenSocket(options_, &port_);
 
@@ -337,15 +338,23 @@ FrameServer::handleFrame(const SessionPtr &session,
     if (!session->handshaken_) {
         if (frame.type != wire::FrameType::Hello ||
             frame.hello.magic != wire::kMagic ||
-            frame.hello.version != wire::kVersion) {
+            frame.hello.version < wire::kMinVersion ||
+            frame.hello.version > wire::kVersion) {
             metrics_.recordNetHandshakeFailure();
             closeSession(session);
             return;
         }
+        // Negotiate down to the client's version: the ack names the
+        // version this connection speaks, and version-gated frame
+        // types (Cancel) are only accepted from peers that asked for
+        // a version defining them.
         session->handshaken_ = true;
+        session->version_ = frame.hello.version;
         {
             std::lock_guard<std::mutex> lock(session->mu_);
-            wire::encodeHelloAck(wire::HelloFrame{}, &session->out_);
+            wire::HelloFrame ack;
+            ack.version = session->version_;
+            wire::encodeHelloAck(ack, &session->out_);
         }
         metrics_.recordNetFrameOut();
         if (!flushSession(session))
@@ -355,9 +364,20 @@ FrameServer::handleFrame(const SessionPtr &session,
         return;
     }
 
+    if (frame.type == wire::FrameType::Cancel &&
+        session->version_ >= 2) {
+        // Advisory: prune if possible, never acknowledge. Does not
+        // touch the inflight accounting — the canceled request still
+        // gets its response.
+        metrics_.recordNetFrameIn();
+        if (cancelHandler_)
+            cancelHandler_(session, frame.cancel.id);
+        return;
+    }
+
     if (frame.type != wire::FrameType::Request) {
-        // A handshaken client may only send requests; anything else
-        // is a protocol violation.
+        // A handshaken client may only send requests (plus Cancel on
+        // v2 connections); anything else is a protocol violation.
         metrics_.recordNetMalformed();
         closeSession(session);
         return;
@@ -476,7 +496,7 @@ FrameServer::closeSession(const SessionPtr &session)
 
 TcpServer::TcpServer(serve::Server &server,
                      const FrameServerOptions &options)
-    : server_(server)
+    : server_(server), live_(std::make_shared<LiveRequests>())
 {
     frames_ = std::make_unique<FrameServer>(
         options,
@@ -484,7 +504,28 @@ TcpServer::TcpServer(serve::Server &server,
                const wire::RequestFrame &request) {
             handle(session, request);
         },
-        server.metrics());
+        server.metrics(),
+        [this](const FrameServer::SessionPtr &session, uint64_t id) {
+            handleCancel(session, id);
+        });
+}
+
+void
+TcpServer::handleCancel(const FrameServer::SessionPtr &session,
+                        uint64_t id)
+{
+    serve::CancelToken token;
+    {
+        std::lock_guard<std::mutex> lock(live_->mu);
+        auto it = live_->tokens.find({session.get(), id});
+        if (it != live_->tokens.end())
+            token = it->second;
+    }
+    // Set outside the lock; the worker observes it at its next prune
+    // and answers Canceled. Already-completed requests were erased by
+    // their callback, making this the advertised no-op.
+    if (token)
+        token->store(true, std::memory_order_relaxed);
 }
 
 void
@@ -516,14 +557,35 @@ TcpServer::handle(const FrameServer::SessionPtr &session,
         deadline = serve::ServeClock::now() +
                    std::chrono::microseconds(request.deadlineUs);
 
+    // Register the cancel token before submitting so a Cancel frame
+    // racing the submission can always find it; the completion
+    // callback retires it (every admitted request completes, so no
+    // entry outlives its request).
+    auto key = std::make_pair(
+        static_cast<const void *>(session.get()), id);
+    auto token = std::make_shared<std::atomic<bool>>(false);
+    std::shared_ptr<LiveRequests> live = live_;
+    {
+        std::lock_guard<std::mutex> lock(live->mu);
+        live->tokens[key] = token;
+    }
     serve::RequestStatus admitted = server_.submit(
         request.workload, request.episodeSeed,
-        [session, id](const serve::Response &response) {
+        [live, session, id, key](const serve::Response &response) {
+            {
+                std::lock_guard<std::mutex> lock(live->mu);
+                live->tokens.erase(key);
+            }
             session->respond(toFrame(response, id));
         },
-        deadline);
-    if (admitted != serve::RequestStatus::Ok)
+        deadline, token);
+    if (admitted != serve::RequestStatus::Ok) {
+        {
+            std::lock_guard<std::mutex> lock(live->mu);
+            live->tokens.erase(key);
+        }
         rejectWith(admitted);
+    }
 }
 
 } // namespace nsbench::net

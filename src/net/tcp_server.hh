@@ -88,6 +88,15 @@ class FrameServer
     using Handler =
         std::function<void(const SessionPtr &, const wire::RequestFrame &)>;
 
+    /**
+     * Called on the loop thread for every Cancel frame from a v2+
+     * client. Advisory: the handler prunes the request if it can and
+     * does nothing otherwise; Cancel is never acknowledged. A null
+     * handler ignores Cancel frames (they are still well-formed).
+     */
+    using CancelHandler =
+        std::function<void(const SessionPtr &, uint64_t id)>;
+
     /** One accepted connection; hand out via shared_ptr so worker
      *  callbacks can outlive the socket safely. */
     class Session : public std::enable_shared_from_this<Session>
@@ -109,6 +118,7 @@ class FrameServer
 
         int fd_;                       ///< Loop thread only.
         bool handshaken_ = false;      ///< Loop thread only.
+        uint16_t version_ = 0;         ///< Negotiated; loop thread only.
         std::vector<uint8_t> in_;      ///< Loop thread only.
 
         std::mutex mu_;                ///< Guards the fields below.
@@ -126,7 +136,8 @@ class FrameServer
      * a front end that cannot bind has nothing to offer.
      */
     FrameServer(const FrameServerOptions &options, Handler handler,
-                serve::ServerMetrics &metrics);
+                serve::ServerMetrics &metrics,
+                CancelHandler cancelHandler = nullptr);
 
     /** Drains and joins the loop (idempotent). */
     ~FrameServer();
@@ -165,6 +176,7 @@ class FrameServer
 
     FrameServerOptions options_;
     Handler handler_;
+    CancelHandler cancelHandler_;
     serve::ServerMetrics &metrics_;
 
     int listenFd_ = -1;
@@ -205,8 +217,26 @@ class TcpServer
   private:
     void handle(const FrameServer::SessionPtr &session,
                 const wire::RequestFrame &request);
+    void handleCancel(const FrameServer::SessionPtr &session,
+                      uint64_t id);
+
+    /**
+     * In-flight cancel tokens keyed by (session, wire request id).
+     * Inserted before submit, erased by the completion callback, so
+     * a Cancel frame can find its request without any id-allocation
+     * race. Shared with the callbacks: the serve::Server outlives
+     * this front end and may complete requests after it is gone.
+     */
+    struct LiveRequests
+    {
+        std::mutex mu;
+        std::map<std::pair<const void *, uint64_t>,
+                 serve::CancelToken>
+            tokens;
+    };
 
     serve::Server &server_;
+    std::shared_ptr<LiveRequests> live_;
     std::unique_ptr<FrameServer> frames_;
 };
 

@@ -57,9 +57,8 @@ toResponse(const wire::ResponseFrame &frame)
 {
     serve::Response response;
     response.status =
-        frame.status <=
-                static_cast<uint8_t>(
-                    serve::RequestStatus::RejectedUnreachable)
+        frame.status <= static_cast<uint8_t>(
+                            serve::RequestStatus::Canceled)
             ? static_cast<serve::RequestStatus>(frame.status)
             : serve::RequestStatus::Failed;
     response.score = frame.score();

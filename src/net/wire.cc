@@ -227,6 +227,15 @@ encodeResponse(const ResponseFrame &response,
     frameBody(body, out);
 }
 
+void
+encodeCancel(const CancelFrame &cancel, std::vector<uint8_t> *out)
+{
+    std::vector<uint8_t> body;
+    putU8(&body, static_cast<uint8_t>(FrameType::Cancel));
+    putU64(&body, cancel.id);
+    frameBody(body, out);
+}
+
 DecodeResult
 tryDecode(const uint8_t *buffer, size_t size, Frame *frame)
 {
@@ -281,6 +290,11 @@ tryDecode(const uint8_t *buffer, size_t size, Frame *frame)
         response.shared = cursor.getU32();
         response.retries = cursor.getU32();
         response.flags = cursor.getU32();
+        break;
+    }
+    case FrameType::Cancel: {
+        frame->type = FrameType::Cancel;
+        frame->cancel.id = cursor.getU64();
         break;
     }
     default:

@@ -42,8 +42,15 @@ namespace nsbench::net::wire
 /** Handshake magic ("NSBW" little-endian). */
 inline constexpr uint32_t kMagic = 0x5742534E;
 
-/** Protocol version this library speaks. */
-inline constexpr uint16_t kVersion = 1;
+/** Protocol version this library speaks. Version history:
+ *   1 — Hello/HelloAck/Request/Response.
+ *   2 — adds Cancel (client -> server, best-effort hedge pruning).
+ * Handshakes accept any version in [kMinVersion, kVersion]; a peer
+ * that acked version 1 is never sent Cancel frames. */
+inline constexpr uint16_t kVersion = 2;
+
+/** Oldest protocol version still accepted in a handshake. */
+inline constexpr uint16_t kMinVersion = 1;
 
 /** Hard upper bound on a frame body; larger lengths are malformed. */
 inline constexpr uint32_t kMaxBody = 16 * 1024;
@@ -58,6 +65,7 @@ enum class FrameType : uint8_t
     HelloAck = 2, ///< Server -> client handshake accept.
     Request = 3,  ///< Client -> server inference request.
     Response = 4, ///< Server -> client completion record.
+    Cancel = 5,   ///< Client -> server: abandon a request (v2+).
 };
 
 /** Handshake payload (both directions). */
@@ -118,6 +126,17 @@ struct ResponseFrame
     void setScore(double value);
 };
 
+/**
+ * Best-effort abandonment of an earlier Request (hedged duplicates
+ * that lost the race). The server may still answer the request —
+ * cancellation is advisory, and the Cancel itself is never
+ * acknowledged. Protocol version 2+.
+ */
+struct CancelFrame
+{
+    uint64_t id = 0; ///< Correlation id of the request to abandon.
+};
+
 /** A decoded frame: `type` selects which member is meaningful. */
 struct Frame
 {
@@ -125,6 +144,7 @@ struct Frame
     HelloFrame hello;
     RequestFrame request;
     ResponseFrame response;
+    CancelFrame cancel;
 };
 
 /** Outcome of one tryDecode() attempt. */
@@ -156,6 +176,10 @@ void encodeRequest(const RequestFrame &request,
 /** Appends an encoded Response frame to @p out. */
 void encodeResponse(const ResponseFrame &response,
                     std::vector<uint8_t> *out);
+
+/** Appends an encoded Cancel frame to @p out (protocol v2+). */
+void encodeCancel(const CancelFrame &cancel,
+                  std::vector<uint8_t> *out);
 
 /**
  * Attempts to decode one frame from the front of

@@ -27,6 +27,8 @@ statusName(RequestStatus status)
         return "failed";
     case RequestStatus::RejectedUnreachable:
         return "rejected_unreachable";
+    case RequestStatus::Canceled:
+        return "canceled";
     }
     return "unknown";
 }
@@ -111,6 +113,10 @@ ServerMetrics::recordOutcome(const std::string &workload,
             m.expired++;
             return;
         }
+        if (response.status == RequestStatus::Canceled) {
+            m.canceled++;
+            return;
+        }
         if (response.status == RequestStatus::Failed) {
             m.failed++;
             return;
@@ -170,6 +176,14 @@ ServerMetrics::recordCallbackFailure(const std::string &workload)
     std::lock_guard<std::mutex> lock(mu_);
     perWorkload_[workload].callbackFailures++;
     total_.callbackFailures++;
+}
+
+void
+ServerMetrics::recordSojournShed(const std::string &workload)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    perWorkload_[workload].sojournSheds++;
+    total_.sojournSheds++;
 }
 
 void
@@ -384,7 +398,8 @@ ServerMetrics::hasResilienceEvents() const
     return totals.workerFaults || totals.retries ||
            totals.staleServed || totals.failed ||
            totals.rejectedOverload || totals.replicasReplaced ||
-           totals.callbackFailures;
+           totals.callbackFailures || totals.canceled ||
+           totals.sojournSheds;
 }
 
 util::Table
@@ -394,8 +409,8 @@ ServerMetrics::resilienceTable() const
     WorkloadMetrics totals = total();
 
     util::Table table({"workload", "faults", "retries", "retried_ok",
-                       "stale", "failed", "shed", "replaced",
-                       "cb_err", "success%"});
+                       "stale", "failed", "shed", "soj_shed",
+                       "canceled", "replaced", "cb_err", "success%"});
     auto row = [&](const std::string &name,
                    const WorkloadMetrics &m) {
         table.addRow({name, std::to_string(m.workerFaults),
@@ -404,6 +419,8 @@ ServerMetrics::resilienceTable() const
                       std::to_string(m.staleServed),
                       std::to_string(m.failed),
                       std::to_string(m.rejectedOverload),
+                      std::to_string(m.sojournSheds),
+                      std::to_string(m.canceled),
                       std::to_string(m.replicasReplaced),
                       std::to_string(m.callbackFailures),
                       util::percentStr(m.successRate())});

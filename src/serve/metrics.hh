@@ -50,6 +50,8 @@ struct WorkloadMetrics
     uint64_t rejectedOverload = 0;   ///< Shed by the overload gate.
     uint64_t rejectedUnreachable = 0;///< No reachable server (net layer).
     uint64_t expired = 0;            ///< Admitted but expired in queue.
+    uint64_t canceled = 0;           ///< Abandoned by the submitter
+                                     ///< and pruned before execution.
     uint64_t failed = 0;             ///< Failed after every retry.
     uint64_t executions = 0;         ///< Actual run() invocations.
     uint64_t batches = 0;            ///< Batches dispatched.
@@ -63,6 +65,9 @@ struct WorkloadMetrics
     uint64_t staleServed = 0;        ///< Cache fallbacks after failure.
     uint64_t replicasReplaced = 0;   ///< Supervisor replica rebuilds.
     uint64_t callbackFailures = 0;   ///< Client callbacks that threw.
+    uint64_t sojournSheds = 0;       ///< Overload sheds triggered by
+                                     ///< the adaptive sojourn gate (a
+                                     ///< subset of rejectedOverload).
 
     util::TailStats latency;         ///< End-to-end seconds (Ok only).
     util::RunningStat queueWait;     ///< Submit -> execution start.
@@ -189,6 +194,10 @@ class ServerMetrics
 
     /** Notes a client callback that threw (contained by the server). */
     void recordCallbackFailure(const std::string &workload);
+
+    /** Notes an overload shed decided by the adaptive sojourn gate
+     *  (recordRejected still counts the rejection itself). */
+    void recordSojournShed(const std::string &workload);
 
     /** Notes a result-cache hit served at admission. */
     void recordCacheHit(const std::string &workload);

@@ -12,9 +12,11 @@
 #ifndef NSBENCH_SERVE_REQUEST_HH
 #define NSBENCH_SERVE_REQUEST_HH
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -52,6 +54,15 @@ enum class RequestStatus
      * admission-time rejection — the request never entered a queue.
      */
     RejectedUnreachable,
+    /**
+     * The submitter abandoned the request while it was queued (a
+     * hedged duplicate lost its race) and the server pruned it before
+     * execution. A terminal post-admission outcome like Expired, not
+     * an admission rejection: the callback still fires exactly once,
+     * with this status. Appended last so earlier statuses keep their
+     * wire numbering across protocol versions.
+     */
+    Canceled,
 };
 
 /** Short stable name for reports and CSV. */
@@ -98,6 +109,15 @@ struct Response
 /** Completion callback; invoked exactly once per admitted request. */
 using Callback = std::function<void(const Response &)>;
 
+/**
+ * Shared cancellation flag. The submitter creates it, passes it to
+ * submit(), and may set it at any time afterwards; workers check it
+ * when they pick the request up and answer Canceled instead of
+ * running it. Advisory: a request already executing (or served from
+ * cache, or parked as a single-flight follower) completes normally.
+ */
+using CancelToken = std::shared_ptr<std::atomic<bool>>;
+
 /** One admitted in-flight request. */
 struct Request
 {
@@ -107,6 +127,7 @@ struct Request
     TimePoint enqueue{};
     TimePoint deadline = TimePoint::max();
     Callback done;
+    CancelToken cancel; ///< Null when the request is not cancelable.
 };
 
 /** A batcher-coalesced group of same-workload requests. */

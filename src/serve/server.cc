@@ -108,7 +108,7 @@ Server::~Server() { shutdown(); }
 
 RequestStatus
 Server::submit(const std::string &workload, uint64_t seed,
-               Callback done, TimePoint deadline)
+               Callback done, TimePoint deadline, CancelToken cancel)
 {
     bool known = false;
     for (const auto &name : options_.workloads)
@@ -134,6 +134,7 @@ Server::submit(const std::string &workload, uint64_t seed,
     request.enqueue = ServeClock::now();
     request.deadline = deadline;
     request.done = std::move(done);
+    request.cancel = std::move(cancel);
 
     if (deadline <= request.enqueue) {
         metrics_.recordRejected(workload,
@@ -198,6 +199,13 @@ Server::submit(const std::string &workload, uint64_t seed,
             static_cast<double>(admission_.capacity()));
         if (admission_.size() >= std::max<size_t>(limit, 1))
             shed = true;
+    }
+    // Adaptive gate: shed when queue *delay* (not depth) has stayed
+    // over the target — the short-but-slow-queue overload mode.
+    if (!shed && options_.targetSojournUs > 0 &&
+        sojournOverloaded(request.enqueue)) {
+        shed = true;
+        metrics_.recordSojournShed(workload);
     }
     if (NSBENCH_FAILPOINT(fp::sites::kAdmissionShed))
         shed = true;
@@ -330,6 +338,47 @@ Server::shutdown()
 }
 
 void
+Server::noteSojourn(int64_t sojournUs)
+{
+    // EWMA with alpha = 1/8 over dispatch-time queue waits. A relaxed
+    // CAS loop keeps the estimate exact enough for a shed gate while
+    // staying off any lock the hot path shares.
+    int64_t prev = sojournEwmaUs_.load(std::memory_order_relaxed);
+    int64_t next;
+    do {
+        next = prev - prev / 8 + sojournUs / 8;
+        // First sample seeds the estimate so a cold server does not
+        // take eight batches to notice a stuck queue.
+        if (prev == 0)
+            next = sojournUs;
+    } while (!sojournEwmaUs_.compare_exchange_weak(
+        prev, next, std::memory_order_relaxed));
+}
+
+bool
+Server::sojournOverloaded(TimePoint now)
+{
+    int64_t ewma = sojournEwmaUs_.load(std::memory_order_relaxed);
+    int64_t now_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            now.time_since_epoch())
+            .count();
+    if (ewma <= options_.targetSojournUs) {
+        sojournAboveSinceUs_.store(0, std::memory_order_relaxed);
+        return false;
+    }
+    int64_t since =
+        sojournAboveSinceUs_.load(std::memory_order_relaxed);
+    if (since == 0) {
+        // Racing submitters may both store; either timestamp is a
+        // valid "first seen above" within the gate's tolerance.
+        sojournAboveSinceUs_.store(now_us, std::memory_order_relaxed);
+        return false;
+    }
+    return now_us - since >= options_.sojournGraceUs;
+}
+
+void
 Server::workerMain(int workerIndex)
 {
     (void)workerIndex;
@@ -374,6 +423,19 @@ Server::runBatchOn(std::map<std::string, Replica> &replicas,
                       batch.workload);
     Replica &replica = it->second;
     const int batchSize = static_cast<int>(batch.requests.size());
+
+    // Feed the adaptive shed gate: the batch's mean queue sojourn is
+    // one EWMA sample (per-request folding would just weight bursts).
+    if (options_.targetSojournUs > 0 && batchSize > 0) {
+        TimePoint dispatch = ServeClock::now();
+        int64_t total_us = 0;
+        for (const Request &request : batch.requests)
+            total_us +=
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    dispatch - request.enqueue)
+                    .count();
+        noteSojourn(total_us / batchSize);
+    }
 
     // Group the batch into executions. Coalescing folds requests with
     // the same effective seed onto one shared run(); seed-insensitive
@@ -465,9 +527,10 @@ Server::runBatchOn(std::map<std::string, Replica> &replicas,
     for (size_t groupIndex = 0; groupIndex < groups.size();
          groupIndex++) {
         auto &[seed, members] = groups[groupIndex];
-        // Complete queue-expired members without running them; the
-        // retry loop re-prunes after each backoff so a long outage
-        // never runs work whose deadline already passed.
+        // Complete queue-expired and canceled members without running
+        // them; the retry loop re-prunes after each backoff so a long
+        // outage never runs work whose deadline already passed or
+        // whose submitter already gave up (a losing hedge).
         TimePoint start = ServeClock::now();
         std::vector<const Request *> live(members.begin(),
                                           members.end());
@@ -475,18 +538,22 @@ Server::runBatchOn(std::map<std::string, Replica> &replicas,
             std::vector<const Request *> keep;
             keep.reserve(live.size());
             for (const Request *request : live) {
-                if (request->deadline > now) {
+                bool canceled =
+                    request->cancel &&
+                    request->cancel->load(std::memory_order_relaxed);
+                if (!canceled && request->deadline > now) {
                     keep.push_back(request);
                     continue;
                 }
-                Response expired;
-                expired.status = RequestStatus::Expired;
-                expired.latencySeconds =
+                Response pruned;
+                pruned.status = canceled ? RequestStatus::Canceled
+                                         : RequestStatus::Expired;
+                pruned.latencySeconds =
                     secondsBetween(request->enqueue, now);
-                expired.queueSeconds = expired.latencySeconds;
-                expired.batchSize = batchSize;
-                metrics_.recordOutcome(batch.workload, expired);
-                deliver(batch.workload, request->done, expired);
+                pruned.queueSeconds = pruned.latencySeconds;
+                pruned.batchSize = batchSize;
+                metrics_.recordOutcome(batch.workload, pruned);
+                deliver(batch.workload, request->done, pruned);
             }
             live.swap(keep);
         };
@@ -542,6 +609,11 @@ Server::runBatchOn(std::map<std::string, Replica> &replicas,
                 replica.workload->reseedEpisodes(seed);
             util::WallTimer timer;
             try {
+                // A firing delay site sleeps in evaluate() and
+                // returns false: the stall lands inside the measured
+                // service time — the slow-not-dead shard the tail
+                // layer (breaker + hedging) exists to route around.
+                NSBENCH_FAILPOINT(fp::sites::kWorkerDelay);
                 if (NSBENCH_FAILPOINT(fp::sites::kWorkerCrash))
                     throw ReplicaPoisoned();
                 if (NSBENCH_FAILPOINT(fp::sites::kWorkerRun))

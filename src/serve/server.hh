@@ -100,6 +100,19 @@ struct ServerOptions
      */
     double shedAtOccupancy = 0.0;
     /**
+     * Queue-delay-based adaptive shedding (CoDel-style), complementing
+     * the static occupancy gate above: workers maintain an EWMA of
+     * observed queue sojourn (submit -> dispatch), and when it has
+     * stayed above this target for longer than a short grace interval
+     * submit() sheds with RejectedOverload until the sojourn recovers.
+     * Catches the overload mode occupancy cannot see — a queue that is
+     * short but *draining slowly* (e.g. a degraded worker). 0 = off.
+     */
+    int64_t targetSojournUs = 0;
+    /** How long the sojourn EWMA must exceed the target before the
+     *  adaptive gate starts shedding (absorbs bursts). */
+    int64_t sojournGraceUs = 100000;
+    /**
      * On a run() that still fails after every retry, serve the last
      * cached score for the key (marked stale) instead of failing the
      * request. Needs the result cache; by the determinism contract
@@ -153,10 +166,18 @@ class Server
      * Submits a request. Returns Ok when admitted — the callback will
      * fire exactly once later — or a rejection status, in which case
      * the callback is never invoked.
+     *
+     * A non-null @p cancel token makes the request abandonable: if
+     * the submitter sets the token while the request is still queued,
+     * the worker answers Canceled without running it. Best-effort —
+     * cache hits, single-flight followers and already-executing
+     * requests complete normally; the exactly-once callback contract
+     * holds either way.
      */
     RequestStatus submit(const std::string &workload, uint64_t seed,
                          Callback done,
-                         TimePoint deadline = noDeadline());
+                         TimePoint deadline = noDeadline(),
+                         CancelToken cancel = nullptr);
 
     /** Blocking convenience wrapper: submit and wait for completion. */
     Response call(const std::string &workload, uint64_t seed,
@@ -210,6 +231,12 @@ class Server
     /** Worker thread body: pre-warm, signal ready, serve batches. */
     void workerMain(int workerIndex);
 
+    /** Folds one observed queue sojourn into the EWMA (dispatch). */
+    void noteSojourn(int64_t sojournUs);
+
+    /** True when the adaptive sojourn gate says to shed right now. */
+    bool sojournOverloaded(TimePoint now);
+
     /** Executes one batch on this worker's replicas. */
     void runBatchOn(std::map<std::string, Replica> &replicas,
                     const Batch &batch);
@@ -259,6 +286,12 @@ class Server
     std::thread batcherThread_;
     std::vector<std::thread> workers_;
     std::atomic<uint64_t> nextId_{1};
+    /** EWMA of observed queue sojourn in microseconds (alpha 1/8),
+     *  updated by workers at dispatch; read by the adaptive gate. */
+    std::atomic<int64_t> sojournEwmaUs_{0};
+    /** Serve-clock microseconds when the EWMA first exceeded the
+     *  target (0 = currently under target). */
+    std::atomic<int64_t> sojournAboveSinceUs_{0};
     std::atomic<bool> stopping_{false};
     std::atomic<bool> joined_{false};
     std::mutex readyMu_;

@@ -1,8 +1,10 @@
 #include "util/failpoint.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
 #include <random>
+#include <thread>
 
 #include "util/logging.hh"
 
@@ -24,6 +26,8 @@ struct Site
     std::mt19937_64 rng;
     uint64_t evaluations = 0;
     uint64_t fires = 0;
+    uint64_t delays = 0;
+    uint64_t delayedUs = 0;
 };
 
 /** The live registry; every access is under gMu. evaluate() holds the
@@ -63,7 +67,7 @@ nameSeed(const std::string &site)
     return hash ? hash : 1;
 }
 
-/** Parses the value part `prob[@seed][xLIMIT][sSKIP]`. */
+/** Parses the value part `prob[@seed][xLIMIT][sSKIP][~DELAYus]`. */
 std::string
 parseValue(const std::string &site, const std::string &value,
            SiteSpec *out)
@@ -82,7 +86,11 @@ parseValue(const std::string &site, const std::string &value,
         size_t used = 0;
         uint64_t number = 0;
         try {
-            number = std::stoull(value.substr(pos), &used);
+            // stoull accepts a leading '-' and wraps it into a huge
+            // unsigned value; every field here is a count, so a sign
+            // is malformed, not modular arithmetic.
+            if (pos < value.size() && value[pos] != '-')
+                number = std::stoull(value.substr(pos), &used);
         } catch (...) {
             used = 0;
         }
@@ -99,6 +107,12 @@ parseValue(const std::string &site, const std::string &value,
             break;
         case 's':
             out->skip = number;
+            break;
+        case '~':
+            if (number == 0)
+                return "failpoint '" + site +
+                       "': '~' delay must be positive";
+            out->delayUs = number;
             break;
         default:
             return std::string("failpoint '") + site +
@@ -122,7 +136,7 @@ knownSites()
         sites::kCallback,        sites::kResultInsert,
         sites::kPrecomputeBuild, sites::kNetAccept,
         sites::kNetRead,         sites::kNetWrite,
-        sites::kNetBackendConnect,
+        sites::kNetBackendConnect, sites::kWorkerDelay,
     };
     return names;
 }
@@ -203,32 +217,43 @@ stats()
     std::lock_guard<std::mutex> lock(gMu);
     std::map<std::string, SiteStats> out;
     for (const auto &[name, site] : gSites)
-        out[name] = SiteStats{site.evaluations, site.fires};
+        out[name] = SiteStats{site.evaluations, site.fires,
+                              site.delays, site.delayedUs};
     return out;
 }
 
 bool
 evaluate(const char *site)
 {
-    std::lock_guard<std::mutex> lock(gMu);
-    auto it = gSites.find(site);
-    if (it == gSites.end())
-        return false;
-    Site &state = it->second;
-    uint64_t index = state.evaluations++;
-    // Consume the draw even when skip/limit mute the site, so the
-    // k-th evaluation always sees the k-th draw of the stream and
-    // the schedule is a pure function of the spec.
-    double draw = std::uniform_real_distribution<double>(0.0, 1.0)(
-        state.rng);
-    if (index < state.spec.skip)
-        return false;
-    if (state.spec.limit && state.fires >= state.spec.limit)
-        return false;
-    if (draw < state.spec.probability) {
+    uint64_t delay_us = 0;
+    {
+        std::lock_guard<std::mutex> lock(gMu);
+        auto it = gSites.find(site);
+        if (it == gSites.end())
+            return false;
+        Site &state = it->second;
+        uint64_t index = state.evaluations++;
+        // Consume the draw even when skip/limit mute the site, so the
+        // k-th evaluation always sees the k-th draw of the stream and
+        // the schedule is a pure function of the spec.
+        double draw = std::uniform_real_distribution<double>(
+            0.0, 1.0)(state.rng);
+        if (index < state.spec.skip)
+            return false;
+        if (state.spec.limit && state.fires >= state.spec.limit)
+            return false;
+        if (draw >= state.spec.probability)
+            return false;
         state.fires++;
-        return true;
+        if (state.spec.delayUs == 0)
+            return true;
+        // Delay action: account under the lock, sleep outside it so
+        // a slow site stalls only its own caller, not the registry.
+        state.delays++;
+        state.delayedUs += state.spec.delayUs;
+        delay_us = state.spec.delayUs;
     }
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
     return false;
 }
 

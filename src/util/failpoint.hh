@@ -6,12 +6,20 @@
  * right now?". Sites are armed by a spec — the NSBENCH_FAILPOINTS
  * environment variable or `nsbench ... --faults SPEC` — of the form
  *
- *     site=prob[@seed][xLIMIT][sSKIP][,site=...]
+ *     site=prob[@seed][xLIMIT][sSKIP][~DELAYus][,site=...]
  *
  * e.g. `serve.worker.run=0.1@7x20s2`: the site fires on 10% of its
  * evaluations, drawn from an RNG seeded with 7, at most 20 times,
  * never on its first 2 evaluations. Omitted fields default to a
  * seed derived from the site name, no fire limit, and no skip.
+ *
+ * A `~DELAY` suffix turns the site's action from *fail* into *delay*:
+ * a firing evaluation sleeps for DELAY microseconds and then reports
+ * "no fault" to the caller (e.g. `net.read=0.05@11~20000` makes 5% of
+ * reads 20ms slow instead of failing them). This models the harder
+ * failure mode — the peer that is slow, not dead — with the same
+ * deterministic schedule: whether the k-th evaluation fires is still
+ * a pure function of the spec; only the action changes.
  *
  * Determinism: each site owns a private RNG seeded only by its spec,
  * and the k-th *evaluation* of a site consumes the k-th draw of that
@@ -71,6 +79,11 @@ inline constexpr const char *kNetWrite = "net.write";
 /** Client connect() attempt to a backend fails (reconnect/backoff
  *  path in the client; health/failover path in the router). */
 inline constexpr const char *kNetBackendConnect = "net.backend.connect";
+/** Dedicated slow-worker site: evaluated by delay-decorated workload
+ *  replicas (bench/scaling_tail), never by the stock server, so one
+ *  backend in a multi-backend process can be made slow. Only
+ *  meaningful with a `~DELAY` action. */
+inline constexpr const char *kWorkerDelay = "serve.worker.delay";
 } // namespace sites
 
 /** Every site name configure() accepts, in catalog order. */
@@ -83,6 +96,9 @@ struct SiteSpec
     uint64_t seed = 0;        ///< Site RNG seed (0 -> name-derived).
     uint64_t limit = 0;       ///< Max fires; 0 -> unbounded.
     uint64_t skip = 0;        ///< Evaluations that can never fire.
+    /** When nonzero the site's action is a sleep of this many
+     *  microseconds instead of a reported failure. */
+    uint64_t delayUs = 0;
 };
 
 /** Point-in-time counters for one configured site. */
@@ -90,6 +106,8 @@ struct SiteStats
 {
     uint64_t evaluations = 0; ///< Times the site was asked.
     uint64_t fires = 0;       ///< Times it answered "fail".
+    uint64_t delays = 0;      ///< Fires that slept instead.
+    uint64_t delayedUs = 0;   ///< Total injected sleep, microseconds.
 };
 
 /**
@@ -139,7 +157,9 @@ armed()
 /**
  * Slow path behind NSBENCH_FAILPOINT: consumes one draw of the
  * site's RNG stream and reports whether this evaluation fires.
- * Unconfigured sites never fire (and are not counted).
+ * Unconfigured sites never fire (and are not counted). A firing
+ * evaluation of a `~DELAY` site sleeps (outside the registry lock)
+ * and returns false — the caller proceeds normally, just late.
  */
 bool evaluate(const char *site);
 

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Circuit-breaker state-machine tests. Time is injected (the breaker
+ * takes microsecond timestamps), so the full Closed -> Open ->
+ * HalfOpen -> {Closed, Open} cycle is driven synthetically — no
+ * sleeps, no clock reads, deterministic under any scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/breaker.hh"
+
+namespace
+{
+
+using namespace nsbench::net;
+
+constexpr int64_t kSecond = 1'000'000;
+
+BreakerOptions
+fastOptions()
+{
+    BreakerOptions options;
+    options.errorThreshold = 0.5;
+    options.latencyFactor = 3.0;
+    options.minSamples = 4;
+    options.openSeconds = 1.0;
+    options.halfOpenProbes = 1;
+    return options;
+}
+
+TEST(Breaker, StartsClosedAndAllowsTraffic)
+{
+    CircuitBreaker breaker(fastOptions());
+    EXPECT_EQ(breaker.state(0), BreakerState::Closed);
+    EXPECT_TRUE(breaker.allow(0));
+    BreakerSnapshot snap = breaker.snapshot(0);
+    EXPECT_EQ(snap.opens, 0u);
+    EXPECT_EQ(snap.samples, 0u);
+}
+
+TEST(Breaker, OpensOnErrorRateAfterMinSamples)
+{
+    CircuitBreaker breaker(fastOptions());
+    // Three failures: under minSamples, must not trip yet.
+    for (int i = 0; i < 3; i++)
+        breaker.onFailure(0);
+    EXPECT_EQ(breaker.state(0), BreakerState::Closed);
+    // The fourth failure crosses minSamples with error EWMA 1.0.
+    breaker.onFailure(0);
+    EXPECT_EQ(breaker.state(0), BreakerState::Open);
+    EXPECT_FALSE(breaker.allow(0));
+    EXPECT_EQ(breaker.snapshot(0).opens, 1u);
+}
+
+TEST(Breaker, SuccessesKeepItClosed)
+{
+    CircuitBreaker breaker(fastOptions());
+    for (int i = 0; i < 100; i++)
+        breaker.onSuccess(0.010, 0.010, 0);
+    EXPECT_EQ(breaker.state(0), BreakerState::Closed);
+    BreakerSnapshot snap = breaker.snapshot(0);
+    EXPECT_EQ(snap.opens, 0u);
+    EXPECT_DOUBLE_EQ(snap.errorRate, 0.0);
+}
+
+TEST(Breaker, UnreachableTripsImmediately)
+{
+    // One refused dial must trip regardless of minSamples — a dead
+    // endpoint is not a statistical signal (the old binary
+    // down-marking, preserved).
+    CircuitBreaker breaker(fastOptions());
+    breaker.onUnreachable(0);
+    EXPECT_EQ(breaker.state(0), BreakerState::Open);
+    EXPECT_FALSE(breaker.allow(0));
+    EXPECT_EQ(breaker.snapshot(0).opens, 1u);
+}
+
+TEST(Breaker, SlowNotDeadTripsOnLatencyEwma)
+{
+    // Every request answers Ok — just 10x over the healthy-peer
+    // reference. The latency EWMA must trip it after minSamples.
+    CircuitBreaker breaker(fastOptions());
+    for (int i = 0; i < 8; i++)
+        breaker.onSuccess(0.100, 0.010, 0);
+    EXPECT_EQ(breaker.state(0), BreakerState::Open);
+    BreakerSnapshot snap = breaker.snapshot(0);
+    EXPECT_DOUBLE_EQ(snap.errorRate, 0.0); // No errors involved.
+    EXPECT_GT(snap.latencySeconds, 0.030);
+}
+
+TEST(Breaker, ZeroReferenceDisablesTheLatencyTrigger)
+{
+    // A single-backend ring has no peers to compare against; with
+    // reference 0 arbitrary slowness must not trip the breaker.
+    CircuitBreaker breaker(fastOptions());
+    for (int i = 0; i < 50; i++)
+        breaker.onSuccess(10.0, 0.0, 0);
+    EXPECT_EQ(breaker.state(0), BreakerState::Closed);
+}
+
+TEST(Breaker, HalfOpensAfterTheWindowAndCapsProbes)
+{
+    CircuitBreaker breaker(fastOptions());
+    breaker.onUnreachable(0);
+    // Still inside the open window: refused.
+    EXPECT_FALSE(breaker.allow(kSecond / 2));
+    // Window elapsed: exactly one probe (halfOpenProbes) admitted.
+    EXPECT_TRUE(breaker.allow(kSecond + 1));
+    EXPECT_EQ(breaker.state(kSecond + 1), BreakerState::HalfOpen);
+    EXPECT_FALSE(breaker.allow(kSecond + 2));
+    EXPECT_EQ(breaker.snapshot(kSecond + 2).probes, 1u);
+}
+
+TEST(Breaker, ProbeSuccessClosesAndResetsHistory)
+{
+    CircuitBreaker breaker(fastOptions());
+    for (int i = 0; i < 4; i++)
+        breaker.onFailure(0);
+    ASSERT_EQ(breaker.state(0), BreakerState::Open);
+    ASSERT_TRUE(breaker.allow(kSecond + 1));
+    breaker.onSuccess(0.010, 0.010, kSecond + 2);
+    EXPECT_EQ(breaker.state(kSecond + 2), BreakerState::Closed);
+    // The backend re-earns trust from scratch: stale sick-era EWMAs
+    // must not trip it again on the next outcome.
+    BreakerSnapshot snap = breaker.snapshot(kSecond + 2);
+    EXPECT_EQ(snap.samples, 1u);
+    EXPECT_DOUBLE_EQ(snap.errorRate, 0.0);
+    EXPECT_TRUE(breaker.allow(kSecond + 3));
+}
+
+TEST(Breaker, FailedProbeReopensForAnotherWindow)
+{
+    CircuitBreaker breaker(fastOptions());
+    breaker.onUnreachable(0);
+    ASSERT_TRUE(breaker.allow(kSecond + 1));
+    breaker.onFailure(kSecond + 2);
+    EXPECT_EQ(breaker.state(kSecond + 2), BreakerState::Open);
+    EXPECT_EQ(breaker.snapshot(kSecond + 2).opens, 2u);
+    // The new window counts from the re-trip, not the first one.
+    EXPECT_FALSE(breaker.allow(kSecond + kSecond / 2));
+    EXPECT_TRUE(breaker.allow(2 * kSecond + 3));
+}
+
+TEST(Breaker, SlowProbeSuccessStillReopens)
+{
+    // A probe that answers but is still latencyFactor over the
+    // reference proves nothing recovered — answering slowly is the
+    // condition the breaker exists to keep out of the ring.
+    CircuitBreaker breaker(fastOptions());
+    breaker.onUnreachable(0);
+    ASSERT_TRUE(breaker.allow(kSecond + 1));
+    breaker.onSuccess(0.100, 0.010, kSecond + 2);
+    EXPECT_EQ(breaker.state(kSecond + 2), BreakerState::Open);
+    EXPECT_EQ(breaker.snapshot(kSecond + 2).opens, 2u);
+}
+
+TEST(Breaker, MixedOutcomesBelowThresholdStayClosed)
+{
+    // 1-in-4 failures: error EWMA hovers near 0.25, below the 0.5
+    // threshold — occasional failures must not flap the breaker.
+    CircuitBreaker breaker(fastOptions());
+    for (int round = 0; round < 25; round++) {
+        for (int i = 0; i < 3; i++)
+            breaker.onSuccess(0.010, 0.010, 0);
+        breaker.onFailure(0);
+    }
+    EXPECT_EQ(breaker.state(0), BreakerState::Closed);
+    BreakerSnapshot snap = breaker.snapshot(0);
+    EXPECT_GT(snap.errorRate, 0.05);
+    EXPECT_LT(snap.errorRate, 0.5);
+}
+
+TEST(Breaker, StateNamesAreStable)
+{
+    // Pinned: these strings appear in `route --json` output.
+    EXPECT_STREQ(breakerStateName(BreakerState::Closed), "closed");
+    EXPECT_STREQ(breakerStateName(BreakerState::Open), "open");
+    EXPECT_STREQ(breakerStateName(BreakerState::HalfOpen),
+                 "half_open");
+}
+
+} // namespace

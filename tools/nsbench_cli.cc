@@ -132,9 +132,17 @@ usage()
            "              [--faults SPEC] [--retries N]\n"
            "              [--retry-backoff-us N] [--shed-at F]\n"
            "              [--no-stale] [--pipeline[=D]]\n"
+           "              [--target-sojourn-us N]\n"
+           "              [--sojourn-grace-us N]\n"
            "  nsbench route --listen [HOST:]PORT\n"
            "              --backends HOST:PORT,HOST:PORT,...\n"
-           "              [--duration S] [--json PATH] [--csv]\n";
+           "              [--duration S] [--json PATH] [--csv]\n"
+           "              [--no-hedging] [--hedge-budget F]\n"
+           "              [--hedge-min-delay-us N]\n"
+           "              [--hedge-max-delay-us N]\n"
+           "              [--breaker-error-rate F]\n"
+           "              [--breaker-latency-factor F]\n"
+           "              [--retry-down S]\n";
     return 2;
 }
 
@@ -506,6 +514,9 @@ struct ServeCli
     std::string connect;  ///< --connect HOST:PORT (remote loadgen).
     std::vector<std::string> backends; ///< --backends (route only).
     std::string jsonPath; ///< --json PATH (bench-style emission).
+    /** Router tail-tolerance knobs (route only); listen/backends
+     *  are filled from the fields above by cmdRoute. */
+    net::RouterOptions router;
 
     ServeCli()
     {
@@ -671,6 +682,66 @@ parseServeArgs(int argc, char **argv, ServeCli *cli)
             }
         } else if (arg == "--no-stale") {
             server_options.staleFallback = false;
+        } else if (arg == "--target-sojourn-us") {
+            server_options.targetSojournUs = std::atoll(next());
+            if (server_options.targetSojournUs < 0) {
+                std::cerr << "--target-sojourn-us must be >= 0\n";
+                return 2;
+            }
+        } else if (arg == "--sojourn-grace-us") {
+            server_options.sojournGraceUs = std::atoll(next());
+            if (server_options.sojournGraceUs < 0) {
+                std::cerr << "--sojourn-grace-us must be >= 0\n";
+                return 2;
+            }
+        } else if (arg == "--no-hedging") {
+            cli->router.hedging = false;
+        } else if (arg == "--hedge-budget") {
+            cli->router.hedgeBudget = std::atof(next());
+            if (cli->router.hedgeBudget < 0.0 ||
+                cli->router.hedgeBudget > 1.0) {
+                std::cerr << "--hedge-budget must be in [0, 1]\n";
+                return 2;
+            }
+        } else if (arg == "--hedge-min-delay-us") {
+            long long us = std::atoll(next());
+            if (us <= 0) {
+                std::cerr << "--hedge-min-delay-us must be "
+                             "positive\n";
+                return 2;
+            }
+            cli->router.hedgeMinDelaySeconds =
+                static_cast<double>(us) * 1e-6;
+        } else if (arg == "--hedge-max-delay-us") {
+            long long us = std::atoll(next());
+            if (us <= 0) {
+                std::cerr << "--hedge-max-delay-us must be "
+                             "positive\n";
+                return 2;
+            }
+            cli->router.hedgeMaxDelaySeconds =
+                static_cast<double>(us) * 1e-6;
+        } else if (arg == "--breaker-error-rate") {
+            cli->router.breaker.errorThreshold = std::atof(next());
+            if (cli->router.breaker.errorThreshold <= 0.0 ||
+                cli->router.breaker.errorThreshold > 1.0) {
+                std::cerr
+                    << "--breaker-error-rate must be in (0, 1]\n";
+                return 2;
+            }
+        } else if (arg == "--breaker-latency-factor") {
+            cli->router.breaker.latencyFactor = std::atof(next());
+            if (cli->router.breaker.latencyFactor <= 1.0) {
+                std::cerr
+                    << "--breaker-latency-factor must be > 1\n";
+                return 2;
+            }
+        } else if (arg == "--retry-down") {
+            cli->router.retryDownSeconds = std::atof(next());
+            if (cli->router.retryDownSeconds <= 0.0) {
+                std::cerr << "--retry-down must be positive\n";
+                return 2;
+            }
         } else if (parsePipelineArg(arg,
                                     &server_options.pipelineDepth)) {
             // depth captured by the parser
@@ -730,6 +801,24 @@ validateLoadOptions(const serve::LoadgenOptions &load_options)
         return 2;
     }
     return -1;
+}
+
+/** Prints the armed-failpoints panel: per site, fires/evaluations
+ *  plus the injected-delay tally when the spec carried ~DELAY. */
+void
+printFailpointsLine()
+{
+    if (!util::failpoints::armed())
+        return;
+    std::cout << "failpoints:";
+    for (const auto &[site, s] : util::failpoints::stats()) {
+        std::cout << " " << site << "=" << s.fires << "/"
+                  << s.evaluations;
+        if (s.delays > 0)
+            std::cout << " (" << s.delays << " delayed, "
+                      << s.delayedUs << "us injected)";
+    }
+    std::cout << "\n";
 }
 
 /** Prints the shared end-of-window load summary. */
@@ -802,6 +891,8 @@ runListenServe(ServeCli &cli, int argc, char **argv)
     if (!cli.csv)
         std::cout << "\n";
     printTable(server.metrics().netTable(), cli.csv);
+    if (!cli.csv)
+        printFailpointsLine();
 
     serve::NetStats net_stats = server.metrics().netStats();
     serve::WorkloadMetrics totals = server.metrics().total();
@@ -811,7 +902,9 @@ runListenServe(ServeCli &cli, int argc, char **argv)
          << ",\"conns\":" << net_stats.connectionsAccepted
          << ",\"frames_in\":" << net_stats.framesIn
          << ",\"frames_out\":" << net_stats.framesOut
-         << ",\"malformed\":" << net_stats.malformedFrames << "}";
+         << ",\"malformed\":" << net_stats.malformedFrames
+         << ",\"canceled\":" << totals.canceled
+         << ",\"soj_shed\":" << totals.sojournSheds << "}";
     bench::writeBenchJson(argc, argv, json.str());
     return 0;
 }
@@ -857,19 +950,25 @@ runRemoteLoadgen(ServeCli &cli, int argc, char **argv,
 
     printLoadReport(report);
     net::ClientStats stats = client.stats();
-    if (!cli.csv)
+    if (!cli.csv) {
         std::cout << "transport: " << stats.connects
                   << " connect(s), " << stats.connectFailures
                   << " connect failure(s), " << stats.sent
                   << " sent, " << stats.received << " received, "
                   << stats.disconnects << " disconnect(s), "
-                  << stats.orphaned << " orphaned\n";
+                  << stats.orphaned << " orphaned, "
+                  << stats.cancelsSent << " cancel(s), "
+                  << stats.callTimeouts << " call timeout(s)\n";
+        printFailpointsLine();
+    }
 
     std::ostringstream json;
     json << "{" << loadReportJson("loadgen_remote", report)
          << ",\"connects\":" << stats.connects
          << ",\"disconnects\":" << stats.disconnects
-         << ",\"orphaned\":" << stats.orphaned << "}";
+         << ",\"orphaned\":" << stats.orphaned
+         << ",\"cancels\":" << stats.cancelsSent
+         << ",\"call_timeouts\":" << stats.callTimeouts << "}";
     bench::writeBenchJson(argc, argv, json.str());
     return report.completed > 0 ? 0 : 1;
 }
@@ -971,13 +1070,7 @@ cmdServe(int argc, char **argv, bool open_loop)
     }
     if (!csv) {
         printLoadReport(report);
-        if (util::failpoints::armed()) {
-            std::cout << "failpoints:";
-            for (const auto &[site, s] : util::failpoints::stats())
-                std::cout << " " << site << "=" << s.fires << "/"
-                          << s.evaluations;
-            std::cout << "\n";
-        }
+        printFailpointsLine();
         if (const cache::ResultCache *rc = server.resultCache()) {
             cache::ResultCacheStats stats = rc->stats();
             std::cout << "result cache: " << stats.hits
@@ -1014,8 +1107,14 @@ cmdRoute(int argc, char **argv)
         std::cerr << "--duration must be positive\n";
         return 2;
     }
+    if (cli.router.hedgeMinDelaySeconds >
+        cli.router.hedgeMaxDelaySeconds) {
+        std::cerr << "--hedge-min-delay-us must not exceed "
+                     "--hedge-max-delay-us\n";
+        return 2;
+    }
 
-    net::RouterOptions options;
+    net::RouterOptions options = cli.router;
     options.listen = parseListenSpec(cli.listen);
     options.backends = cli.backends;
     net::Router router(options);
@@ -1044,6 +1143,17 @@ cmdRoute(int argc, char **argv)
         std::cout << "\n";
     printTable(router.metrics().netTable(), cli.csv);
 
+    net::HedgeStats hedges = router.hedgeStats();
+    if (!cli.csv) {
+        std::cout << "hedging:  "
+                  << (options.hedging ? "on" : "off") << " — "
+                  << hedges.hedgesSent << " sent, "
+                  << hedges.hedgesWon << " won, "
+                  << hedges.hedgesDenied << " budget-denied, "
+                  << hedges.cancelsSent << " cancel(s)\n";
+        printFailpointsLine();
+    }
+
     serve::WorkloadMetrics totals = router.metrics().total();
     uint64_t forwarded = 0;
     std::ostringstream shards;
@@ -1057,7 +1167,11 @@ cmdRoute(int argc, char **argv)
     json << "{\"mode\":\"route\",\"completed\":" << totals.completed
          << ",\"forwarded\":" << forwarded << ",\"per_backend\":["
          << shards.str() << "],\"shed\":" << totals.rejected()
-         << "}";
+         << ",\"hedges_sent\":" << hedges.hedgesSent
+         << ",\"hedges_won\":" << hedges.hedgesWon
+         << ",\"hedges_denied\":" << hedges.hedgesDenied
+         << ",\"cancels\":" << hedges.cancelsSent
+         << ",\"backends\":" << router.backendJson() << "}";
     bench::writeBenchJson(argc, argv, json.str());
     return 0;
 }
